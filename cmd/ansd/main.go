@@ -1,0 +1,78 @@
+// Command ansd runs an authoritative DNS server (UDP + DNS-over-TCP) over
+// real sockets, serving a zone from an RFC 1035 master file.
+//
+// Usage:
+//
+//	ansd -zone foo.com.zone -listen 127.0.0.1:5353
+//	ansd -zone foo.com.zone,bar.org.zone -listen 127.0.0.1:5353   # multi-zone
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"dnsguard"
+	"dnsguard/internal/dnswire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "ansd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	zonePath := flag.String("zone", "", "comma-separated zone master file(s) (required)")
+	listen := flag.String("listen", "127.0.0.1:5353", "UDP/TCP listen address")
+	enableTCP := flag.Bool("tcp", true, "also serve DNS over TCP")
+	flag.Parse()
+
+	if *zonePath == "" {
+		return fmt.Errorf("-zone is required")
+	}
+	zones := dnsguard.NewZoneSet()
+	for _, path := range strings.Split(*zonePath, ",") {
+		text, err := os.ReadFile(strings.TrimSpace(path))
+		if err != nil {
+			return fmt.Errorf("reading zone: %w", err)
+		}
+		z, err := dnsguard.ParseZone(string(text), dnswire.Root)
+		if err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+		if err := zones.Add(z); err != nil {
+			return err
+		}
+	}
+	addr, err := netip.ParseAddrPort(*listen)
+	if err != nil {
+		return fmt.Errorf("parsing -listen: %w", err)
+	}
+
+	srv, err := dnsguard.NewANS(dnsguard.ANSConfig{
+		Env:       dnsguard.NewEnv(),
+		Addr:      addr,
+		Zones:     zones,
+		EnableTCP: *enableTCP,
+	})
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("ansd: serving zones %v on %v (tcp=%v)\n", zones.Origins(), srv.Addr(), *enableTCP)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+	fmt.Printf("ansd: served %d UDP / %d TCP queries\n", srv.Stats.UDPQueries, srv.Stats.TCPQueries)
+	return nil
+}

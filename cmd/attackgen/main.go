@@ -1,0 +1,95 @@
+// Command attackgen floods a DNS server with requests, for load-testing a
+// guard deployment on machines you control.
+//
+// Over real sockets, userspace cannot spoof source addresses, so this tool
+// emits cookie-less (or forged-cookie) floods from its real address — the
+// guard's Rate-Limiter1/2 and cookie checks are still exercised. True
+// spoofed-source attacks run inside the simulator (see cmd/benchtab and
+// examples/dosdefense).
+//
+// Usage:
+//
+//	attackgen -target 127.0.0.1:5355 -rate 5000 -duration 10s -kind plain
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"time"
+
+	"dnsguard"
+	"dnsguard/internal/cookie"
+	"dnsguard/internal/dnswire"
+	"dnsguard/internal/guard"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "attackgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	target := flag.String("target", "127.0.0.1:5355", "victim address")
+	rate := flag.Float64("rate", 1000, "packets per second")
+	duration := flag.Duration("duration", 10*time.Second, "flood duration")
+	kind := flag.String("kind", "plain", "payload: plain, badcookie, badnslabel")
+	name := flag.String("qname", "www.foo.com", "query name")
+	flag.Parse()
+
+	dst, err := netip.ParseAddrPort(*target)
+	if err != nil {
+		return fmt.Errorf("parsing -target: %w", err)
+	}
+	qname, err := dnsguard.ParseName(*name)
+	if err != nil {
+		return fmt.Errorf("parsing -qname: %w", err)
+	}
+
+	q := dnswire.NewQuery(0xBAD, qname, dnswire.TypeA)
+	switch *kind {
+	case "plain":
+	case "badcookie":
+		var forged cookie.Cookie
+		for i := range forged {
+			forged[i] = byte(0xA0 + i)
+		}
+		guard.AttachCookie(q, forged, 0)
+	case "badnslabel":
+		fab, err := qname.PrependLabel("pr00c0ffee")
+		if err != nil {
+			return err
+		}
+		q.Questions[0].Name = fab
+	default:
+		return fmt.Errorf("unknown -kind %q", *kind)
+	}
+	wire, err := q.PackUDP(dnswire.MaxUDPSize)
+	if err != nil {
+		return err
+	}
+
+	env := dnsguard.NewEnv()
+	conn, err := env.ListenUDP(netip.AddrPort{})
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	fmt.Printf("attackgen: flooding %v with %s queries at %.0f/s for %v\n", dst, *kind, *rate, *duration)
+	interval := time.Duration(float64(time.Second) / *rate)
+	deadline := time.Now().Add(*duration)
+	var sent uint64
+	for time.Now().Before(deadline) {
+		if err := conn.WriteTo(wire, dst); err != nil {
+			return fmt.Errorf("after %d packets: %w", sent, err)
+		}
+		sent++
+		time.Sleep(interval)
+	}
+	fmt.Printf("attackgen: sent %d packets\n", sent)
+	return nil
+}

@@ -1,0 +1,138 @@
+// Command dnsguardd runs the DNS guard over real sockets, in front of a
+// real authoritative server: it binds the public service address, verifies
+// cookies on every incoming request, and relays only verified requests to
+// the protected ANS.
+//
+// Over userspace sockets the guard supports the NS-name, TCP-redirect, and
+// modified-DNS schemes (the fabricated-IP variant needs a whole intercepted
+// subnet — simulator or kernel deployments only; see DESIGN.md).
+//
+// Usage:
+//
+//	dnsguardd -listen 127.0.0.1:5355 -ans 127.0.0.1:5353 -zone foo.com \
+//	          -scheme dns -threshold 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dnsguard"
+	"dnsguard/internal/guard"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "dnsguardd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	listen := flag.String("listen", "127.0.0.1:5355", "public service address the guard binds")
+	ansAddr := flag.String("ans", "127.0.0.1:5353", "protected ANS address")
+	zoneName := flag.String("zone", "", "apex of the protected zone (required)")
+	schemeName := flag.String("scheme", "dns", "fallback scheme for cookie-less requesters: dns or tcp")
+	threshold := flag.Float64("threshold", 0, "activation threshold in req/s (0 = always on)")
+	withProxy := flag.Bool("proxy", true, "run the TCP proxy for redirected/truncated requesters")
+	statsEvery := flag.Duration("stats", 10*time.Second, "stats reporting interval (0 = off)")
+	flag.Parse()
+
+	if *zoneName == "" {
+		return fmt.Errorf("-zone is required")
+	}
+	apex, err := dnsguard.ParseName(*zoneName)
+	if err != nil {
+		return fmt.Errorf("parsing -zone: %w", err)
+	}
+	pub, err := netip.ParseAddrPort(*listen)
+	if err != nil {
+		return fmt.Errorf("parsing -listen: %w", err)
+	}
+	ans, err := netip.ParseAddrPort(*ansAddr)
+	if err != nil {
+		return fmt.Errorf("parsing -ans: %w", err)
+	}
+	var scheme dnsguard.Scheme
+	switch *schemeName {
+	case "dns":
+		scheme = dnsguard.SchemeDNS
+	case "tcp":
+		scheme = dnsguard.SchemeTCP
+	default:
+		return fmt.Errorf("unknown -scheme %q", *schemeName)
+	}
+
+	env := dnsguard.NewEnv()
+	sock, err := env.ListenUDP(pub)
+	if err != nil {
+		return fmt.Errorf("binding %v: %w", pub, err)
+	}
+	auth, err := dnsguard.NewAuthenticator()
+	if err != nil {
+		return err
+	}
+	g, err := dnsguard.NewRemoteGuard(dnsguard.RemoteGuardConfig{
+		Env:                 env,
+		IO:                  guard.SocketIO{Conn: sock},
+		PublicAddr:          sock.LocalAddr(),
+		ANSAddr:             ans,
+		Zone:                apex,
+		Fallback:            scheme,
+		Auth:                auth,
+		ActivationThreshold: *threshold,
+	})
+	if err != nil {
+		return err
+	}
+	if err := g.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("dnsguardd: guarding zone %s on %v → ANS %v (scheme %v, threshold %.0f)\n",
+		apex, sock.LocalAddr(), ans, scheme, *threshold)
+
+	var proxy *dnsguard.TCPProxy
+	if *withProxy {
+		proxy, err = dnsguard.NewTCPProxy(dnsguard.TCPProxyConfig{
+			Env:     env,
+			Listen:  sock.LocalAddr(),
+			ANSAddr: ans,
+			RTT:     50 * time.Millisecond,
+		})
+		if err != nil {
+			return fmt.Errorf("starting TCP proxy: %w", err)
+		}
+		if err := proxy.Start(); err != nil {
+			return fmt.Errorf("starting TCP proxy: %w", err)
+		}
+		fmt.Printf("dnsguardd: TCP proxy on %v\n", sock.LocalAddr())
+	}
+
+	if *statsEvery > 0 {
+		go func() {
+			for {
+				time.Sleep(*statsEvery)
+				s := g.Stats
+				fmt.Printf("dnsguardd: recv=%d grants=%d valid=%d invalid=%d rl1drop=%d fwd=%d\n",
+					s.Received, s.NewcomerGrants, s.CookieValid, s.CookieInvalid, s.RL1Dropped, s.ForwardedToANS)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	g.Close()
+	if proxy != nil {
+		proxy.Close()
+	}
+	s := g.Stats
+	fmt.Printf("dnsguardd: final stats: recv=%d valid=%d invalid=%d dropped(rl1=%d rl2=%d)\n",
+		s.Received, s.CookieValid, s.CookieInvalid, s.RL1Dropped, s.RL2Dropped)
+	return nil
+}

@@ -1,0 +1,200 @@
+// Command dnsq is a small dig-like DNS query tool. It speaks plain DNS and,
+// with -cookie, the modified-DNS cookie extension (§III-D): it first obtains
+// a cookie from the guarded server, then sends the stamped query.
+//
+// Usage:
+//
+//	dnsq -server 127.0.0.1:5353 www.foo.com A
+//	dnsq -server 127.0.0.1:5355 -cookie www.foo.com A
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"os"
+	"strings"
+	"time"
+
+	"dnsguard"
+	"dnsguard/internal/cookie"
+	"dnsguard/internal/dnswire"
+	"dnsguard/internal/guard"
+	"dnsguard/internal/netapi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "dnsq: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	server := flag.String("server", "127.0.0.1:53", "DNS server address")
+	useCookie := flag.Bool("cookie", false, "perform the modified-DNS cookie exchange first")
+	timeout := flag.Duration("timeout", 3*time.Second, "response timeout")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		return fmt.Errorf("usage: dnsq [flags] <name> [type]")
+	}
+	qname, err := dnsguard.ParseName(flag.Arg(0))
+	if err != nil {
+		return fmt.Errorf("parsing name: %w", err)
+	}
+	qtype := dnswire.TypeA
+	if flag.NArg() > 1 {
+		qtype, err = parseType(flag.Arg(1))
+		if err != nil {
+			return err
+		}
+	}
+	target, err := netip.ParseAddrPort(*server)
+	if err != nil {
+		return fmt.Errorf("parsing -server: %w", err)
+	}
+
+	env := dnsguard.NewEnv()
+	conn, err := env.ListenUDP(netip.AddrPort{})
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	var ck cookie.Cookie
+	if *useCookie {
+		req := dnswire.NewQuery(uint16(rand.Int()), qname, qtype)
+		guard.AttachCookie(req, cookie.Cookie{}, 0)
+		resp, err := exchange(env, conn, target, req, *timeout)
+		if err != nil {
+			return fmt.Errorf("cookie exchange: %w", err)
+		}
+		got, _, _, ok := guard.FindCookie(resp)
+		if !ok {
+			fmt.Println(";; server is not cookie-capable, continuing plain")
+		} else {
+			ck = got
+			fmt.Printf(";; obtained cookie %x…\n", ck[:4])
+		}
+	}
+
+	q := dnswire.NewQuery(uint16(rand.Int()), qname, qtype)
+	if !ck.IsZero() {
+		guard.AttachCookie(q, ck, 0)
+	}
+	start := time.Now()
+	resp, err := exchange(env, conn, target, q, *timeout)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	if resp.Flags.TC {
+		fmt.Println(";; truncated: retrying over TCP")
+		resp, err = exchangeTCP(env, target, q, *timeout)
+		if err != nil {
+			return fmt.Errorf("TCP retry: %w", err)
+		}
+	}
+	fmt.Printf(";; ->>HEADER<<- rcode: %v, aa: %v, ra: %v, time: %v\n",
+		resp.Flags.RCode, resp.Flags.AA, resp.Flags.RA, elapsed.Round(time.Microsecond))
+	printSection(";; ANSWER", resp.Answers)
+	printSection(";; AUTHORITY", resp.Authority)
+	printSection(";; ADDITIONAL", resp.Additional)
+	return nil
+}
+
+func exchange(env dnsguard.Env, conn netapi.UDPConn, to netip.AddrPort, q *dnswire.Message, timeout time.Duration) (*dnswire.Message, error) {
+	wire, err := q.PackUDP(dnswire.MaxUDPSize)
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.WriteTo(wire, to); err != nil {
+		return nil, err
+	}
+	deadline := env.Now() + timeout
+	for {
+		remain := deadline - env.Now()
+		if remain <= 0 {
+			return nil, netapi.ErrTimeout
+		}
+		payload, _, err := conn.ReadFrom(remain)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := dnswire.Unpack(payload)
+		if err != nil || resp.ID != q.ID {
+			continue
+		}
+		return resp, nil
+	}
+}
+
+func exchangeTCP(env dnsguard.Env, to netip.AddrPort, q *dnswire.Message, timeout time.Duration) (*dnswire.Message, error) {
+	conn, err := env.DialTCP(to)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	wire, err := q.Pack()
+	if err != nil {
+		return nil, err
+	}
+	frame, err := dnswire.AppendTCPFrame(nil, wire)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(frame); err != nil {
+		return nil, err
+	}
+	var sc dnswire.FrameScanner
+	buf := make([]byte, 4096)
+	for {
+		n, err := conn.Read(buf, timeout)
+		if err != nil {
+			return nil, err
+		}
+		sc.Add(buf[:n])
+		msg, ok, err := sc.Next()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return dnswire.Unpack(msg)
+		}
+	}
+}
+
+func printSection(title string, rrs []dnswire.RR) {
+	if len(rrs) == 0 {
+		return
+	}
+	fmt.Println(title)
+	for _, rr := range rrs {
+		fmt.Printf("%s\n", rr)
+	}
+}
+
+func parseType(s string) (dnswire.Type, error) {
+	switch strings.ToUpper(s) {
+	case "A":
+		return dnswire.TypeA, nil
+	case "AAAA":
+		return dnswire.TypeAAAA, nil
+	case "NS":
+		return dnswire.TypeNS, nil
+	case "CNAME":
+		return dnswire.TypeCNAME, nil
+	case "SOA":
+		return dnswire.TypeSOA, nil
+	case "MX":
+		return dnswire.TypeMX, nil
+	case "TXT":
+		return dnswire.TypeTXT, nil
+	case "PTR":
+		return dnswire.TypePTR, nil
+	default:
+		return 0, fmt.Errorf("unsupported type %q", s)
+	}
+}

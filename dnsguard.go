@@ -1,0 +1,224 @@
+// Package dnsguard is the public API of this reproduction of "Spoof
+// Detection for Preventing DoS Attacks against DNS Servers" (Guo, Chen,
+// Chiueh — ICDCS 2006).
+//
+// It exposes the DNS Guard itself (the ANS-side and LRS-side firewall
+// modules implementing the paper's three cookie schemes), the substrates it
+// is built on (DNS wire codec, authoritative server, recursive resolver,
+// zone data, rate limiters, cookie engine, TCP proxy), and the two execution
+// environments everything runs in:
+//
+//   - a real-socket environment (NewEnv) for actual deployments — see the
+//     cmd/ daemons;
+//   - a deterministic discrete-event simulator (NewSimulation) used by the
+//     experiment harness that regenerates every table and figure of the
+//     paper — see internal/experiments and cmd/benchtab.
+//
+// # Quick start (simulated)
+//
+//	sim := dnsguard.NewSimulation(42, 5*time.Millisecond)
+//	... // build hosts, a guarded ANS and a resolver; see examples/quickstart
+//
+// # Quick start (real sockets)
+//
+//	env := dnsguard.NewEnv()
+//	auth, _ := dnsguard.NewAuthenticator()
+//	g, _ := dnsguard.NewRemoteGuard(dnsguard.RemoteGuardConfig{ ... })
+//
+// The examples/ directory contains five runnable programs covering both
+// modes, and DESIGN.md maps every paper section to the module implementing
+// it.
+package dnsguard
+
+import (
+	"time"
+
+	"dnsguard/internal/ans"
+	"dnsguard/internal/cookie"
+	"dnsguard/internal/cpumodel"
+	"dnsguard/internal/dnswire"
+	"dnsguard/internal/guard"
+	"dnsguard/internal/netapi"
+	"dnsguard/internal/netsim"
+	"dnsguard/internal/ratelimit"
+	"dnsguard/internal/realnet"
+	"dnsguard/internal/resolver"
+	"dnsguard/internal/tcpproxy"
+	"dnsguard/internal/tcpsim"
+	"dnsguard/internal/vclock"
+	"dnsguard/internal/zone"
+)
+
+// Environment -----------------------------------------------------------
+
+// Env is the execution environment (clock + sockets) every component runs
+// against; implemented by the real network and by simulated hosts.
+type Env = netapi.Env
+
+// NewEnv returns the real-socket environment backed by the operating
+// system's network stack.
+func NewEnv() Env { return realnet.New() }
+
+// Simulation is the deterministic discrete-event network simulator used for
+// experiments and tests.
+type Simulation = netsim.Network
+
+// SimHost is one simulated machine; it implements Env.
+type SimHost = netsim.Host
+
+// Scheduler is the simulator's virtual-time event scheduler.
+type Scheduler = vclock.Scheduler
+
+// NewSimulation creates a simulator with the given seed and default one-way
+// link latency.
+func NewSimulation(seed int64, oneWayLatency time.Duration) *Simulation {
+	return netsim.New(vclock.New(seed), oneWayLatency)
+}
+
+// InstallTCP attaches the simulated TCP stack (with optional SYN cookies)
+// to a simulated host so DialTCP/ListenTCP work on it.
+func InstallTCP(h *SimHost, synCookies bool) {
+	tcpsim.Install(h, tcpsim.Config{SYNCookies: synCookies})
+}
+
+// DNS protocol ------------------------------------------------------------
+
+// Name is a canonical DNS domain name.
+type Name = dnswire.Name
+
+// Message is a DNS message; see the dnswire documentation for the codec.
+type Message = dnswire.Message
+
+// ParseName validates and canonicalizes a domain name.
+func ParseName(s string) (Name, error) { return dnswire.ParseName(s) }
+
+// MustName is ParseName that panics on error.
+func MustName(s string) Name { return dnswire.MustName(s) }
+
+// Zone is authoritative DNS data.
+type Zone = zone.Zone
+
+// ParseZone reads an RFC 1035 master file.
+func ParseZone(text string, defaultOrigin Name) (*Zone, error) {
+	return zone.Parse(text, defaultOrigin)
+}
+
+// ZoneSet hosts multiple zones on one authoritative server.
+type ZoneSet = ans.ZoneSet
+
+// NewZoneSet builds a zone set; add zones with Add or pass them here.
+func NewZoneSet(zones ...*Zone) *ZoneSet {
+	zs, err := ans.NewZoneSet(zones...)
+	if err != nil {
+		// Only invalid/duplicate zones error; the variadic convenience
+		// form panics, mirroring MustName. Use (*ZoneSet).Add for
+		// error handling.
+		panic(err)
+	}
+	return zs
+}
+
+// Servers and resolvers ----------------------------------------------------
+
+// ANSConfig configures an authoritative name server.
+type ANSConfig = ans.Config
+
+// ANS is an authoritative name server (UDP + DNS-over-TCP).
+type ANS = ans.Server
+
+// NewANS creates an authoritative server; call Start to serve.
+func NewANS(cfg ANSConfig) (*ANS, error) { return ans.New(cfg) }
+
+// ResolverConfig configures a recursive resolver.
+type ResolverConfig = resolver.Config
+
+// Resolver is an iterative (recursive-serving) resolver with a TTL cache —
+// the paper's LRS.
+type Resolver = resolver.Resolver
+
+// NewResolver creates a resolver.
+func NewResolver(cfg ResolverConfig) (*Resolver, error) { return resolver.New(cfg) }
+
+// LRSConfig configures the recursive front end serving stub resolvers.
+type LRSConfig = resolver.ServerConfig
+
+// LRS is a recursive DNS server wrapping a Resolver.
+type LRS = resolver.Server
+
+// NewLRS creates an LRS front end.
+func NewLRS(cfg LRSConfig) (*LRS, error) { return resolver.NewServer(cfg) }
+
+// The guard -----------------------------------------------------------------
+
+// Authenticator computes and verifies the guard's cookies
+// (c = MD5(key76 ‖ source IP), §III-E), with generation-bit key rotation.
+type Authenticator = cookie.Authenticator
+
+// NewAuthenticator creates an authenticator with a fresh random key.
+func NewAuthenticator() (*Authenticator, error) { return cookie.NewAuthenticator() }
+
+// Scheme selects how the guard bootstraps cookie-less requesters.
+type Scheme = guard.Scheme
+
+// Fallback schemes.
+const (
+	// SchemeDNS embeds cookies in fabricated NS names/addresses (§III-B).
+	SchemeDNS = guard.SchemeDNS
+	// SchemeTCP redirects requesters to TCP via truncation (§III-C).
+	SchemeTCP = guard.SchemeTCP
+)
+
+// RemoteGuardConfig configures the ANS-side guard.
+type RemoteGuardConfig = guard.RemoteConfig
+
+// RemoteGuard is the ANS-side DNS guard: the cookie checker, both rate
+// limiters, and all three spoof-detection schemes (Figure 4).
+type RemoteGuard = guard.Remote
+
+// NewRemoteGuard creates an ANS-side guard; call Start to run it.
+func NewRemoteGuard(cfg RemoteGuardConfig) (*RemoteGuard, error) { return guard.NewRemote(cfg) }
+
+// LocalGuardConfig configures the LRS-side guard.
+type LocalGuardConfig = guard.LocalConfig
+
+// LocalGuard is the LRS-side guard for the modified-DNS scheme: it stamps
+// outgoing queries with cached cookies, transparently to the LRS.
+type LocalGuard = guard.Local
+
+// NewLocalGuard creates an LRS-side guard; call Start to run it.
+func NewLocalGuard(cfg LocalGuardConfig) (*LocalGuard, error) { return guard.NewLocal(cfg) }
+
+// PacketIO is the guard's packet capture interface.
+type PacketIO = guard.PacketIO
+
+// TapIO adapts a simulated host's tap to PacketIO.
+type TapIO = guard.TapIO
+
+// TCPProxyConfig configures the guard's TCP proxy.
+type TCPProxyConfig = tcpproxy.Config
+
+// TCPProxy terminates DNS-over-TCP for the protected ANS and relays
+// requests over UDP (§III-C).
+type TCPProxy = tcpproxy.Proxy
+
+// NewTCPProxy creates a TCP proxy; call Start to run it.
+func NewTCPProxy(cfg TCPProxyConfig) (*TCPProxy, error) { return tcpproxy.New(cfg) }
+
+// Rate limiting --------------------------------------------------------------
+
+// Limiter1Config configures Rate-Limiter1 (cookie responses; reflector
+// protection).
+type Limiter1Config = ratelimit.Limiter1Config
+
+// Limiter2Config configures Rate-Limiter2 (per-host nominal rate for
+// verified requesters).
+type Limiter2Config = ratelimit.Limiter2Config
+
+// Cost model ------------------------------------------------------------------
+
+// Costs is the calibrated CPU cost model reproducing the paper's testbed.
+type Costs = cpumodel.Costs
+
+// DefaultCosts returns the constants calibrated against the paper's 2006
+// testbed; see the cpumodel documentation for the derivation.
+func DefaultCosts() Costs { return cpumodel.Default2006() }

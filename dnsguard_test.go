@@ -1,0 +1,223 @@
+package dnsguard
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"dnsguard/internal/dnswire"
+	"dnsguard/internal/guard"
+)
+
+const testZone = `
+$ORIGIN example.com.
+@    3600 IN SOA ns1 admin 1 7200 600 360000 60
+@    3600 IN NS  ns1
+ns1  3600 IN A   192.0.2.1
+www  300  IN A   198.51.100.42
+`
+
+// TestPublicAPISimulatedEndToEnd drives the entire public surface in the
+// simulator: simulation, guarded ANS, resolver, attack, stats.
+func TestPublicAPISimulatedEndToEnd(t *testing.T) {
+	sim := NewSimulation(123, 2*time.Millisecond)
+	sched := sim.Scheduler()
+
+	ansHost := sim.AddHost("ans", netip.MustParseAddr("10.99.0.2"))
+	z, err := ParseZone(testZone, MustName(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewANS(ANSConfig{Env: ansHost, Addr: netip.MustParseAddrPort("10.99.0.2:53"), Zone: z})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	guardHost := sim.AddHost("guard", netip.MustParseAddr("10.99.0.1"))
+	guardHost.ClaimPrefix(netip.MustParsePrefix("192.0.2.0/24"))
+	tap, err := guardHost.OpenTap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth, err := NewAuthenticator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewRemoteGuard(RemoteGuardConfig{
+		Env:        guardHost,
+		IO:         TapIO{Tap: tap},
+		PublicAddr: netip.MustParseAddrPort("192.0.2.1:53"),
+		ANSAddr:    netip.MustParseAddrPort("10.99.0.2:53"),
+		Zone:       MustName("example.com"),
+		Subnet:     netip.MustParsePrefix("192.0.2.0/24"),
+		Fallback:   SchemeDNS,
+		Auth:       auth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	lrsHost := sim.AddHost("lrs", netip.MustParseAddr("10.0.0.53"))
+	res, err := NewResolver(ResolverConfig{
+		Env:       lrsHost,
+		RootHints: []netip.AddrPort{netip.MustParseAddrPort("192.0.2.1:53")},
+		Timeout:   time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An LRS front end + stub query path too.
+	lrsSrv, err := NewLRS(LRSConfig{
+		Env:      lrsHost,
+		Addr:     netip.MustParseAddrPort("10.0.0.53:53"),
+		Resolver: res,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lrsSrv.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	stub := sim.AddHost("stub", netip.MustParseAddr("10.0.0.7"))
+	sched.Go("test", func() {
+		r, err := res.Resolve(MustName("www.example.com"), dnswire.TypeA)
+		if err != nil {
+			t.Errorf("Resolve: %v", err)
+			return
+		}
+		if len(r.Answers) == 0 {
+			t.Error("no answers")
+		}
+		// Stub → LRS → (cache) answer.
+		conn, err := stub.ListenUDP(netip.AddrPort{})
+		if err != nil {
+			t.Errorf("stub bind: %v", err)
+			return
+		}
+		defer conn.Close()
+		q, _ := dnswire.NewQuery(77, MustName("www.example.com"), dnswire.TypeA).PackUDP(512)
+		_ = conn.WriteTo(q, netip.MustParseAddrPort("10.0.0.53:53"))
+		payload, _, err := conn.ReadFrom(time.Second)
+		if err != nil {
+			t.Errorf("stub read: %v", err)
+			return
+		}
+		resp, err := dnswire.Unpack(payload)
+		if err != nil || !resp.Flags.RA || len(resp.Answers) == 0 {
+			t.Errorf("stub resp = %v %v", resp, err)
+		}
+	})
+	sched.Run(time.Minute)
+
+	if g.Stats.CookieValid == 0 || srv.Stats.UDPQueries == 0 {
+		t.Fatalf("guard=%+v ans=%+v", g.Stats, srv.Stats)
+	}
+}
+
+// TestPublicAPIRealSockets runs guard + ANS + proxy + resolver over real
+// loopback sockets with the TCP scheme — the full real-mode path.
+func TestPublicAPIRealSockets(t *testing.T) {
+	env := NewEnv()
+	z, err := ParseZone(testZone, MustName(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewANS(ANSConfig{Env: env, Addr: netip.MustParseAddrPort("127.0.0.1:0"), Zone: z})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	guardSock, err := env.ListenUDP(netip.MustParseAddrPort("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth, err := NewAuthenticator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewRemoteGuard(RemoteGuardConfig{
+		Env:        env,
+		IO:         guard.SocketIO{Conn: guardSock},
+		PublicAddr: guardSock.LocalAddr(),
+		ANSAddr:    srv.Addr(),
+		Zone:       MustName("example.com"),
+		Fallback:   SchemeTCP,
+		Auth:       auth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	proxy, err := NewTCPProxy(TCPProxyConfig{
+		Env:     env,
+		Listen:  guardSock.LocalAddr(),
+		ANSAddr: srv.Addr(),
+		RTT:     50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proxy.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	res, err := NewResolver(ResolverConfig{
+		Env:       env,
+		RootHints: []netip.AddrPort{guardSock.LocalAddr()},
+		Timeout:   2 * time.Second,
+		Seed:      time.Now().UnixNano(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := res.Resolve(MustName("www.example.com"), dnswire.TypeA)
+	if err != nil {
+		t.Fatalf("Resolve over real sockets: %v (guard %+v proxy %+v)", err, g.Stats, proxy.Stats)
+	}
+	if len(r.Answers) == 0 {
+		t.Fatal("no answers")
+	}
+	if proxy.Stats.Requests == 0 {
+		t.Fatalf("proxy relayed nothing: %+v", proxy.Stats)
+	}
+}
+
+// TestDefaultCostsExposed sanity-checks the public cost-model accessor.
+func TestDefaultCostsExposed(t *testing.T) {
+	c := DefaultCosts()
+	if c.Guard.PacketOp <= 0 || c.Server.BINDUDP <= 0 {
+		t.Fatalf("costs = %+v", c)
+	}
+}
+
+// TestZoneSetFacade exercises the multi-zone public constructor.
+func TestZoneSetFacade(t *testing.T) {
+	z, err := ParseZone(testZone, MustName(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zs := NewZoneSet(z)
+	if got := zs.Match(MustName("www.example.com")); got == nil {
+		t.Fatal("Match failed")
+	}
+	if zs.Match(MustName("other.net")) != nil {
+		t.Fatal("matched foreign name")
+	}
+}

@@ -1,0 +1,3 @@
+module dnsguard
+
+go 1.22

@@ -1,0 +1,76 @@
+package ans
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dnsguard/internal/dnswire"
+	"dnsguard/internal/zone"
+)
+
+// ZoneSet serves several zones from one server, selecting per query the
+// zone with the longest apex matching the question (real authoritative
+// servers host many zones on one address; the resolver tests' glueless
+// scenario needs this too).
+type ZoneSet struct {
+	zones map[dnswire.Name]*zone.Zone
+}
+
+// NewZoneSet builds a set from the given zones.
+func NewZoneSet(zones ...*zone.Zone) (*ZoneSet, error) {
+	zs := &ZoneSet{zones: make(map[dnswire.Name]*zone.Zone, len(zones))}
+	for _, z := range zones {
+		if err := zs.Add(z); err != nil {
+			return nil, err
+		}
+	}
+	return zs, nil
+}
+
+// Add inserts one zone; duplicate apexes are rejected.
+func (zs *ZoneSet) Add(z *zone.Zone) error {
+	if z == nil {
+		return errors.New("ans: nil zone")
+	}
+	if err := z.Validate(); err != nil {
+		return fmt.Errorf("ans: zone %s: %w", z.Origin, err)
+	}
+	if _, dup := zs.zones[z.Origin]; dup {
+		return fmt.Errorf("ans: duplicate zone %s", z.Origin)
+	}
+	zs.zones[z.Origin] = z
+	return nil
+}
+
+// Match returns the zone with the deepest apex enclosing qname, or nil.
+func (zs *ZoneSet) Match(qname dnswire.Name) *zone.Zone {
+	for n := qname; ; n = n.Parent() {
+		if z, ok := zs.zones[n]; ok {
+			return z
+		}
+		if n.IsRoot() {
+			return nil
+		}
+	}
+}
+
+// Origins lists the hosted apexes, sorted.
+func (zs *ZoneSet) Origins() []dnswire.Name {
+	out := make([]dnswire.Name, 0, len(zs.zones))
+	for n := range zs.zones {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Lookup dispatches to the matching zone; questions outside every hosted
+// zone get REFUSED semantics (Kind 0 answer distinguished by ok=false).
+func (zs *ZoneSet) Lookup(qname dnswire.Name, qtype dnswire.Type) (zone.Answer, bool) {
+	z := zs.Match(qname)
+	if z == nil {
+		return zone.Answer{}, false
+	}
+	return z.Lookup(qname, qtype), true
+}

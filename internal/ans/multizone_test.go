@@ -1,0 +1,124 @@
+package ans
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"dnsguard/internal/dnswire"
+	"dnsguard/internal/netsim"
+	"dnsguard/internal/vclock"
+	"dnsguard/internal/zone"
+)
+
+const barText = `
+$ORIGIN bar.org.
+@ 3600 IN SOA ns1 admin 1 7200 600 360000 60
+@ 3600 IN NS ns1
+ns1 3600 IN A 1.2.3.4
+www 300 IN A 198.51.100.20
+`
+
+const subText = `
+$ORIGIN deep.foo.com.
+@ 3600 IN SOA ns1 admin 1 7200 600 360000 60
+@ 3600 IN NS ns1
+ns1 3600 IN A 1.2.3.4
+www 300 IN A 198.51.100.30
+`
+
+func TestZoneSetLongestMatch(t *testing.T) {
+	zs, err := NewZoneSet(
+		zone.MustParse(fooText, dnswire.Root),
+		zone.MustParse(barText, dnswire.Root),
+		zone.MustParse(subText, dnswire.Root),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		qname string
+		want  string // apex, "" = none
+	}{
+		{"www.foo.com", "foo.com"},
+		{"www.deep.foo.com", "deep.foo.com"}, // deeper zone wins
+		{"www.bar.org", "bar.org"},
+		{"bar.org", "bar.org"},
+		{"www.example.net", ""},
+	}
+	for _, tt := range tests {
+		z := zs.Match(dnswire.MustName(tt.qname))
+		switch {
+		case tt.want == "" && z != nil:
+			t.Errorf("Match(%s) = %v, want none", tt.qname, z.Origin)
+		case tt.want != "" && (z == nil || z.Origin != dnswire.MustName(tt.want)):
+			t.Errorf("Match(%s) = %v, want %s", tt.qname, z, tt.want)
+		}
+	}
+	if got := len(zs.Origins()); got != 3 {
+		t.Fatalf("origins = %d", got)
+	}
+}
+
+func TestZoneSetRejectsDuplicateAndInvalid(t *testing.T) {
+	z := zone.MustParse(fooText, dnswire.Root)
+	zs, err := NewZoneSet(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := zs.Add(z); err == nil {
+		t.Fatal("duplicate apex accepted")
+	}
+	if err := zs.Add(zone.New(dnswire.MustName("empty.test"))); err == nil {
+		t.Fatal("invalid zone accepted")
+	}
+	if err := zs.Add(nil); err == nil {
+		t.Fatal("nil zone accepted")
+	}
+}
+
+func TestMultiZoneServer(t *testing.T) {
+	sched := vclock.New(4)
+	network := netsim.New(sched, time.Millisecond)
+	ansHost := network.AddHost("ans", netip.MustParseAddr("1.2.3.4"))
+	client := network.AddHost("client", netip.MustParseAddr("10.0.0.1"))
+
+	zs, err := NewZoneSet(
+		zone.MustParse(fooText, dnswire.Root),
+		zone.MustParse(barText, dnswire.Root),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Env: ansHost, Addr: ansAddr(), Zones: zs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	resp := query(t, sched, client, ansAddr(), dnswire.NewQuery(1, dnswire.MustName("www.bar.org"), dnswire.TypeA))
+	if resp == nil || len(resp.Answers) != 1 {
+		t.Fatalf("bar.org answer = %v", resp)
+	}
+	resp = query(t, sched, client, ansAddr(), dnswire.NewQuery(2, dnswire.MustName("www.foo.com"), dnswire.TypeA))
+	if resp == nil || len(resp.Answers) != 1 {
+		t.Fatalf("foo.com answer = %v", resp)
+	}
+	resp = query(t, sched, client, ansAddr(), dnswire.NewQuery(3, dnswire.MustName("other.net"), dnswire.TypeA))
+	if resp == nil || resp.Flags.RCode != dnswire.RCodeRefused {
+		t.Fatalf("out-of-zone rcode = %v, want REFUSED", resp)
+	}
+}
+
+func TestNewRejectsBothZoneAndZones(t *testing.T) {
+	sched := vclock.New(4)
+	network := netsim.New(sched, 0)
+	h := network.AddHost("h", netip.MustParseAddr("1.2.3.4"))
+	z := zone.MustParse(fooText, dnswire.Root)
+	zs, _ := NewZoneSet(z)
+	if _, err := New(Config{Env: h, Addr: ansAddr(), Zone: z, Zones: zs}); err == nil {
+		t.Fatal("accepted both Zone and Zones")
+	}
+}

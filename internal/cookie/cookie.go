@@ -1,0 +1,264 @@
+// Package cookie implements the DNS Guard cookie design from §III-E of the
+// paper: for a request with source address src, the cookie is
+//
+//	c = MD5(key76 ‖ src_ip)
+//
+// where key76 is a 76-byte secret held only by the guard (76 + 4 = 80 bytes,
+// MD5's minimum padded input block in the paper's accounting). The 16-byte
+// value c is used three ways:
+//
+//   - the full 16 bytes travel in a TXT record for the modified-DNS scheme;
+//   - the first 4 bytes, hex-encoded behind a short prefix, form the label
+//     embedded in fabricated NS names ("pr" + 8 hex chars, e.g. pra1b2c3d4);
+//   - the first 4 bytes modulo the guard subnet's host range select the
+//     fabricated A-record address (COOKIE2) for non-referral answers.
+//
+// Key rotation uses the cookie's first bit as a generation indicator: the
+// guard overwrites bit 0 with its current generation parity and accepts
+// cookies from the current and previous generation, so each verification
+// still costs exactly one MD5 (§III-E).
+package cookie
+
+import (
+	"crypto/md5"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+)
+
+// KeySize is the guard's secret key length in bytes.
+const KeySize = 76
+
+// Size is the cookie length in bytes.
+const Size = 16
+
+// DefaultNSPrefix is the label prefix that distinguishes cookie-bearing
+// fabricated NS names from ordinary names ("PR" in the paper's example).
+const DefaultNSPrefix = "pr"
+
+// hexDigits in the NS-name encoding (4 bytes of cookie → 8 hex chars).
+const nsHexLen = 8
+
+// Cookie is the 16-byte spoof-detection credential.
+type Cookie [Size]byte
+
+// Authenticator computes and verifies cookies for one guard. It holds the
+// current and previous keys so rotation never invalidates live cookies
+// within one TTL window.
+type Authenticator struct {
+	keys [2][KeySize]byte // keys[gen&1] is the key for that generation parity
+	gen  uint8            // current generation
+}
+
+// NewAuthenticator creates an authenticator with a fresh random key.
+func NewAuthenticator() (*Authenticator, error) {
+	a := &Authenticator{}
+	if _, err := rand.Read(a.keys[0][:]); err != nil {
+		return nil, fmt.Errorf("cookie: generating key: %w", err)
+	}
+	// Until the first rotation both slots hold the same key so generation
+	// parity never rejects a fresh cookie.
+	a.keys[1] = a.keys[0]
+	return a, nil
+}
+
+// NewAuthenticatorWithKey creates an authenticator with a fixed key, for
+// tests and deterministic simulations.
+func NewAuthenticatorWithKey(key [KeySize]byte) *Authenticator {
+	a := &Authenticator{}
+	a.keys[0] = key
+	a.keys[1] = key
+	return a
+}
+
+// Generation returns the current key generation.
+func (a *Authenticator) Generation() uint8 { return a.gen }
+
+// Rotate installs a new random key as the next generation. Cookies minted by
+// the previous generation remain verifiable until the following rotation,
+// implementing the paper's week-over-week schedule.
+func (a *Authenticator) Rotate() error {
+	var key [KeySize]byte
+	if _, err := rand.Read(key[:]); err != nil {
+		return fmt.Errorf("cookie: rotating key: %w", err)
+	}
+	a.gen++
+	a.keys[a.gen&1] = key
+	return nil
+}
+
+// RotateWithKey is Rotate with a caller-supplied key, for deterministic
+// tests.
+func (a *Authenticator) RotateWithKey(key [KeySize]byte) {
+	a.gen++
+	a.keys[a.gen&1] = key
+}
+
+func (a *Authenticator) compute(gen uint8, src netip.Addr) Cookie {
+	h := md5.New()
+	key := a.keys[gen&1]
+	h.Write(key[:])
+	if src.Is4() || src.Is4In6() {
+		b := src.As4()
+		h.Write(b[:])
+	} else {
+		b := src.As16()
+		h.Write(b[:])
+	}
+	var c Cookie
+	copy(c[:], h.Sum(nil))
+	// Overwrite the first bit with the generation parity (§III-E).
+	c[0] = c[0]&0x7F | gen&1<<7
+	return c
+}
+
+// Mint returns the cookie for src under the current generation.
+func (a *Authenticator) Mint(src netip.Addr) Cookie {
+	return a.compute(a.gen, src)
+}
+
+// Verify reports whether c is a valid cookie for src under the current or
+// previous key generation. Exactly one MD5 is computed: the cookie's
+// generation bit selects the key.
+func (a *Authenticator) Verify(src netip.Addr, c Cookie) bool {
+	gen := a.gen
+	if c[0]>>7 != gen&1 {
+		gen-- // previous generation
+	}
+	return a.compute(gen, src) == c
+}
+
+// IsZero reports whether c is the all-zero cookie, which the modified-DNS
+// scheme uses as "please send me my cookie".
+func (c Cookie) IsZero() bool { return c == Cookie{} }
+
+// NS-name encoding ----------------------------------------------------------
+
+// Errors returned by the encodings.
+var (
+	ErrNotCookieLabel = errors.New("cookie: label does not carry a cookie")
+	ErrBadSubnet      = errors.New("cookie: subnet too small for IP cookies")
+)
+
+// NSCodec encodes cookies into DNS labels for the DNS-based scheme.
+type NSCodec struct {
+	// Prefix distinguishes cookie labels; must be short lowercase
+	// letters, default DefaultNSPrefix.
+	Prefix string
+}
+
+func (nc NSCodec) prefix() string {
+	if nc.Prefix == "" {
+		return DefaultNSPrefix
+	}
+	return nc.Prefix
+}
+
+// EncodeLabel renders the first 4 bytes of c as prefix+8 hex chars, a 10-byte
+// label in the default configuration (the paper's "PRa1b2c3d4", cookie range
+// 2^32).
+func (nc NSCodec) EncodeLabel(c Cookie) string {
+	return nc.prefix() + hex.EncodeToString(c[:nsHexLen/2])
+}
+
+// DecodeLabel extracts the cookie prefix bytes from a label produced by
+// EncodeLabel. Only the first 4 bytes of the returned cookie are meaningful.
+func (nc NSCodec) DecodeLabel(label string) (Cookie, error) {
+	p := nc.prefix()
+	if len(label) != len(p)+nsHexLen || !strings.HasPrefix(strings.ToLower(label), p) {
+		return Cookie{}, ErrNotCookieLabel
+	}
+	raw, err := hex.DecodeString(strings.ToLower(label[len(p):]))
+	if err != nil {
+		return Cookie{}, fmt.Errorf("%w: %v", ErrNotCookieLabel, err)
+	}
+	var c Cookie
+	copy(c[:], raw)
+	return c, nil
+}
+
+// IsCookieLabel reports whether label has the cookie shape.
+func (nc NSCodec) IsCookieLabel(label string) bool {
+	_, err := nc.DecodeLabel(label)
+	return err == nil
+}
+
+// VerifyLabel checks that label carries the first 4 bytes of the cookie the
+// authenticator would mint for src, under current or previous generation.
+func (nc NSCodec) VerifyLabel(a *Authenticator, src netip.Addr, label string) bool {
+	got, err := nc.DecodeLabel(label)
+	if err != nil {
+		return false
+	}
+	gen := a.gen
+	if got[0]>>7 != gen&1 {
+		gen--
+	}
+	want := a.compute(gen, src)
+	return [4]byte(got[:4]) == [4]byte(want[:4])
+}
+
+// IP encoding ----------------------------------------------------------------
+
+// IPCodec encodes a second cookie (COOKIE2) as an address inside the guard's
+// intercepted subnet, used for non-referral answers (§III-B.2). The security
+// strength is the subnet's usable host count R_y.
+type IPCodec struct {
+	// Subnet is the prefix the guard intercepts (e.g. 1.2.3.0/24).
+	Subnet netip.Prefix
+}
+
+// Range returns R_y, the number of distinct cookie addresses available.
+// Network and broadcast addresses are excluded for IPv4 realism.
+func (ic IPCodec) Range() (uint32, error) {
+	bits := ic.Subnet.Addr().BitLen() - ic.Subnet.Bits()
+	if bits < 2 {
+		return 0, fmt.Errorf("%w: %v", ErrBadSubnet, ic.Subnet)
+	}
+	if bits > 24 {
+		bits = 24 // cap so hosts fit comfortably in uint32 arithmetic
+	}
+	return uint32(1)<<bits - 2, nil
+}
+
+// Encode maps c into an address in the subnet: y = first4(c) mod R_y, host
+// part y+1 (skipping the network address).
+func (ic IPCodec) Encode(c Cookie) (netip.Addr, error) {
+	ry, err := ic.Range()
+	if err != nil {
+		return netip.Addr{}, err
+	}
+	y := be32(c[:4])%ry + 1
+	base := ic.Subnet.Masked().Addr().As4()
+	host := be32(base[:]) + y
+	return netip.AddrFrom4([4]byte{byte(host >> 24), byte(host >> 16), byte(host >> 8), byte(host)}), nil
+}
+
+// Verify reports whether addr is the cookie address for src.
+func (ic IPCodec) Verify(a *Authenticator, src netip.Addr, addr netip.Addr) bool {
+	if !ic.Subnet.Contains(addr) {
+		return false
+	}
+	// Try both generations: the address carries no generation bit.
+	for _, gen := range []uint8{a.gen, a.gen - 1} {
+		want, err := ic.Encode(a.compute(gen, src))
+		if err == nil && want == addr {
+			return true
+		}
+	}
+	return false
+}
+
+func be32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+// Wire encoding (modified-DNS scheme) ----------------------------------------
+
+// TTL choices from the paper: fabricated NS records and wire cookies live for
+// a week so caches almost always hit.
+const DefaultTTL = 7 * 24 * time.Hour

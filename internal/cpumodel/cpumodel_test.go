@@ -1,0 +1,82 @@
+package cpumodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefault2006MatchesPaperAccounting(t *testing.T) {
+	c := Default2006()
+	g := c.Guard
+
+	// §IV-D's packet/cookie accounting must land on Table III's measured
+	// throughputs within 12%.
+	cases := []struct {
+		name            string
+		packets, checks int
+		grants          int
+		extraChecks     int // extra cookie computations (fabricated-IP path)
+		wantThroughput  float64
+	}{
+		{"ns-name miss (6 pkts, grant+check)", 6, 1, 1, 0, 84200},
+		{"modified miss (6 pkts, grant+check)", 6, 1, 1, 0, 84300},
+		{"fabricated miss (8 pkts, grant+3 checks)", 8, 3, 1, 0, 60100},
+	}
+	for _, tc := range cases {
+		cost := g.PerRequestGuardCost(tc.packets, tc.checks, tc.grants)
+		got := 1e9 / float64(cost.Nanoseconds())
+		ratio := got / tc.wantThroughput
+		if ratio < 0.88 || ratio > 1.12 {
+			t.Errorf("%s: model gives %.0f req/s, paper %.0f (ratio %.2f)",
+				tc.name, got, tc.wantThroughput, ratio)
+		}
+	}
+
+	// Cache-hit path (4 pkts + 1 check) must exceed the ANS simulator's
+	// 110K ceiling — the guard is not the bottleneck on hits.
+	hit := g.PerRequestGuardCost(4, 1, 0)
+	if cap := 1e9 / float64(hit.Nanoseconds()); cap < 110000 {
+		t.Errorf("hit-path capacity %.0f < ANS ceiling 110K", cap)
+	}
+
+	// TCP request: ~10 segments at TCPSegment each ≈ 22.7K req/s.
+	tcp := time.Duration(10) * g.TCPSegment
+	if got := 1e9 / float64(tcp.Nanoseconds()); got < 20000 || got > 27000 {
+		t.Errorf("TCP model gives %.0f req/s, paper 22.7K", got)
+	}
+
+	// Figure 6's drop cost: recv + check ≈ 2.25µs lets the guard absorb
+	// a 250K/s flood with 0.44 CPU-seconds to spare.
+	drop := g.PacketOp + g.CookieCheck
+	if spent := 250000 * drop.Seconds(); spent > 0.62 {
+		t.Errorf("drop path consumes %.2f CPU at 250K/s; Figure 6 needs <= ~0.6", spent)
+	}
+
+	// Server constants.
+	if got := 1e9 / float64(c.Server.BINDUDP.Nanoseconds()); got < 13000 || got > 15000 {
+		t.Errorf("BIND UDP capacity %.0f, paper 14K", got)
+	}
+	if got := 1e9 / float64(c.Server.ANSSim.Nanoseconds()); got < 105000 || got > 115000 {
+		t.Errorf("ANS simulator capacity %.0f, paper 110K", got)
+	}
+	if got := 1e9 / float64(c.Server.LRSTCPClient.Nanoseconds()); got != 500 {
+		t.Errorf("LRS TCP client capacity %.0f, paper 0.5K", got)
+	}
+
+	// Figure 7a's conn-table slope: cost doubles at 6000 connections.
+	if f := 1 + g.ConnTableSlope*6000; f < 1.9 || f > 2.1 {
+		t.Errorf("conn-table factor at 6000 = %.2f, want ~2", f)
+	}
+}
+
+func TestPerRequestGuardCostAdds(t *testing.T) {
+	g := Default2006().Guard
+	got := g.PerRequestGuardCost(2, 1, 1)
+	want := 2*g.PacketOp + g.CookieCheck + g.CookieGrant
+	if got != want {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if g.PerRequestGuardCost(0, 0, 0) != 0 {
+		t.Fatal("zero ops must cost zero")
+	}
+}

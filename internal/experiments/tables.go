@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dnsguard/internal/guard"
+	"dnsguard/internal/workload"
+)
+
+// SchemeLabel names the four measured columns of Tables II and III.
+type SchemeLabel string
+
+// Scheme labels, in the paper's column order.
+const (
+	LabelNSName   SchemeLabel = "DNS-based/NS-name"
+	LabelFabIP    SchemeLabel = "DNS-based/fabricated-NS-IP"
+	LabelTCP      SchemeLabel = "TCP-based"
+	LabelModified SchemeLabel = "Modified-DNS"
+)
+
+var allSchemes = []SchemeLabel{LabelNSName, LabelFabIP, LabelTCP, LabelModified}
+
+func (l SchemeLabel) clientKind() workload.ClientKind {
+	switch l {
+	case LabelNSName:
+		return workload.KindNSName
+	case LabelFabIP:
+		return workload.KindFabIP
+	case LabelTCP:
+		return workload.KindTCP
+	default:
+		return workload.KindModified
+	}
+}
+
+// worldFor builds the testbed appropriate for one scheme column.
+func worldFor(label SchemeLabel, cfg WorldConfig) (*World, error) {
+	switch label {
+	case LabelNSName:
+		cfg.ReferralANS = true // referral answers exercise the NS-name variant
+		cfg.Scheme = guard.SchemeDNS
+	case LabelFabIP:
+		cfg.Scheme = guard.SchemeDNS
+	case LabelTCP:
+		cfg.Scheme = guard.SchemeTCP
+		cfg.WithProxy = true
+		if cfg.ProxyMaxDuration == 0 {
+			cfg.ProxyMaxDuration = time.Hour
+		}
+	case LabelModified:
+		cfg.Scheme = guard.SchemeDNS // newcomers irrelevant; client speaks cookies
+	}
+	return NewWorld(cfg)
+}
+
+// TableIIRow is one measured latency row.
+type TableIIRow struct {
+	Scheme SchemeLabel
+	Miss   time.Duration
+	Hit    time.Duration
+	// Paper's measurements (ms) for EXPERIMENTS.md.
+	PaperMissMs, PaperHitMs float64
+}
+
+var paperTableII = map[SchemeLabel][2]float64{
+	LabelNSName:   {21.0, 11.1},
+	LabelFabIP:    {32.1, 11.3},
+	LabelTCP:      {34.5, 33.7},
+	LabelModified: {22.4, 10.8},
+}
+
+// TableII reproduces §IV-B: average request latency per scheme at the
+// paper's WAN RTT of 10.9 ms, for the first access (cache miss) and
+// subsequent accesses (cache hit).
+func TableII() ([]TableIIRow, error) {
+	rows := make([]TableIIRow, 0, len(allSchemes))
+	for _, label := range allSchemes {
+		w, err := worldFor(label, WorldConfig{
+			OneWayWAN: 5450 * time.Microsecond, // RTT 10.9 ms
+			Uncosted:  true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("table II %s: %w", label, err)
+		}
+		client, err := workload.NewClient(workload.ClientConfig{
+			Env:    w.LRSHost,
+			Kind:   label.clientKind(),
+			Mode:   workload.ModeHit, // manual control via Forget
+			Target: w.Public,
+			QName:  qname,
+			Wait:   5 * time.Second,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := TableIIRow{
+			Scheme:      label,
+			PaperMissMs: paperTableII[label][0],
+			PaperHitMs:  paperTableII[label][1],
+		}
+		errCh := make(chan error, 1)
+		w.Sched.Go("tableII", func() {
+			miss, err := client.RunOnce()
+			if err != nil {
+				errCh <- fmt.Errorf("miss: %w", err)
+				return
+			}
+			hit, err := client.RunOnce()
+			if err != nil {
+				errCh <- fmt.Errorf("hit: %w", err)
+				return
+			}
+			row.Miss, row.Hit = miss, hit
+			errCh <- nil
+		})
+		w.Sched.Run(time.Minute)
+		if err := <-errCh; err != nil {
+			return nil, fmt.Errorf("table II %s: %w", label, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// TableIIIRow is one measured throughput row.
+type TableIIIRow struct {
+	Scheme SchemeLabel
+	Miss   float64 // requests/second
+	Hit    float64
+	// Paper's measurements (req/s) for EXPERIMENTS.md.
+	PaperMiss, PaperHit float64
+}
+
+var paperTableIII = map[SchemeLabel][2]float64{
+	LabelNSName:   {84200, 110100},
+	LabelFabIP:    {60100, 109700},
+	LabelTCP:      {22700, 22700},
+	LabelModified: {84300, 110300},
+}
+
+// TableIIIOptions tunes the measurement effort (the defaults match
+// cmd/benchtab; tests use shorter windows).
+type TableIIIOptions struct {
+	Clients int
+	Warmup  time.Duration
+	Window  time.Duration
+}
+
+func (o *TableIIIOptions) fill() {
+	if o.Clients <= 0 {
+		o.Clients = 192
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 300 * time.Millisecond
+	}
+	if o.Window <= 0 {
+		o.Window = 700 * time.Millisecond
+	}
+}
+
+// TableIII reproduces §IV-D: guard throughput per scheme with the ANS and
+// LRS simulators on the LAN testbed, for cache-miss (cookie caching
+// disabled) and cache-hit traffic.
+func TableIII(opts TableIIIOptions) ([]TableIIIRow, error) {
+	opts.fill()
+	rows := make([]TableIIIRow, 0, len(allSchemes))
+	for _, label := range allSchemes {
+		row := TableIIIRow{
+			Scheme:    label,
+			PaperMiss: paperTableIII[label][0],
+			PaperHit:  paperTableIII[label][1],
+		}
+		for _, mode := range []workload.ClientMode{workload.ModeMiss, workload.ModeHit} {
+			rate, err := tableIIICell(label, mode, opts)
+			if err != nil {
+				return nil, fmt.Errorf("table III %s/%v: %w", label, mode, err)
+			}
+			if mode == workload.ModeMiss {
+				row.Miss = rate
+			} else {
+				row.Hit = rate
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func tableIIICell(label SchemeLabel, mode workload.ClientMode, opts TableIIIOptions) (float64, error) {
+	w, err := worldFor(label, WorldConfig{
+		DisableAnswerCache: true,
+		ProxyCostSegments:  10,
+		RL1Unlimited:       true,
+	})
+	if err != nil {
+		return 0, err
+	}
+	clients := make([]*workload.Client, opts.Clients)
+	n := opts.Clients
+	if label == LabelTCP {
+		// TCP requests are ~30× heavier; fewer lanes saturate the guard.
+		n = 64
+	}
+	for i := 0; i < n; i++ {
+		c, err := workload.NewClient(workload.ClientConfig{
+			Env:    w.LRSHost,
+			Kind:   label.clientKind(),
+			Mode:   mode,
+			Target: w.Public,
+			QName:  qname,
+			Wait:   10 * time.Millisecond, // the paper's LRS simulator wait
+		})
+		if err != nil {
+			return 0, err
+		}
+		clients[i] = c
+		c.Start()
+	}
+	completed := func() uint64 {
+		var sum uint64
+		for _, c := range clients {
+			if c != nil {
+				sum += c.Stats.Completed
+			}
+		}
+		return sum
+	}
+	rate := w.MeasureRate(opts.Warmup, opts.Warmup+opts.Window, completed)
+	return rate, nil
+}
+
+// TableIRow is one column of the qualitative comparison (Table I), with the
+// quantitative entries backed by this reproduction's measurements.
+type TableIRow struct {
+	Scheme               SchemeLabel
+	WorstLatencyRTT      int
+	BestLatencyRTT       int
+	CookieStorage        string
+	CookieRange          string
+	TrafficAmplification string
+	Deployment           string
+}
+
+// TableI returns the scheme-comparison table. The latency RTT counts are
+// verified against measurement by the TestTableI… tests.
+func TableI() []TableIRow {
+	return []TableIRow{
+		{LabelNSName, 2, 1, "1 cookie per NS record", "2^32", "< 50% (24 bytes)", "ANS side only"},
+		{LabelFabIP, 3, 1, "2 cookies per non-referral record", "2^32 and R_y <= 2^24", "< 50% (24 bytes)", "ANS side only"},
+		{LabelTCP, 3, 3, "0", "2^32", "0", "ANS side only"},
+		{LabelModified, 2, 1, "1 cookie per ANS", "2^128", "0", "LRS side and ANS side"},
+	}
+}

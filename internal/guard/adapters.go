@@ -1,0 +1,64 @@
+package guard
+
+import (
+	"net/netip"
+	"time"
+
+	"dnsguard/internal/netapi"
+	"dnsguard/internal/netsim"
+)
+
+// TapIO adapts a netsim.Tap to PacketIO, the deployment used by all
+// simulations: the guard host claims the protected address space and reads
+// intercepted datagrams from its tap.
+type TapIO struct {
+	Tap *netsim.Tap
+}
+
+var _ PacketIO = TapIO{}
+
+// Read implements PacketIO.
+func (t TapIO) Read(timeout time.Duration) (Packet, error) {
+	pkt, err := t.Tap.Read(timeout)
+	if err != nil {
+		return Packet{}, err
+	}
+	return Packet{Src: pkt.Src, Dst: pkt.Dst, Payload: pkt.Payload}, nil
+}
+
+// WriteFromTo implements PacketIO.
+func (t TapIO) WriteFromTo(src, dst netip.AddrPort, payload []byte) error {
+	return t.Tap.WriteFromTo(src, dst, payload)
+}
+
+// Close implements PacketIO.
+func (t TapIO) Close() error { return t.Tap.Close() }
+
+// SocketIO adapts a bound UDP socket to PacketIO for real deployments: the
+// guard binds the protected service address directly, so every read's
+// destination is the socket's own address and replies always originate from
+// it. The fabricated-IP variant (which needs a whole subnet) is therefore
+// unavailable over SocketIO; use the NS-name, TCP, or modified schemes.
+type SocketIO struct {
+	Conn netapi.UDPConn
+}
+
+var _ PacketIO = SocketIO{}
+
+// Read implements PacketIO.
+func (s SocketIO) Read(timeout time.Duration) (Packet, error) {
+	payload, src, err := s.Conn.ReadFrom(timeout)
+	if err != nil {
+		return Packet{}, err
+	}
+	return Packet{Src: src, Dst: s.Conn.LocalAddr(), Payload: payload}, nil
+}
+
+// WriteFromTo implements PacketIO; src must be the socket's own address
+// (userspace cannot spoof), so it is ignored.
+func (s SocketIO) WriteFromTo(_, dst netip.AddrPort, payload []byte) error {
+	return s.Conn.WriteTo(payload, dst)
+}
+
+// Close implements PacketIO.
+func (s SocketIO) Close() error { return s.Conn.Close() }

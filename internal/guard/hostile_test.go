@@ -1,0 +1,210 @@
+package guard
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dnsguard/internal/cookie"
+	"dnsguard/internal/dnswire"
+)
+
+// TestGuardSurvivesHostilePackets throws mutated, truncated, and garbage
+// datagrams at the guard: nothing may panic, and nothing unverified may
+// reach the ANS.
+func TestGuardSurvivesHostilePackets(t *testing.T) {
+	f := newLeafFixture(t, nil)
+	attacker := f.net.AddHost("attacker", mustAddr("203.0.113.66"))
+	rng := rand.New(rand.NewSource(99))
+
+	base, _ := dnswire.NewQuery(7, dnswire.MustName("www.foo.com"), dnswire.TypeA).PackUDP(512)
+	cookieQ, _ := dnswire.NewQuery(8, dnswire.MustName("pr0011223344www.foo.com"), dnswire.TypeA).PackUDP(512)
+
+	f.run(t, func() {
+		for i := 0; i < 500; i++ {
+			var payload []byte
+			switch i % 5 {
+			case 0: // random garbage
+				payload = make([]byte, rng.Intn(64))
+				rng.Read(payload)
+			case 1: // bit-flipped valid query
+				payload = append([]byte(nil), base...)
+				for j := 0; j < 1+rng.Intn(6); j++ {
+					payload[rng.Intn(len(payload))] ^= byte(1 << rng.Intn(8))
+				}
+			case 2: // truncated valid query
+				payload = base[:rng.Intn(len(base))]
+			case 3: // forged cookie-name query, mutated
+				payload = append([]byte(nil), cookieQ...)
+				payload[rng.Intn(len(payload))] ^= 0xFF
+			case 4: // response flag set (reflection bait)
+				payload = append([]byte(nil), base...)
+				payload[2] |= 0x80 // QR
+			}
+			src := netip.AddrPortFrom(netip.AddrFrom4([4]byte{172, 16, byte(i >> 8), byte(i)}), 1234)
+			dst := netip.AddrPortFrom(netip.AddrFrom4([4]byte{192, 0, 2, byte(1 + i%254)}), 53)
+			_ = attacker.SendRaw(src, dst, payload)
+		}
+		f.sched.Sleep(time.Second)
+		// A legitimate resolution must still work afterwards.
+		if _, err := f.res.Resolve(dnswire.MustName("www.foo.com"), dnswire.TypeA); err != nil {
+			t.Errorf("legit resolve after hostile barrage: %v", err)
+		}
+	})
+	// The ANS saw only the one verified query path.
+	if f.fooNS.Stats.UDPQueries > 2 {
+		t.Errorf("ANS saw %d queries; hostile traffic leaked through", f.fooNS.Stats.UDPQueries)
+	}
+	if f.fooNS.Stats.Malformed != 0 {
+		t.Errorf("ANS received %d malformed packets", f.fooNS.Stats.Malformed)
+	}
+}
+
+// TestGuardRestartRecovery kills the guard (losing all cookie and pending
+// state) and brings up a replacement with a fresh key: clients recover by
+// fetching new cookies, exactly the incremental-deployment property §V
+// claims.
+func TestGuardRestartRecovery(t *testing.T) {
+	f := newLeafFixture(t, nil)
+	f.run(t, func() {
+		if _, err := f.res.Resolve(dnswire.MustName("www.foo.com"), dnswire.TypeA); err != nil {
+			t.Errorf("first resolve: %v", err)
+			return
+		}
+		// Kill the guard and replace it with one holding a different key.
+		f.guard.Close()
+		guardHost := f.net.AddHost("guard2", mustAddr("10.99.0.3"))
+		guardHost.ClaimPrefix(netip.MustParsePrefix("192.0.2.0/24"))
+		tap, err := guardHost.OpenTap()
+		if err != nil {
+			t.Errorf("tap: %v", err)
+			return
+		}
+		var key [cookie.KeySize]byte
+		key[0] = 0xEE
+		g2, err := NewRemote(RemoteConfig{
+			Env:        guardHost,
+			IO:         TapIO{Tap: tap},
+			PublicAddr: mustAP("192.0.2.1:53"),
+			ANSAddr:    mustAP("10.99.0.2:53"),
+			Zone:       dnswire.MustName("foo.com"),
+			Subnet:     netip.MustParsePrefix("192.0.2.0/24"),
+			Fallback:   SchemeDNS,
+			Auth:       cookie.NewAuthenticatorWithKey(key),
+		})
+		if err != nil {
+			t.Errorf("NewRemote: %v", err)
+			return
+		}
+		if err := g2.Start(); err != nil {
+			t.Errorf("Start: %v", err)
+			return
+		}
+		// The LRS's cached cookie addresses are now invalid; the stale
+		// queries are dropped, the resolver times out, flushes, and the
+		// new cookie dance succeeds.
+		f.sched.Sleep(400 * time.Second) // expire the cached final answer
+		if _, err := f.res.Resolve(dnswire.MustName("www.foo.com"), dnswire.TypeA); err == nil {
+			// Either the resolver recovered within its retries (fine)...
+			return
+		}
+		// ...or its cache still points at the dead cookie: flush (a real
+		// LRS's records expire) and retry.
+		f.res.FlushCache()
+		if _, err := f.res.Resolve(dnswire.MustName("www.foo.com"), dnswire.TypeA); err != nil {
+			t.Errorf("resolve after guard restart: %v", err)
+		}
+	})
+}
+
+// TestGuardPendingTableBounded verifies the NAT table cannot be ballooned
+// by a flood of valid-looking cookie queries that never complete.
+func TestGuardPendingTableBounded(t *testing.T) {
+	// Deliberately break the guard→ANS path so pending entries linger.
+	f := newLeafFixture(t, func(c *RemoteConfig) {
+		c.ANSAddr = mustAP("10.99.0.99:53") // nothing there
+		c.PendingTimeout = 100 * time.Millisecond
+	})
+	auth := f.guard.cfg.Auth
+	nc := cookie.NSCodec{}
+	attacker := f.net.AddHost("zombies", mustAddr("203.0.113.80"))
+	f.run(t, func() {
+		// 6000 "verified" cookie queries from distinct real sources (a
+		// zombie farm that did obtain cookies).
+		for i := 0; i < 6000; i++ {
+			src := netip.AddrPortFrom(netip.AddrFrom4([4]byte{198, 18, byte(i >> 8), byte(i)}), 1234)
+			fab, err := FabricateNSName(nc, auth.Mint(src.Addr()), dnswire.MustName("www.foo.com"))
+			if err != nil {
+				t.Errorf("fabricate: %v", err)
+				return
+			}
+			q, _ := dnswire.NewQuery(uint16(i), fab, dnswire.TypeA).PackUDP(512)
+			_ = attacker.SendRaw(src, mustAP("192.0.2.1:53"), q)
+			f.sched.Sleep(20 * time.Microsecond)
+		}
+		f.sched.Sleep(time.Second)
+	})
+	if len(f.guard.pending) > 4096 {
+		t.Errorf("pending table = %d entries, want bounded at 4096", len(f.guard.pending))
+	}
+	if f.guard.Stats.PendingDropped == 0 {
+		t.Error("pending-table pressure never caused drops/reaping")
+	}
+}
+
+// TestAutomaticKeyRotation runs the guard with a short rotation period and
+// verifies that (a) rotations happen, (b) a cookie minted in generation g
+// still verifies during generation g+1 and is rejected in g+2 — the
+// paper's weekly schedule in miniature.
+func TestAutomaticKeyRotation(t *testing.T) {
+	f := newLeafFixture(t, func(c *RemoteConfig) {
+		c.KeyRotation = 30 * time.Second
+	})
+	auth := f.guard.cfg.Auth
+	nc := cookie.NSCodec{}
+	client := f.net.AddHost("client", mustAddr("198.18.0.9"))
+
+	query := func(fab dnswire.Name) bool {
+		ok := false
+		f.sched.Go("q", func() {
+			conn, err := client.ListenUDP(netip.AddrPort{})
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			wire, _ := dnswire.NewQuery(1, fab, dnswire.TypeA).PackUDP(512)
+			_ = conn.WriteTo(wire, mustAP("192.0.2.1:53"))
+			if _, _, err := conn.ReadFrom(200 * time.Millisecond); err == nil {
+				ok = true
+			}
+		})
+		f.sched.Run(f.sched.Now() + time.Second)
+		return ok
+	}
+
+	// Mint in generation 0.
+	fab, err := FabricateNSName(nc, auth.Mint(client.Addr()), dnswire.MustName("www.foo.com"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !query(fab) {
+		t.Fatal("generation-0 cookie rejected in generation 0")
+	}
+	// Advance one rotation: still valid.
+	f.sched.Run(f.sched.Now() + 35*time.Second)
+	if f.guard.Stats.KeyRotations == 0 {
+		t.Fatal("no rotation happened")
+	}
+	if !query(fab) {
+		t.Fatal("generation-0 cookie rejected in generation 1 (grace period)")
+	}
+	// Advance a second rotation: stale.
+	f.sched.Run(f.sched.Now() + 35*time.Second)
+	if query(fab) {
+		t.Fatal("generation-0 cookie accepted in generation 2")
+	}
+	if f.guard.Stats.CookieInvalid == 0 {
+		t.Fatal("stale cookie not counted invalid")
+	}
+}

@@ -1,0 +1,313 @@
+package guard
+
+import (
+	"errors"
+
+	"net/netip"
+	"time"
+
+	"dnsguard/internal/cookie"
+	"dnsguard/internal/dnswire"
+	"dnsguard/internal/netapi"
+)
+
+// LocalConfig parameterizes the LRS-side guard (modified-DNS scheme,
+// Figure 3a). The guard sits inline: it sees the LRS's outbound queries
+// (gateway) and all traffic addressed to the LRS (interception), so the
+// cookie exchange happens with the LRS's own source address — cookies are a
+// function of the requester's IP (§III-E).
+type LocalConfig struct {
+	// Env supplies clock and timers.
+	Env netapi.Env
+	// IO captures the LRS's traffic in both directions and re-injects
+	// toward the network.
+	IO PacketIO
+	// ClientAddr is the LRS's address, used to tell inbound from
+	// outbound and as the source of cookie exchanges.
+	ClientAddr netip.Addr
+	// Deliver hands an inbound packet on to the real LRS (the guard
+	// intercepts its address).
+	Deliver func(src, dst netip.AddrPort, payload []byte) error
+	// ExchangePort is the source port the guard uses for cookie
+	// exchanges on behalf of the LRS. 0 means 49876.
+	ExchangePort uint16
+	// CookieTTLCap bounds how long a learned cookie is cached regardless
+	// of the advertised TTL. 0 means one week.
+	CookieTTLCap time.Duration
+	// NotCapableTTL is how long a server that did not answer the cookie
+	// exchange is remembered as legacy (queries pass through unmodified).
+	// 0 means 60s.
+	NotCapableTTL time.Duration
+	// ExchangeTimeout bounds the cookie exchange (message 2/3) before
+	// held queries are released unstamped. 0 means 500ms.
+	ExchangeTimeout time.Duration
+	// MaxHeld bounds queries buffered per destination during an exchange.
+	MaxHeld int
+}
+
+func (c *LocalConfig) fillDefaults() error {
+	switch {
+	case c.Env == nil || c.IO == nil:
+		return errors.New("guard: LocalConfig.Env and IO are required")
+	case !c.ClientAddr.IsValid():
+		return errors.New("guard: LocalConfig.ClientAddr is required")
+	case c.Deliver == nil:
+		return errors.New("guard: LocalConfig.Deliver is required")
+	}
+	if c.ExchangePort == 0 {
+		c.ExchangePort = 49876
+	}
+	if c.CookieTTLCap <= 0 {
+		c.CookieTTLCap = cookie.DefaultTTL
+	}
+	if c.NotCapableTTL <= 0 {
+		c.NotCapableTTL = 60 * time.Second
+	}
+	if c.ExchangeTimeout <= 0 {
+		c.ExchangeTimeout = 500 * time.Millisecond
+	}
+	if c.MaxHeld <= 0 {
+		c.MaxHeld = 64
+	}
+	return nil
+}
+
+// LocalStats counts local-guard activity.
+type LocalStats struct {
+	Intercepted    uint64 // outbound packets seen
+	Stamped        uint64 // queries forwarded with a cookie attached
+	PassedThrough  uint64 // non-DNS, responses, or legacy servers
+	Exchanges      uint64 // cookie requests sent (message 2)
+	CookiesLearned uint64
+	LegacyServers  uint64 // exchanges that revealed a non-guarded server
+	HeldOverflow   uint64
+	Delivered      uint64 // inbound packets handed to the LRS
+}
+
+type learnedCookie struct {
+	c       cookie.Cookie
+	expires time.Duration
+}
+
+type exchangeState struct {
+	id      uint16
+	held    []Packet
+	started time.Duration
+}
+
+// Local is the LRS-side guard: transparent to the LRS, it stamps outbound
+// queries with the destination guard's cookie, performing the cookie
+// exchange on first contact and caching per-ANS cookies (one cookie per ANS
+// — the storage advantage of the modified scheme, Table I).
+type Local struct {
+	cfg        LocalConfig
+	cookies    map[netip.AddrPort]learnedCookie
+	notCapable map[netip.AddrPort]time.Duration
+	exchanges  map[netip.AddrPort]*exchangeState
+	byID       map[uint16]netip.AddrPort
+	nextID     uint16
+	closed     bool
+
+	// Stats is updated as the guard runs.
+	Stats LocalStats
+}
+
+// NewLocal validates cfg and creates the guard.
+func NewLocal(cfg LocalConfig) (*Local, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	return &Local{
+		cfg:        cfg,
+		cookies:    make(map[netip.AddrPort]learnedCookie),
+		notCapable: make(map[netip.AddrPort]time.Duration),
+		exchanges:  make(map[netip.AddrPort]*exchangeState),
+		byID:       make(map[uint16]netip.AddrPort),
+	}, nil
+}
+
+// Start spawns the guard's capture proc.
+func (l *Local) Start() error {
+	l.cfg.Env.Go("localguard", l.captureLoop)
+	return nil
+}
+
+// Close stops the guard.
+func (l *Local) Close() {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	_ = l.cfg.IO.Close()
+}
+
+// KnowsCookie reports whether a live cookie for dst is cached (tests).
+func (l *Local) KnowsCookie(dst netip.AddrPort) bool {
+	lc, ok := l.cookies[dst]
+	return ok && l.cfg.Env.Now() < lc.expires
+}
+
+func (l *Local) now() time.Duration { return l.cfg.Env.Now() }
+
+func (l *Local) captureLoop() {
+	for {
+		pkt, err := l.cfg.IO.Read(netapi.NoTimeout)
+		if err != nil {
+			return
+		}
+		if pkt.Dst.Addr() == l.cfg.ClientAddr {
+			l.handleInbound(pkt)
+		} else {
+			l.Stats.Intercepted++
+			l.handleOutbound(pkt)
+		}
+	}
+}
+
+// handleInbound processes traffic addressed to the LRS: cookie-exchange
+// responses are consumed, everything else is delivered untouched.
+func (l *Local) handleInbound(pkt Packet) {
+	if pkt.Dst.Port() == l.cfg.ExchangePort {
+		l.handleExchangeResponse(pkt)
+		return
+	}
+	l.Stats.Delivered++
+	_ = l.cfg.Deliver(pkt.Src, pkt.Dst, pkt.Payload)
+}
+
+func (l *Local) handleOutbound(pkt Packet) {
+	// Only outbound DNS queries are candidates for stamping.
+	if pkt.Dst.Port() != 53 {
+		l.passthrough(pkt)
+		return
+	}
+	msg, err := dnswire.Unpack(pkt.Payload)
+	if err != nil || msg.Flags.QR || len(msg.Questions) == 0 {
+		l.passthrough(pkt)
+		return
+	}
+	if _, _, _, has := FindCookie(msg); has {
+		// Already stamped (nested guards?): leave it alone.
+		l.passthrough(pkt)
+		return
+	}
+	now := l.now()
+	dst := pkt.Dst
+	if lc, ok := l.cookies[dst]; ok && now < lc.expires {
+		l.stampAndSend(pkt, msg, lc.c)
+		return
+	}
+	if exp, ok := l.notCapable[dst]; ok && now < exp {
+		l.passthrough(pkt)
+		return
+	}
+	// First contact: hold the query and run the cookie exchange.
+	ex, running := l.exchanges[dst]
+	if !running {
+		ex = &exchangeState{started: now}
+		l.exchanges[dst] = ex
+		l.sendCookieRequest(dst, msg, ex)
+	}
+	if len(ex.held) >= l.cfg.MaxHeld {
+		l.Stats.HeldOverflow++
+		l.passthrough(pkt)
+		return
+	}
+	ex.held = append(ex.held, pkt)
+}
+
+func (l *Local) passthrough(pkt Packet) {
+	l.Stats.PassedThrough++
+	_ = l.cfg.IO.WriteFromTo(pkt.Src, pkt.Dst, pkt.Payload)
+}
+
+func (l *Local) stampAndSend(pkt Packet, msg *dnswire.Message, c cookie.Cookie) {
+	AttachCookie(msg, c, 0)
+	wire, err := msg.PackUDP(dnswire.MaxUDPSize)
+	if err != nil {
+		l.passthrough(pkt)
+		return
+	}
+	l.Stats.Stamped++
+	_ = l.cfg.IO.WriteFromTo(pkt.Src, pkt.Dst, wire)
+}
+
+// sendCookieRequest emits message 2: the same question with an all-zero
+// cookie, from the LRS's address on the guard's dedicated port so message 3
+// comes back to the guard.
+func (l *Local) sendCookieRequest(dst netip.AddrPort, template *dnswire.Message, ex *exchangeState) {
+	l.nextID++
+	ex.id = l.nextID
+	l.byID[ex.id] = dst
+	req := dnswire.NewQuery(ex.id, template.Question().Name, template.Question().Type)
+	req.Flags.RD = false
+	AttachCookie(req, cookie.Cookie{}, 0)
+	wire, err := req.PackUDP(dnswire.MaxUDPSize)
+	if err != nil {
+		return
+	}
+	l.Stats.Exchanges++
+	src := netip.AddrPortFrom(l.cfg.ClientAddr, l.cfg.ExchangePort)
+	_ = l.cfg.IO.WriteFromTo(src, dst, wire)
+	l.cfg.Env.Go("localguard-timeout", func() {
+		l.cfg.Env.Sleep(l.cfg.ExchangeTimeout)
+		l.expireExchange(dst, ex)
+	})
+}
+
+// expireExchange gives up on a cookie exchange: the server is remembered as
+// legacy and held queries are released unstamped.
+func (l *Local) expireExchange(dst netip.AddrPort, ex *exchangeState) {
+	cur, ok := l.exchanges[dst]
+	if !ok || cur != ex {
+		return // already resolved
+	}
+	delete(l.exchanges, dst)
+	delete(l.byID, ex.id)
+	l.Stats.LegacyServers++
+	l.notCapable[dst] = l.now() + l.cfg.NotCapableTTL
+	for _, pkt := range ex.held {
+		l.passthrough(pkt)
+	}
+}
+
+// handleExchangeResponse consumes message 3 (or a legacy server's plain
+// answer to the cookie request).
+func (l *Local) handleExchangeResponse(pkt Packet) {
+	resp, err := dnswire.Unpack(pkt.Payload)
+	if err != nil || !resp.Flags.QR {
+		return
+	}
+	dst, ok := l.byID[resp.ID]
+	if !ok || dst != pkt.Src {
+		return
+	}
+	ex, ok := l.exchanges[dst]
+	if !ok || ex.id != resp.ID {
+		return
+	}
+	delete(l.exchanges, dst)
+	delete(l.byID, resp.ID)
+	c, ttl, _, has := FindCookie(resp)
+	if !has || c.IsZero() {
+		// A legacy server answered the bare question: it is not
+		// cookie-capable.
+		l.Stats.LegacyServers++
+		l.notCapable[dst] = l.now() + l.cfg.NotCapableTTL
+		for _, held := range ex.held {
+			l.passthrough(held)
+		}
+		return
+	}
+	life := time.Duration(ttl) * time.Second
+	if life <= 0 || life > l.cfg.CookieTTLCap {
+		life = l.cfg.CookieTTLCap
+	}
+	l.cookies[dst] = learnedCookie{c: c, expires: l.now() + life}
+	l.Stats.CookiesLearned++
+	for _, held := range ex.held {
+		if msg, err := dnswire.Unpack(held.Payload); err == nil {
+			l.stampAndSend(held, msg, c)
+		}
+	}
+}

@@ -1,0 +1,668 @@
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"dnsguard/internal/cookie"
+	"dnsguard/internal/cpumodel"
+	"dnsguard/internal/dnswire"
+	"dnsguard/internal/netapi"
+	"dnsguard/internal/ratelimit"
+	"dnsguard/internal/resolver"
+)
+
+// Scheme selects how the guard bootstraps cookie-less requesters.
+type Scheme int
+
+// Fallback schemes for requesters that do not speak the cookie extension.
+const (
+	// SchemeDNS embeds cookies in fabricated NS names (and, for
+	// non-referral answers, in a fabricated server address within the
+	// guard's subnet) — §III-B.
+	SchemeDNS Scheme = iota + 1
+	// SchemeTCP redirects the requester to TCP via the truncation flag —
+	// §III-C. The TCP side is served by internal/tcpproxy.
+	SchemeTCP
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeDNS:
+		return "dns-based"
+	case SchemeTCP:
+		return "tcp-based"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// CPUWorker charges simulated CPU time; netsim.(*CPU) implements it.
+type CPUWorker interface {
+	Work(d time.Duration)
+}
+
+// RemoteConfig parameterizes the ANS-side guard.
+type RemoteConfig struct {
+	// Env supplies clock and sockets.
+	Env netapi.Env
+	// IO is the packet-capture interface for the protected address space.
+	IO PacketIO
+	// PublicAddr is the ANS's advertised address, which the guard
+	// intercepts and answers from.
+	PublicAddr netip.AddrPort
+	// ANSAddr is where the real ANS actually listens (the guard's private
+	// path to it).
+	ANSAddr netip.AddrPort
+	// Zone is the apex of the zone the protected ANS serves.
+	Zone dnswire.Name
+	// Subnet is the intercepted prefix used for IP cookies (scheme 1b,
+	// non-referral answers). Invalid/zero disables the fabricated-IP
+	// variant; non-referral first contacts then fail closed.
+	Subnet netip.Prefix
+	// Fallback is the scheme used for cookie-less requesters.
+	Fallback Scheme
+	// TCPClients lists source prefixes that are always redirected to TCP
+	// regardless of Fallback (the paper's Figure 5 testbed redirects its
+	// second LRS to TCP while the first uses UDP cookies).
+	TCPClients []netip.Prefix
+	// Auth computes cookies; required.
+	Auth *cookie.Authenticator
+	// NSPrefix overrides the fabricated-label prefix.
+	NSPrefix string
+	// NSTTL is the TTL (seconds) of fabricated records and wire cookies;
+	// 0 means one week (§III-E).
+	NSTTL uint32
+	// RL1 configures Rate-Limiter1 (cookie responses). Zero-value fields
+	// take defaults.
+	RL1 ratelimit.Limiter1Config
+	// RL2 configures Rate-Limiter2 (verified requests).
+	RL2 ratelimit.Limiter2Config
+	// ActivationThreshold is the input rate (req/s) above which spoof
+	// detection engages; 0 means always on (§IV-C uses the ANS capacity).
+	ActivationThreshold float64
+	// PendingTimeout bounds NAT-table entries for in-flight ANS queries.
+	PendingTimeout time.Duration
+	// AnswerCacheTTL bounds the non-referral answer cache (message 5
+	// results reused for message 7). 0 means 10 s; negative disables the
+	// cache entirely (every message 7 consults the ANS, the paper's
+	// 4-packet cache-hit accounting).
+	AnswerCacheTTL time.Duration
+	// KeyRotation, when positive, rotates the cookie key on that period
+	// (the paper suggests weekly, matching the cookie TTL so each
+	// verification still costs one MD5 — §III-E).
+	KeyRotation time.Duration
+	// CPU, when non-nil, is charged per Costs for every operation.
+	CPU CPUWorker
+	// Costs are the per-operation charges (see cpumodel.Default2006).
+	Costs cpumodel.GuardCosts
+}
+
+func (c *RemoteConfig) fillDefaults() error {
+	switch {
+	case c.Env == nil:
+		return errors.New("guard: RemoteConfig.Env is required")
+	case c.IO == nil:
+		return errors.New("guard: RemoteConfig.IO is required")
+	case c.Auth == nil:
+		return errors.New("guard: RemoteConfig.Auth is required")
+	case !c.PublicAddr.IsValid() || !c.ANSAddr.IsValid():
+		return errors.New("guard: PublicAddr and ANSAddr are required")
+	}
+	if c.Fallback == 0 {
+		c.Fallback = SchemeDNS
+	}
+	if c.NSTTL == 0 {
+		c.NSTTL = uint32(cookie.DefaultTTL / time.Second)
+	}
+	if c.RL1.PerSourceRate == 0 {
+		c.RL1 = ratelimit.DefaultLimiter1Config()
+	}
+	if c.RL2.PerSourceRate == 0 {
+		c.RL2 = ratelimit.DefaultLimiter2Config()
+	}
+	if c.PendingTimeout <= 0 {
+		c.PendingTimeout = 3 * time.Second
+	}
+	if c.AnswerCacheTTL == 0 {
+		c.AnswerCacheTTL = 10 * time.Second
+	}
+	return nil
+}
+
+// RemoteStats counts guard activity; the experiment harness reads these.
+type RemoteStats struct {
+	Received        uint64 // packets read from the capture interface
+	Passthrough     uint64 // relayed while spoof detection inactive
+	Malformed       uint64
+	NewcomerGrants  uint64 // fabricated NS / TC / cookie responses sent
+	RL1Dropped      uint64 // cookie responses suppressed by Rate-Limiter1
+	CookieValid     uint64 // requests whose cookie verified
+	CookieInvalid   uint64 // spoofed requests dropped
+	RL2Dropped      uint64 // verified requests over the nominal rate
+	ForwardedToANS  uint64
+	AnswerCacheHits uint64
+	RepliesToClient uint64
+	TCRedirects     uint64
+	PendingDropped  uint64 // NAT table overflow/expiry losses
+	KeyRotations    uint64
+}
+
+type pendKind int
+
+const (
+	pendPassthrough pendKind = iota + 1
+	pendChild                // rewritten cookie query (message 4); answer fabricates message 6
+	pendDirect               // verified request relayed as-is (messages 5/8)
+)
+
+type pendEntry struct {
+	kind      pendKind
+	clientSrc netip.AddrPort
+	replyFrom netip.AddrPort // source address for our reply (public or cookie IP)
+	origID    uint16
+	question  dnswire.Question // the client's question (fabricated name for pendChild)
+	child     dnswire.Name     // restored child name (pendChild)
+	expires   time.Duration
+}
+
+// Remote is the ANS-side DNS guard.
+type Remote struct {
+	cfg      RemoteConfig
+	nsc      cookie.NSCodec
+	ipc      cookie.IPCodec
+	rl1      *ratelimit.Limiter1
+	rl2      *ratelimit.Limiter2
+	rate     *ratelimit.RateEstimator
+	active   bool
+	upstream netapi.UDPConn
+	pending  map[uint16]*pendEntry
+	nextID   uint16
+	answers  *resolver.Cache
+	closed   bool
+
+	// Stats is updated as the guard runs.
+	Stats RemoteStats
+}
+
+// NewRemote validates cfg and creates the guard (not yet started).
+func NewRemote(cfg RemoteConfig) (*Remote, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	now := cfg.Env.Now()
+	g := &Remote{
+		cfg:     cfg,
+		nsc:     cookie.NSCodec{Prefix: cfg.NSPrefix},
+		ipc:     cookie.IPCodec{Subnet: cfg.Subnet},
+		rl1:     ratelimit.NewLimiter1(cfg.RL1, now),
+		rl2:     ratelimit.NewLimiter2(cfg.RL2, now),
+		rate:    ratelimit.NewRateEstimator(10, 100*time.Millisecond),
+		pending: make(map[uint16]*pendEntry),
+		answers: resolver.NewCache(4096),
+	}
+	return g, nil
+}
+
+// Start opens the upstream socket and spawns the guard's procs.
+func (g *Remote) Start() error {
+	up, err := g.cfg.Env.ListenUDP(netip.AddrPort{})
+	if err != nil {
+		return fmt.Errorf("guard: binding upstream socket: %w", err)
+	}
+	g.upstream = up
+	g.cfg.Env.Go("guard-capture", g.captureLoop)
+	g.cfg.Env.Go("guard-upstream", g.upstreamLoop)
+	if g.cfg.KeyRotation > 0 {
+		g.cfg.Env.Go("guard-rotate", g.rotateLoop)
+	}
+	return nil
+}
+
+// rotateLoop changes the cookie key every KeyRotation period. Cookies from
+// the previous generation stay valid for one more period (the generation
+// bit selects the key), so rotation is invisible to live requesters.
+func (g *Remote) rotateLoop() {
+	for !g.closed {
+		g.cfg.Env.Sleep(g.cfg.KeyRotation)
+		if g.closed {
+			return
+		}
+		if err := g.cfg.Auth.Rotate(); err != nil {
+			continue // keep the old key; retry next period
+		}
+		g.Stats.KeyRotations++
+	}
+}
+
+// Close stops the guard.
+func (g *Remote) Close() {
+	if g.closed {
+		return
+	}
+	g.closed = true
+	_ = g.cfg.IO.Close()
+	if g.upstream != nil {
+		_ = g.upstream.Close()
+	}
+}
+
+// Active reports whether spoof detection is currently engaged.
+func (g *Remote) Active() bool { return g.cfg.ActivationThreshold == 0 || g.active }
+
+// preempter is optionally implemented by CPU models that distinguish
+// interrupt-priority packet work from ordinary jobs (netsim.CPU does).
+type preempter interface {
+	WorkPreempt(d time.Duration)
+}
+
+func (g *Remote) charge(d time.Duration) {
+	if g.cfg.CPU == nil || d <= 0 {
+		return
+	}
+	// The guard's datapath ran in the kernel (iptables/softirq) on the
+	// paper's testbed: it preempts userspace work like the TCP proxy.
+	if p, ok := g.cfg.CPU.(preempter); ok {
+		p.WorkPreempt(d)
+		return
+	}
+	g.cfg.CPU.Work(d)
+}
+
+func (g *Remote) now() time.Duration { return g.cfg.Env.Now() }
+
+// captureLoop is the main packet pipeline (Figure 4).
+func (g *Remote) captureLoop() {
+	for {
+		pkt, err := g.cfg.IO.Read(netapi.NoTimeout)
+		if err != nil {
+			return
+		}
+		g.Stats.Received++
+		g.charge(g.cfg.Costs.PacketOp)
+		g.updateActivation()
+		g.handle(pkt)
+	}
+}
+
+func (g *Remote) updateActivation() {
+	if g.cfg.ActivationThreshold <= 0 {
+		return
+	}
+	now := g.now()
+	g.rate.Observe(now)
+	r := g.rate.Rate(now)
+	switch {
+	case !g.active && r > g.cfg.ActivationThreshold:
+		g.active = true
+	case g.active && r < 0.8*g.cfg.ActivationThreshold:
+		g.active = false
+	}
+}
+
+func (g *Remote) handle(pkt Packet) {
+	if pkt.Dst.Port() != g.cfg.PublicAddr.Port() {
+		return // not DNS traffic for the protected service
+	}
+	if !g.Active() {
+		g.passthrough(pkt)
+		return
+	}
+	msg, err := dnswire.Unpack(pkt.Payload)
+	if err != nil || msg.Flags.QR || len(msg.Questions) == 0 {
+		g.Stats.Malformed++
+		return
+	}
+	// Scheme 1b: queries addressed to a cookie IP inside the guard subnet.
+	if g.cfg.Subnet.IsValid() && pkt.Dst.Addr() != g.cfg.PublicAddr.Addr() && g.cfg.Subnet.Contains(pkt.Dst.Addr()) {
+		g.handleIPCookie(pkt, msg)
+		return
+	}
+	// Modified-DNS scheme: explicit cookie extension.
+	if c, _, _, ok := FindCookie(msg); ok {
+		g.handleModified(pkt, msg, c)
+		return
+	}
+	// DNS-based scheme: cookie embedded in the query name.
+	if label, child, ok := ParseFabricatedName(g.nsc, msg.Question().Name); ok {
+		g.handleNSCookie(pkt, msg, label, child)
+		return
+	}
+	g.handleNewcomer(pkt, msg)
+}
+
+// passthrough relays traffic unmodified while spoof detection is inactive.
+func (g *Remote) passthrough(pkt Packet) {
+	msg, err := dnswire.Unpack(pkt.Payload)
+	if err != nil || msg.Flags.QR {
+		g.Stats.Malformed++
+		return
+	}
+	g.Stats.Passthrough++
+	g.forwardMsg(msg, &pendEntry{
+		kind:      pendPassthrough,
+		clientSrc: pkt.Src,
+		replyFrom: pkt.Dst,
+		origID:    msg.ID,
+	})
+}
+
+// handleNewcomer boots a cookie-less requester per the fallback scheme.
+func (g *Remote) handleNewcomer(pkt Packet, msg *dnswire.Message) {
+	if !g.rl1.AllowResponse(pkt.Src.Addr(), g.now()) {
+		g.Stats.RL1Dropped++
+		return
+	}
+	qname := msg.Question().Name
+	child, hasChild := qname.ChildOf(g.cfg.Zone)
+	useTCP := g.cfg.Fallback == SchemeTCP || !hasChild || g.isTCPClient(pkt.Src.Addr())
+	if !qname.IsSubdomainOf(g.cfg.Zone) && qname != g.cfg.Zone {
+		resp := msg.Response()
+		resp.Flags.RCode = dnswire.RCodeRefused
+		g.reply(pkt.Dst, pkt.Src, resp)
+		return
+	}
+	if useTCP {
+		// TC redirect: also used for apex queries, which have no child
+		// name to fabricate.
+		g.charge(g.cfg.Costs.TCReply)
+		g.Stats.NewcomerGrants++
+		g.Stats.TCRedirects++
+		resp := msg.Response()
+		resp.Flags.TC = true
+		g.reply(pkt.Dst, pkt.Src, resp)
+		return
+	}
+	// DNS-based: fabricate "child NS <cookie+label>" with a long TTL and
+	// no glue, so the LRS must come back through us to resolve it.
+	g.charge(g.cfg.Costs.CookieGrant)
+	c := g.cfg.Auth.Mint(pkt.Src.Addr())
+	fabName, err := FabricateNSName(g.nsc, c, child)
+	if err != nil {
+		// Label too long to carry a cookie; fall back to TCP.
+		g.Stats.TCRedirects++
+		resp := msg.Response()
+		resp.Flags.TC = true
+		g.reply(pkt.Dst, pkt.Src, resp)
+		return
+	}
+	g.Stats.NewcomerGrants++
+	resp := msg.Response()
+	resp.Authority = []dnswire.RR{
+		dnswire.NewRR(child, g.cfg.NSTTL, &dnswire.NSData{Host: fabName}),
+	}
+	g.reply(pkt.Dst, pkt.Src, resp)
+}
+
+// isTCPClient reports whether src is configured for TCP redirection.
+func (g *Remote) isTCPClient(src netip.Addr) bool {
+	for _, p := range g.cfg.TCPClients {
+		if p.Contains(src) {
+			return true
+		}
+	}
+	return false
+}
+
+// handleNSCookie processes a query for a fabricated name (message 3):
+// verify, restore, forward (message 4).
+func (g *Remote) handleNSCookie(pkt Packet, msg *dnswire.Message, label string, child dnswire.Name) {
+	g.charge(g.cfg.Costs.CookieCheck)
+	if !g.nsc.VerifyLabel(g.cfg.Auth, pkt.Src.Addr(), label) {
+		g.Stats.CookieInvalid++
+		return
+	}
+	g.Stats.CookieValid++
+	if !g.rl2.AllowRequest(pkt.Src.Addr(), g.now()) {
+		g.Stats.RL2Dropped++
+		return
+	}
+	g.charge(g.cfg.Costs.Rewrite)
+	q := msg.Question()
+	fwd := dnswire.NewQuery(0, child, q.Type)
+	fwd.Flags.RD = false
+	g.forwardMsg(fwd, &pendEntry{
+		kind:      pendChild,
+		clientSrc: pkt.Src,
+		replyFrom: pkt.Dst,
+		origID:    msg.ID,
+		question:  q,
+		child:     child,
+	})
+}
+
+// handleIPCookie processes a query addressed to a cookie address
+// (message 7): the destination IP is the credential.
+func (g *Remote) handleIPCookie(pkt Packet, msg *dnswire.Message) {
+	g.charge(g.cfg.Costs.CookieCheck)
+	if !g.ipc.Verify(g.cfg.Auth, pkt.Src.Addr(), pkt.Dst.Addr()) {
+		g.Stats.CookieInvalid++
+		return
+	}
+	g.Stats.CookieValid++
+	if !g.rl2.AllowRequest(pkt.Src.Addr(), g.now()) {
+		g.Stats.RL2Dropped++
+		return
+	}
+	q := msg.Question()
+	// Serve from the answer cache when message 5's result is still fresh.
+	if rrs, _, neg, ok := g.answersGet(q.Name, q.Type); ok && !neg {
+		g.Stats.AnswerCacheHits++
+		resp := msg.Response()
+		resp.Flags.AA = true
+		resp.Answers = rrs
+		g.reply(pkt.Dst, pkt.Src, resp)
+		return
+	}
+	fwd := dnswire.NewQuery(0, q.Name, q.Type)
+	fwd.Flags.RD = false
+	g.forwardMsg(fwd, &pendEntry{
+		kind:      pendDirect,
+		clientSrc: pkt.Src,
+		replyFrom: pkt.Dst,
+		origID:    msg.ID,
+		question:  q,
+	})
+}
+
+// handleModified processes the explicit cookie extension (Figure 3).
+func (g *Remote) handleModified(pkt Packet, msg *dnswire.Message, c cookie.Cookie) {
+	if c.IsZero() {
+		// Message 2: cookie request. Answer through Rate-Limiter1.
+		if !g.rl1.AllowResponse(pkt.Src.Addr(), g.now()) {
+			g.Stats.RL1Dropped++
+			return
+		}
+		g.charge(g.cfg.Costs.CookieGrant)
+		g.Stats.NewcomerGrants++
+		resp := msg.Response()
+		AttachCookie(resp, g.cfg.Auth.Mint(pkt.Src.Addr()), g.cfg.NSTTL)
+		g.reply(pkt.Dst, pkt.Src, resp)
+		return
+	}
+	g.charge(g.cfg.Costs.CookieCheck)
+	if !g.cfg.Auth.Verify(pkt.Src.Addr(), c) {
+		g.Stats.CookieInvalid++
+		return
+	}
+	g.Stats.CookieValid++
+	if !g.rl2.AllowRequest(pkt.Src.Addr(), g.now()) {
+		g.Stats.RL2Dropped++
+		return
+	}
+	g.charge(g.cfg.Costs.Rewrite)
+	fwd := *msg
+	fwd.Additional = append([]dnswire.RR(nil), msg.Additional...)
+	_, _ = StripCookie(&fwd)
+	g.forwardMsg(&fwd, &pendEntry{
+		kind:      pendDirect,
+		clientSrc: pkt.Src,
+		replyFrom: pkt.Dst,
+		origID:    msg.ID,
+		question:  msg.Question(),
+	})
+}
+
+// forwardMsg sends msg to the ANS under a fresh transaction ID and registers
+// the pending entry for the response.
+func (g *Remote) forwardMsg(msg *dnswire.Message, entry *pendEntry) {
+	id, ok := g.allocID()
+	if !ok {
+		g.Stats.PendingDropped++
+		return
+	}
+	entry.expires = g.now() + g.cfg.PendingTimeout
+	g.pending[id] = entry
+	out := *msg
+	out.ID = id
+	wire, err := out.PackUDP(dnswire.MaxUDPSize)
+	if err != nil {
+		delete(g.pending, id)
+		return
+	}
+	g.Stats.ForwardedToANS++
+	g.charge(g.cfg.Costs.PacketOp)
+	_ = g.upstream.WriteTo(wire, g.cfg.ANSAddr)
+}
+
+func (g *Remote) allocID() (uint16, bool) {
+	if len(g.pending) >= 4096 {
+		// Reap expired entries before refusing.
+		now := g.now()
+		for id, e := range g.pending {
+			if now >= e.expires {
+				delete(g.pending, id)
+				g.Stats.PendingDropped++
+			}
+		}
+		if len(g.pending) >= 4096 {
+			return 0, false
+		}
+	}
+	for i := 0; i < 65536; i++ {
+		g.nextID++
+		if _, used := g.pending[g.nextID]; !used {
+			return g.nextID, true
+		}
+	}
+	return 0, false
+}
+
+// upstreamLoop receives ANS responses and transforms them per the pending
+// entry's kind.
+func (g *Remote) upstreamLoop() {
+	for {
+		payload, _, err := g.upstream.ReadFrom(netapi.NoTimeout)
+		if err != nil {
+			return
+		}
+		g.charge(g.cfg.Costs.PacketOp)
+		resp, err := dnswire.Unpack(payload)
+		if err != nil || !resp.Flags.QR {
+			continue
+		}
+		entry, ok := g.pending[resp.ID]
+		if !ok || g.now() >= entry.expires {
+			continue
+		}
+		delete(g.pending, resp.ID)
+		switch entry.kind {
+		case pendPassthrough, pendDirect:
+			resp.ID = entry.origID
+			g.reply(entry.replyFrom, entry.clientSrc, resp)
+		case pendChild:
+			g.answerChild(entry, resp)
+		}
+	}
+}
+
+// answerChild turns the ANS's answer for the restored child query (message
+// 5) into the response for the fabricated name (message 6).
+func (g *Remote) answerChild(entry *pendEntry, resp *dnswire.Message) {
+	out := &dnswire.Message{
+		ID:        entry.origID,
+		Flags:     dnswire.Flags{QR: true, AA: true},
+		Questions: []dnswire.Question{entry.question},
+	}
+	fabName := entry.question.Name
+
+	switch {
+	case resp.Flags.RCode == dnswire.RCodeNXDomain:
+		out.Flags.RCode = dnswire.RCodeNXDomain
+		out.Authority = resp.Authority
+	case len(resp.Answers) == 0 && hasNS(resp.Authority):
+		// Referral: the fabricated name's addresses are the real
+		// next-level servers' glue addresses (§III-B.1).
+		for _, rr := range resp.Additional {
+			if rr.Type == dnswire.TypeA {
+				out.Answers = append(out.Answers,
+					dnswire.NewRR(fabName, rr.TTL, rr.Data))
+			}
+		}
+		if len(out.Answers) == 0 {
+			out.Flags.RCode = dnswire.RCodeServFail
+		}
+	case len(resp.Answers) > 0:
+		// Non-referral: answer with the IP cookie (§III-B.2) and cache
+		// the real answer for message 7.
+		if !g.cfg.Subnet.IsValid() {
+			out.Flags.RCode = dnswire.RCodeServFail
+			break
+		}
+		g.charge(g.cfg.Costs.CookieCheck) // second cookie computation
+		c := g.cfg.Auth.Mint(entry.clientSrc.Addr())
+		addr, err := g.ipc.Encode(c)
+		if err != nil {
+			out.Flags.RCode = dnswire.RCodeServFail
+			break
+		}
+		if g.cfg.AnswerCacheTTL > 0 {
+			ttl := uint32(g.cfg.AnswerCacheTTL / time.Second)
+			cached := make([]dnswire.RR, len(resp.Answers))
+			copy(cached, resp.Answers)
+			for i := range cached {
+				if cached[i].TTL > ttl {
+					cached[i].TTL = ttl
+				}
+			}
+			g.answers.Put(g.now(), entry.child, entry.question.Type, cached)
+		}
+		out.Answers = []dnswire.RR{
+			dnswire.NewRR(fabName, g.cfg.NSTTL, &dnswire.AData{Addr: addr}),
+		}
+	default:
+		// NODATA for the child: nothing useful to fabricate.
+		out.Flags.RCode = dnswire.RCodeServFail
+	}
+	g.reply(entry.replyFrom, entry.clientSrc, out)
+}
+
+// answersGet consults the non-referral answer cache unless it is disabled.
+func (g *Remote) answersGet(name dnswire.Name, t dnswire.Type) ([]dnswire.RR, dnswire.RCode, bool, bool) {
+	if g.cfg.AnswerCacheTTL < 0 {
+		return nil, 0, false, false
+	}
+	return g.answers.Get(g.now(), name, t)
+}
+
+// reply packs and emits a guard-originated response.
+func (g *Remote) reply(from, to netip.AddrPort, msg *dnswire.Message) {
+	wire, err := msg.PackUDP(dnswire.MaxUDPSize)
+	if err != nil {
+		return
+	}
+	g.Stats.RepliesToClient++
+	g.charge(g.cfg.Costs.PacketOp)
+	_ = g.cfg.IO.WriteFromTo(from, to, wire)
+}
+
+func hasNS(rrs []dnswire.RR) bool {
+	for _, rr := range rrs {
+		if rr.Type == dnswire.TypeNS {
+			return true
+		}
+	}
+	return false
+}

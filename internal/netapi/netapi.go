@@ -1,0 +1,81 @@
+// Package netapi defines the minimal network environment used by every
+// component in this repository: a clock, goroutine spawning, and UDP/TCP
+// endpoints addressed with netip types.
+//
+// Two implementations exist: internal/netsim (a deterministic discrete-event
+// simulator on a virtual clock, used by all experiments) and internal/realnet
+// (thin adapters over the net and time packages, used by the cmd/ daemons and
+// the realservers example). Code written against Env runs unchanged on both.
+package netapi
+
+import (
+	"errors"
+	"net/netip"
+	"time"
+)
+
+// Blocking-call timeouts. A negative timeout blocks indefinitely; zero polls.
+const NoTimeout time.Duration = -1
+
+// Errors returned by Env endpoints. Implementations wrap or return these
+// directly so callers can match with errors.Is.
+var (
+	ErrTimeout   = errors.New("netapi: i/o timeout")
+	ErrClosed    = errors.New("netapi: endpoint closed")
+	ErrRefused   = errors.New("netapi: connection refused")
+	ErrNoRoute   = errors.New("netapi: no route to host")
+	ErrAddrInUse = errors.New("netapi: address in use")
+)
+
+// Env is the execution environment: virtual or real time plus socket
+// factories. Addresses on an Env are IPv4/IPv6 netip addresses; the simulator
+// assigns them explicitly while realnet uses whatever the host OS provides.
+type Env interface {
+	// Now returns monotonic time as an offset from an arbitrary epoch.
+	Now() time.Duration
+	// Sleep blocks the calling proc/goroutine for d.
+	Sleep(d time.Duration)
+	// Go runs fn concurrently. The name is used in diagnostics only.
+	Go(name string, fn func())
+	// ListenUDP binds a datagram endpoint. A zero port picks an ephemeral
+	// port; on the simulator the address must belong to the calling host.
+	ListenUDP(addr netip.AddrPort) (UDPConn, error)
+	// DialTCP opens a stream connection to raddr.
+	DialTCP(raddr netip.AddrPort) (Conn, error)
+	// ListenTCP binds a stream listener.
+	ListenTCP(addr netip.AddrPort) (Listener, error)
+}
+
+// UDPConn is a datagram endpoint.
+type UDPConn interface {
+	// ReadFrom blocks until a datagram arrives, the timeout elapses
+	// (ErrTimeout), or the endpoint is closed (ErrClosed). The returned
+	// slice is owned by the caller.
+	ReadFrom(timeout time.Duration) ([]byte, netip.AddrPort, error)
+	// WriteTo sends one datagram to to. Delivery is best-effort.
+	WriteTo(b []byte, to netip.AddrPort) error
+	LocalAddr() netip.AddrPort
+	Close() error
+}
+
+// Conn is a byte-stream connection.
+type Conn interface {
+	// Read fills b with available bytes, blocking until at least one byte
+	// arrives, the timeout elapses, or the peer closes (ErrClosed on a
+	// clean close after all data is drained).
+	Read(b []byte, timeout time.Duration) (int, error)
+	// Write queues b for delivery to the peer.
+	Write(b []byte) (int, error)
+	Close() error
+	LocalAddr() netip.AddrPort
+	RemoteAddr() netip.AddrPort
+}
+
+// Listener accepts inbound stream connections.
+type Listener interface {
+	// Accept blocks until a connection is established, the timeout
+	// elapses, or the listener is closed.
+	Accept(timeout time.Duration) (Conn, error)
+	Addr() netip.AddrPort
+	Close() error
+}

@@ -1,0 +1,521 @@
+// Package netsim is a deterministic discrete-event network simulator built on
+// internal/vclock. It models hosts with IPv4/IPv6 addresses, point-to-point
+// latency, probabilistic loss, bounded receive queues (tail drop), serialized
+// per-host CPUs, and transparent middleboxes that claim address space —
+// exactly the facilities the DNS Guard paper's testbed provides in hardware.
+//
+// Each Host implements netapi.Env, so servers, resolvers, and guards written
+// against that interface run inside the simulation unmodified. Source-address
+// spoofing (required to reproduce the paper's attacks) is available through
+// Host.SendRaw, which injects a datagram with an arbitrary source address.
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"dnsguard/internal/netapi"
+	"dnsguard/internal/vclock"
+)
+
+// Protocol numbers used on the simulated wire.
+const (
+	ProtoTCP uint8 = 6
+	ProtoUDP uint8 = 17
+)
+
+// DefaultQueueCap bounds a socket or tap receive queue unless overridden.
+// Overflowing datagrams are tail-dropped, like a kernel socket buffer.
+const DefaultQueueCap = 512
+
+// Network is a set of hosts connected by configurable links, all sharing one
+// virtual clock.
+type Network struct {
+	sched      *vclock.Scheduler
+	hosts      []*Host
+	native     map[netip.Addr]*Host
+	claims     []claim
+	defLatency time.Duration
+	latency    map[hostPair]time.Duration
+	loss       map[hostPair]float64
+	defLoss    float64
+
+	// Stats counts network-wide events.
+	Stats NetStats
+}
+
+type claim struct {
+	prefix netip.Prefix
+	host   *Host
+}
+
+type hostPair struct{ a, b *Host }
+
+// NetStats aggregates network-level counters.
+type NetStats struct {
+	Sent      uint64 // datagrams/segments submitted
+	Delivered uint64 // handed to a socket, tap, or protocol handler
+	Lost      uint64 // dropped by link loss
+	NoRoute   uint64 // no host owns the destination address
+	NoSocket  uint64 // host had no matching socket/tap/handler
+}
+
+// New creates an empty network on sched with a default one-way link latency.
+func New(sched *vclock.Scheduler, defaultOneWayLatency time.Duration) *Network {
+	return &Network{
+		sched:      sched,
+		native:     make(map[netip.Addr]*Host),
+		latency:    make(map[hostPair]time.Duration),
+		loss:       make(map[hostPair]float64),
+		defLatency: defaultOneWayLatency,
+	}
+}
+
+// Scheduler returns the virtual-time scheduler driving this network.
+func (n *Network) Scheduler() *vclock.Scheduler { return n.sched }
+
+// AddHost creates a host owning the given addresses.
+func (n *Network) AddHost(name string, ips ...netip.Addr) *Host {
+	h := &Host{
+		net:      n,
+		name:     name,
+		ips:      append([]netip.Addr(nil), ips...),
+		udp:      make(map[netip.AddrPort]*UDPConn),
+		ports:    make(map[uint16]int),
+		protos:   make(map[uint8]ProtoHandler),
+		nextPort: 49152,
+		queueCap: DefaultQueueCap,
+		cpu:      newCPU(n.sched),
+	}
+	for _, ip := range ips {
+		if other, ok := n.native[ip]; ok {
+			panic(fmt.Sprintf("netsim: address %v already owned by %s", ip, other.name))
+		}
+		n.native[ip] = h
+	}
+	n.hosts = append(n.hosts, h)
+	return h
+}
+
+// SetLatency sets the symmetric one-way latency between two hosts.
+func (n *Network) SetLatency(a, b *Host, oneWay time.Duration) {
+	n.latency[hostPair{a, b}] = oneWay
+	n.latency[hostPair{b, a}] = oneWay
+}
+
+// SetLoss sets the directional loss probability for datagrams from a to b.
+func (n *Network) SetLoss(a, b *Host, rate float64) {
+	n.loss[hostPair{a, b}] = rate
+}
+
+// SetDefaultLoss sets the loss probability applied to links without an
+// explicit override.
+func (n *Network) SetDefaultLoss(rate float64) { n.defLoss = rate }
+
+func (n *Network) latencyBetween(a, b *Host) time.Duration {
+	if a == b {
+		return 0
+	}
+	if d, ok := n.latency[hostPair{a, b}]; ok {
+		return d
+	}
+	return n.defLatency
+}
+
+func (n *Network) lossBetween(a, b *Host) float64 {
+	if r, ok := n.loss[hostPair{a, b}]; ok {
+		return r
+	}
+	return n.defLoss
+}
+
+// ownerOf resolves the host that receives traffic for addr: explicit claims
+// (longest prefix first; later claims win ties, the way a replacement box
+// takes over an address) take precedence over native ownership, which is
+// how a guard middlebox transparently captures its ANS's address space.
+func (n *Network) ownerOf(addr netip.Addr) *Host {
+	var best *Host
+	bestBits := -1
+	for _, c := range n.claims {
+		if c.prefix.Contains(addr) && c.prefix.Bits() >= bestBits {
+			best, bestBits = c.host, c.prefix.Bits()
+		}
+	}
+	if best != nil {
+		return best
+	}
+	return n.native[addr]
+}
+
+// Packet is a raw datagram as seen by taps and protocol handlers.
+type Packet struct {
+	Src     netip.AddrPort
+	Dst     netip.AddrPort
+	Payload []byte
+}
+
+// ProtoHandler receives non-UDP transport payloads (e.g. simulated TCP
+// segments) addressed to a host. Handlers run as event callbacks and must not
+// block; hand off to a queue for real work.
+type ProtoHandler func(src, dst netip.AddrPort, payload any)
+
+// send routes one transport payload from srcHost. UDP payloads must be
+// []byte. bypassGateway is set for re-injected traffic so middleboxes do not
+// loop. directTo, when non-nil, skips routing and delivers to that host.
+func (n *Network) send(proto uint8, srcHost *Host, src, dst netip.AddrPort, payload any, bypassGateway bool, directTo *Host) error {
+	n.Stats.Sent++
+	target := directTo
+	if target == nil {
+		if gw := srcHost.gateway; gw != nil && !bypassGateway && gw != srcHost {
+			target = gw
+		} else {
+			target = n.ownerOf(dst.Addr())
+		}
+	}
+	if target == nil {
+		n.Stats.NoRoute++
+		return fmt.Errorf("netsim: send %v->%v: %w", src, dst, netapi.ErrNoRoute)
+	}
+	if r := n.lossBetween(srcHost, target); r > 0 && n.sched.Rand().Float64() < r {
+		n.Stats.Lost++
+		return nil // silently lost, like the real network
+	}
+	lat := n.latencyBetween(srcHost, target)
+	n.sched.After(lat, func() { target.deliver(proto, src, dst, payload) })
+	return nil
+}
+
+// Host is a simulated machine. It implements netapi.Env.
+type Host struct {
+	net      *Network
+	name     string
+	ips      []netip.Addr
+	udp      map[netip.AddrPort]*UDPConn
+	ports    map[uint16]int // bound-port refcounts (O(1) ephemeral allocation)
+	tap      *Tap
+	protos   map[uint8]ProtoHandler
+	gateway  *Host
+	tcp      TCPProvider
+	nextPort uint16
+	queueCap int
+	cpu      *CPU
+
+	// Stats counts host-level events.
+	Stats HostStats
+}
+
+// HostStats aggregates per-host counters.
+type HostStats struct {
+	UDPSent     uint64
+	UDPReceived uint64
+	RecvDropped uint64 // receive queue overflow (tail drop)
+	NoSocket    uint64
+}
+
+var _ netapi.Env = (*Host)(nil)
+
+// Name returns the diagnostic name given to AddHost.
+func (h *Host) Name() string { return h.name }
+
+// Addr returns the host's primary address.
+func (h *Host) Addr() netip.Addr {
+	if len(h.ips) == 0 {
+		return netip.Addr{}
+	}
+	return h.ips[0]
+}
+
+// Network returns the network this host belongs to.
+func (h *Host) Network() *Network { return h.net }
+
+// CPU returns the host's serialized virtual CPU.
+func (h *Host) CPU() *CPU { return h.cpu }
+
+// SetQueueCap overrides the receive-queue bound used by subsequently created
+// sockets and taps.
+func (h *Host) SetQueueCap(c int) { h.queueCap = c }
+
+// SetGateway routes every datagram this host originates through gw's tap,
+// modelling an on-path middlebox (the paper's local DNS guard). Traffic the
+// gateway re-injects must use SendRaw or InjectTo to avoid looping.
+func (h *Host) SetGateway(gw *Host) { h.gateway = gw }
+
+// ClaimPrefix directs all traffic addressed within p to this host, taking
+// precedence over native owners. This is how the remote DNS guard intercepts
+// traffic for its ANS's address and for the cookie subnet.
+func (h *Host) ClaimPrefix(p netip.Prefix) {
+	h.net.claims = append(h.net.claims, claim{prefix: p, host: h})
+}
+
+// ClaimAddr is ClaimPrefix for a single address.
+func (h *Host) ClaimAddr(a netip.Addr) {
+	h.ClaimPrefix(netip.PrefixFrom(a, a.BitLen()))
+}
+
+// Now implements netapi.Env.
+func (h *Host) Now() time.Duration { return h.net.sched.Now() }
+
+// Sleep implements netapi.Env.
+func (h *Host) Sleep(d time.Duration) { h.net.sched.Sleep(d) }
+
+// Go implements netapi.Env.
+func (h *Host) Go(name string, fn func()) {
+	h.net.sched.Go(h.name+"/"+name, fn)
+}
+
+func (h *Host) ownsAddr(a netip.Addr) bool {
+	for _, ip := range h.ips {
+		if ip == a {
+			return true
+		}
+	}
+	return false
+}
+
+func (h *Host) allocPort() uint16 {
+	for {
+		p := h.nextPort
+		h.nextPort++
+		if h.nextPort == 0 {
+			h.nextPort = 49152
+		}
+		if h.ports[p] == 0 {
+			return p
+		}
+	}
+}
+
+// ListenUDP implements netapi.Env. The address must be one of the host's own
+// addresses (use a Tap to receive for claimed prefixes).
+func (h *Host) ListenUDP(addr netip.AddrPort) (netapi.UDPConn, error) {
+	a := addr.Addr()
+	if !a.IsValid() || a.IsUnspecified() {
+		a = h.Addr()
+	}
+	if !h.ownsAddr(a) {
+		return nil, fmt.Errorf("netsim: %s does not own %v: %w", h.name, a, netapi.ErrNoRoute)
+	}
+	port := addr.Port()
+	if port == 0 {
+		port = h.allocPort()
+	}
+	ap := netip.AddrPortFrom(a, port)
+	if _, ok := h.udp[ap]; ok {
+		return nil, fmt.Errorf("netsim: %v: %w", ap, netapi.ErrAddrInUse)
+	}
+	c := &UDPConn{
+		host:  h,
+		local: ap,
+		q:     vclock.NewBoundedQueue[Packet](h.net.sched, h.queueCap),
+	}
+	h.udp[ap] = c
+	h.ports[port]++
+	return c, nil
+}
+
+// DialTCP implements netapi.Env, delegating to the installed TCPProvider.
+func (h *Host) DialTCP(raddr netip.AddrPort) (netapi.Conn, error) {
+	if h.tcp == nil {
+		return nil, fmt.Errorf("netsim: %s has no TCP stack: %w", h.name, netapi.ErrNoRoute)
+	}
+	return h.tcp.Dial(h, raddr)
+}
+
+// ListenTCP implements netapi.Env, delegating to the installed TCPProvider.
+func (h *Host) ListenTCP(addr netip.AddrPort) (netapi.Listener, error) {
+	if h.tcp == nil {
+		return nil, fmt.Errorf("netsim: %s has no TCP stack: %w", h.name, netapi.ErrNoRoute)
+	}
+	return h.tcp.Listen(h, addr)
+}
+
+// TCPProvider supplies a stream transport for a host; see internal/tcpsim.
+type TCPProvider interface {
+	Dial(h *Host, raddr netip.AddrPort) (netapi.Conn, error)
+	Listen(h *Host, laddr netip.AddrPort) (netapi.Listener, error)
+}
+
+// SetTCP installs the stream transport used by DialTCP/ListenTCP.
+func (h *Host) SetTCP(p TCPProvider) { h.tcp = p }
+
+// HandleProto registers a transport handler (tcpsim uses this for segments).
+func (h *Host) HandleProto(proto uint8, fn ProtoHandler) { h.protos[proto] = fn }
+
+// SendProto transmits a transport payload from this host. Used by tcpsim.
+func (h *Host) SendProto(proto uint8, src, dst netip.AddrPort, payload any) error {
+	return h.net.send(proto, h, src, dst, payload, false, nil)
+}
+
+// SendRaw injects a UDP datagram with an arbitrary source address, bypassing
+// any gateway on this host. This is the spoofing primitive used by attack
+// generators and by middleboxes re-injecting intercepted traffic.
+func (h *Host) SendRaw(src, dst netip.AddrPort, payload []byte) error {
+	h.Stats.UDPSent++
+	return h.net.send(ProtoUDP, h, src, dst, cloneBytes(payload), true, nil)
+}
+
+// InjectTo delivers a datagram directly to target, skipping routing and
+// claims. Middleboxes use it to hand intercepted traffic to the machine that
+// natively owns the destination address.
+func (h *Host) InjectTo(target *Host, src, dst netip.AddrPort, payload []byte) error {
+	h.Stats.UDPSent++
+	return h.net.send(ProtoUDP, h, src, dst, cloneBytes(payload), true, target)
+}
+
+// deliver hands an arriving payload to the right endpoint on this host.
+func (h *Host) deliver(proto uint8, src, dst netip.AddrPort, payload any) {
+	if proto != ProtoUDP {
+		if fn, ok := h.protos[proto]; ok {
+			h.net.Stats.Delivered++
+			fn(src, dst, payload)
+			return
+		}
+		h.Stats.NoSocket++
+		h.net.Stats.NoSocket++
+		return
+	}
+	b, ok := payload.([]byte)
+	if !ok {
+		panic("netsim: UDP payload must be []byte")
+	}
+	h.Stats.UDPReceived++
+	pkt := Packet{Src: src, Dst: dst, Payload: b}
+	if c, ok := h.udp[dst]; ok && !c.closed {
+		h.net.Stats.Delivered++
+		if !c.q.Put(pkt) {
+			h.Stats.RecvDropped++
+		}
+		return
+	}
+	if h.tap != nil && !h.tap.closed {
+		h.net.Stats.Delivered++
+		if !h.tap.q.Put(pkt) {
+			h.Stats.RecvDropped++
+		}
+		return
+	}
+	h.Stats.NoSocket++
+	h.net.Stats.NoSocket++
+}
+
+// UDPConn is a simulated datagram socket.
+type UDPConn struct {
+	host   *Host
+	local  netip.AddrPort
+	q      *vclock.Queue[Packet]
+	closed bool
+}
+
+var _ netapi.UDPConn = (*UDPConn)(nil)
+
+// ReadFrom implements netapi.UDPConn.
+func (c *UDPConn) ReadFrom(timeout time.Duration) ([]byte, netip.AddrPort, error) {
+	pkt, err := c.q.Get(timeout)
+	if err != nil {
+		return nil, netip.AddrPort{}, mapQueueErr(err)
+	}
+	return pkt.Payload, pkt.Src, nil
+}
+
+// WriteTo implements netapi.UDPConn.
+func (c *UDPConn) WriteTo(b []byte, to netip.AddrPort) error {
+	if c.closed {
+		return netapi.ErrClosed
+	}
+	c.host.Stats.UDPSent++
+	return c.host.net.send(ProtoUDP, c.host, c.local, to, cloneBytes(b), false, nil)
+}
+
+// LocalAddr implements netapi.UDPConn.
+func (c *UDPConn) LocalAddr() netip.AddrPort { return c.local }
+
+// Close implements netapi.UDPConn.
+func (c *UDPConn) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	delete(c.host.udp, c.local)
+	if n := c.host.ports[c.local.Port()]; n > 1 {
+		c.host.ports[c.local.Port()] = n - 1
+	} else {
+		delete(c.host.ports, c.local.Port())
+	}
+	c.q.Close()
+	return nil
+}
+
+// Tap receives every datagram delivered to this host that no explicit socket
+// claimed — including traffic for claimed prefixes and gateway-intercepted
+// traffic. It is the guard's packet-capture interface.
+type Tap struct {
+	host   *Host
+	q      *vclock.Queue[Packet]
+	closed bool
+}
+
+// OpenTap installs the host's tap. Only one tap may exist per host.
+func (h *Host) OpenTap() (*Tap, error) {
+	if h.tap != nil && !h.tap.closed {
+		return nil, fmt.Errorf("netsim: %s already has a tap: %w", h.name, netapi.ErrAddrInUse)
+	}
+	t := &Tap{host: h, q: vclock.NewBoundedQueue[Packet](h.net.sched, h.queueCap)}
+	h.tap = t
+	return t, nil
+}
+
+// Read blocks until a packet arrives, the timeout elapses, or the tap closes.
+func (t *Tap) Read(timeout time.Duration) (Packet, error) {
+	pkt, err := t.q.Get(timeout)
+	if err != nil {
+		return Packet{}, mapQueueErr(err)
+	}
+	return pkt, nil
+}
+
+// WriteFromTo sends a datagram with an explicit source address; the source
+// should be an address this tap's host owns or claims (e.g. answering as the
+// protected ANS).
+func (t *Tap) WriteFromTo(src, dst netip.AddrPort, payload []byte) error {
+	if t.closed {
+		return netapi.ErrClosed
+	}
+	return t.host.SendRaw(src, dst, payload)
+}
+
+// Pending reports queued packets (backlog) on the tap.
+func (t *Tap) Pending() int { return t.q.Len() }
+
+// Dropped reports packets tail-dropped from the tap queue.
+func (t *Tap) Dropped() uint64 { return t.q.Dropped() }
+
+// Close shuts the tap; blocked readers receive ErrClosed.
+func (t *Tap) Close() error {
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	t.q.Close()
+	return nil
+}
+
+func mapQueueErr(err error) error {
+	switch err {
+	case vclock.ErrTimeout:
+		return netapi.ErrTimeout
+	case vclock.ErrClosed:
+		return netapi.ErrClosed
+	default:
+		return err
+	}
+}
+
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

@@ -1,0 +1,120 @@
+// Package ratelimit provides the traffic-policing building blocks the DNS
+// Guard uses (§III-F, Figure 4):
+//
+//   - TokenBucket: classic rate + burst policing on a caller-supplied clock
+//     (virtual time in simulations, wall time in daemons);
+//   - TopK: a space-saving heavy-hitter sketch tracking the top requesters;
+//   - Limiter1: polices cookie responses so the guarded ANS cannot be used
+//     as a traffic reflector (tracks top requesters, per-source + global
+//     budgets);
+//   - Limiter2: per-host nominal rate limiting for verified (non-spoofed)
+//     requesters, bounding what a cookie-holding attacker or zombie farm can
+//     push through the guard.
+package ratelimit
+
+import "time"
+
+// TokenBucket enforces an average rate with a burst allowance. The zero value
+// is unusable; construct with NewTokenBucket. Time is supplied by the caller
+// as a monotonic offset so the same code runs under virtual and real clocks.
+type TokenBucket struct {
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Duration
+}
+
+// NewTokenBucket returns a bucket that starts full.
+func NewTokenBucket(ratePerSec, burst float64, now time.Duration) *TokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &TokenBucket{rate: ratePerSec, burst: burst, tokens: burst, last: now}
+}
+
+func (b *TokenBucket) refill(now time.Duration) {
+	if now <= b.last {
+		return
+	}
+	b.tokens += b.rate * (now - b.last).Seconds()
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+}
+
+// Allow consumes one token if available and reports whether the event
+// conforms to the configured rate.
+func (b *TokenBucket) Allow(now time.Duration) bool { return b.AllowN(now, 1) }
+
+// AllowN consumes n tokens if available.
+func (b *TokenBucket) AllowN(now time.Duration, n float64) bool {
+	b.refill(now)
+	if b.tokens < n {
+		return false
+	}
+	b.tokens -= n
+	return true
+}
+
+// Tokens reports the current token count after refilling to now.
+func (b *TokenBucket) Tokens(now time.Duration) float64 {
+	b.refill(now)
+	return b.tokens
+}
+
+// RateEstimator measures an aggregate event rate over a sliding window of
+// fixed-size buckets. The guard uses it for threshold activation: spoof
+// detection engages only when the input rate exceeds the ANS capacity
+// (§IV-C).
+type RateEstimator struct {
+	bucketLen time.Duration
+	counts    []uint64
+	times     []time.Duration
+	idx       int
+}
+
+// NewRateEstimator builds an estimator with n buckets of length each; the
+// window is n×length.
+func NewRateEstimator(n int, length time.Duration) *RateEstimator {
+	if n < 2 {
+		n = 2
+	}
+	return &RateEstimator{
+		bucketLen: length,
+		counts:    make([]uint64, n),
+		times:     make([]time.Duration, n),
+	}
+}
+
+// Observe records one event at now.
+func (e *RateEstimator) Observe(now time.Duration) {
+	slot := now / e.bucketLen
+	cur := e.times[e.idx]
+	switch {
+	case slot == cur:
+		e.counts[e.idx]++
+	default:
+		e.idx = (e.idx + 1) % len(e.counts)
+		e.times[e.idx] = slot
+		e.counts[e.idx] = 1
+	}
+}
+
+// Rate returns the estimated events/second at now.
+func (e *RateEstimator) Rate(now time.Duration) float64 {
+	slot := now / e.bucketLen
+	var total uint64
+	var valid int
+	for i := range e.counts {
+		if age := slot - e.times[i]; age >= 0 && age < time.Duration(len(e.counts)) && e.counts[i] > 0 {
+			total += e.counts[i]
+			valid++
+		}
+	}
+	if valid == 0 {
+		return 0
+	}
+	window := time.Duration(len(e.counts)) * e.bucketLen
+	return float64(total) / window.Seconds()
+}

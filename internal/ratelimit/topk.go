@@ -1,0 +1,111 @@
+package ratelimit
+
+import "container/heap"
+
+// TopK is a space-saving heavy-hitter sketch (Metwally et al.) over a stream
+// of keys. It tracks at most k counters; when a new key arrives with all
+// counters occupied, the minimum counter is evicted and inherited, so counts
+// are overestimates bounded by the evicted minimum. The guard's
+// Rate-Limiter1 uses it to identify the top cookie requesters (§III-F).
+type TopK[K comparable] struct {
+	k       int
+	entries map[K]*tkEntry[K]
+	heap    tkHeap[K]
+}
+
+type tkEntry[K comparable] struct {
+	key   K
+	count uint64
+	err   uint64 // overestimation bound inherited at eviction
+	idx   int
+}
+
+type tkHeap[K comparable] []*tkEntry[K]
+
+func (h tkHeap[K]) Len() int            { return len(h) }
+func (h tkHeap[K]) Less(i, j int) bool  { return h[i].count < h[j].count }
+func (h tkHeap[K]) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *tkHeap[K]) Push(x interface{}) { e := x.(*tkEntry[K]); e.idx = len(*h); *h = append(*h, e) }
+func (h *tkHeap[K]) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewTopK creates a sketch with k counters.
+func NewTopK[K comparable](k int) *TopK[K] {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK[K]{k: k, entries: make(map[K]*tkEntry[K], k)}
+}
+
+// Observe records one occurrence of key.
+func (t *TopK[K]) Observe(key K) {
+	if e, ok := t.entries[key]; ok {
+		e.count++
+		heap.Fix(&t.heap, e.idx)
+		return
+	}
+	if len(t.heap) < t.k {
+		e := &tkEntry[K]{key: key, count: 1}
+		t.entries[key] = e
+		heap.Push(&t.heap, e)
+		return
+	}
+	// Evict the minimum and inherit its count (space-saving step).
+	min := t.heap[0]
+	delete(t.entries, min.key)
+	min.key = key
+	min.err = min.count
+	min.count++
+	t.entries[key] = min
+	heap.Fix(&t.heap, 0)
+}
+
+// Estimate returns the (over-)estimated count for key and the error bound.
+// Missing keys report 0, 0.
+func (t *TopK[K]) Estimate(key K) (count, errBound uint64) {
+	if e, ok := t.entries[key]; ok {
+		return e.count, e.err
+	}
+	return 0, 0
+}
+
+// Contains reports whether key currently holds a counter, i.e. is among the
+// tracked heavy hitters.
+func (t *TopK[K]) Contains(key K) bool {
+	_, ok := t.entries[key]
+	return ok
+}
+
+// Top returns up to n tracked keys ordered by descending estimated count.
+func (t *TopK[K]) Top(n int) []K {
+	type kv struct {
+		key   K
+		count uint64
+	}
+	all := make([]kv, 0, len(t.heap))
+	for _, e := range t.heap {
+		all = append(all, kv{e.key, e.count})
+	}
+	// Insertion sort: k is small.
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && all[j].count > all[j-1].count; j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	if n > len(all) {
+		n = len(all)
+	}
+	keys := make([]K, n)
+	for i := 0; i < n; i++ {
+		keys[i] = all[i].key
+	}
+	return keys
+}
+
+// Len reports the number of occupied counters.
+func (t *TopK[K]) Len() int { return len(t.heap) }

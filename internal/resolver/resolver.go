@@ -1,0 +1,515 @@
+package resolver
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"dnsguard/internal/dnswire"
+	"dnsguard/internal/netapi"
+)
+
+// Resolution errors.
+var (
+	ErrNoServers   = errors.New("resolver: no usable name servers")
+	ErrTimeout     = errors.New("resolver: query timed out")
+	ErrLoop        = errors.New("resolver: referral loop or depth exceeded")
+	ErrServFail    = errors.New("resolver: upstream failure")
+	ErrUnreachable = errors.New("resolver: all servers unreachable")
+)
+
+// Config parameterizes a Resolver.
+type Config struct {
+	// Env supplies clock and sockets.
+	Env netapi.Env
+	// RootHints are the addresses of root name servers (or, for a
+	// single-zone deployment, of that zone's servers).
+	RootHints []netip.AddrPort
+	// Timeout is the per-attempt wait for a response. BIND's classic
+	// 2-second timer is the default; the paper's LRS simulator uses 10 ms.
+	Timeout time.Duration
+	// Retries is how many additional attempts (rotating servers) are made
+	// after the first.
+	Retries int
+	// MaxSteps bounds delegation-following iterations per query.
+	MaxSteps int
+	// MaxDepth bounds sub-resolutions (NS target addresses, CNAME chains).
+	MaxDepth int
+	// CacheSize bounds the cache entry count.
+	CacheSize int
+	// DisableCache turns the cache off entirely (the paper's cache-miss
+	// throughput experiments disable cookie caching this way).
+	DisableCache bool
+	// Seed makes query-ID generation deterministic in simulations.
+	Seed int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 24
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 8
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 1 << 16
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Stats counts resolver activity.
+type Stats struct {
+	Queries      uint64 // client questions asked of this resolver
+	Upstream     uint64 // queries sent to authoritative servers
+	Retries      uint64
+	Timeouts     uint64
+	TCPFallbacks uint64
+	CacheAnswers uint64 // questions answered fully from cache
+}
+
+// Result is the outcome of one resolution.
+type Result struct {
+	Answers  []dnswire.RR
+	RCode    dnswire.RCode
+	Latency  time.Duration
+	Upstream int // upstream queries this resolution issued
+	CacheHit bool
+}
+
+// Resolver is an iterative (recursive-serving) DNS resolver.
+type Resolver struct {
+	cfg   Config
+	cache *Cache
+	rng   *rand.Rand
+
+	// Stats is updated during operation.
+	Stats Stats
+}
+
+// New builds a resolver.
+func New(cfg Config) (*Resolver, error) {
+	if cfg.Env == nil {
+		return nil, errors.New("resolver: Config.Env is required")
+	}
+	if len(cfg.RootHints) == 0 {
+		return nil, errors.New("resolver: Config.RootHints is required")
+	}
+	cfg.fillDefaults()
+	return &Resolver{
+		cfg:   cfg,
+		cache: NewCache(cfg.CacheSize),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// Cache exposes the resolver's cache (for tests and cache-priming).
+func (r *Resolver) Cache() *Cache { return r.cache }
+
+// FlushCache drops all cached data.
+func (r *Resolver) FlushCache() { r.cache.Flush() }
+
+// Resolve answers (qname, qtype) by walking the delegation hierarchy.
+func (r *Resolver) Resolve(qname dnswire.Name, qtype dnswire.Type) (Result, error) {
+	r.Stats.Queries++
+	start := r.cfg.Env.Now()
+	before := r.Stats.Upstream
+	rrs, rcode, err := r.resolve(qname, qtype, 0)
+	res := Result{
+		Answers:  rrs,
+		RCode:    rcode,
+		Latency:  r.cfg.Env.Now() - start,
+		Upstream: int(r.Stats.Upstream - before),
+	}
+	res.CacheHit = res.Upstream == 0 && err == nil
+	if res.CacheHit {
+		r.Stats.CacheAnswers++
+	}
+	return res, err
+}
+
+func (r *Resolver) now() time.Duration { return r.cfg.Env.Now() }
+
+func (r *Resolver) cacheGet(name dnswire.Name, t dnswire.Type) ([]dnswire.RR, dnswire.RCode, bool, bool) {
+	if r.cfg.DisableCache {
+		return nil, 0, false, false
+	}
+	return r.cache.Get(r.now(), name, t)
+}
+
+func (r *Resolver) cachePut(name dnswire.Name, t dnswire.Type, rrs []dnswire.RR) {
+	if r.cfg.DisableCache {
+		return
+	}
+	r.cache.Put(r.now(), name, t, rrs)
+}
+
+func (r *Resolver) resolve(qname dnswire.Name, qtype dnswire.Type, depth int) ([]dnswire.RR, dnswire.RCode, error) {
+	if depth > r.cfg.MaxDepth {
+		return nil, dnswire.RCodeServFail, ErrLoop
+	}
+	// Cache: direct answer.
+	if rrs, rcode, neg, ok := r.cacheGet(qname, qtype); ok {
+		if neg {
+			return nil, rcode, nil
+		}
+		return rrs, dnswire.RCodeNoError, nil
+	}
+	// Cache: CNAME indirection.
+	if qtype != dnswire.TypeCNAME {
+		if cn, _, neg, ok := r.cacheGet(qname, dnswire.TypeCNAME); ok && !neg && len(cn) > 0 {
+			target := cn[0].Data.(*dnswire.CNAMEData).Target
+			tail, rcode, err := r.resolve(target, qtype, depth+1)
+			if err != nil {
+				return nil, rcode, err
+			}
+			return append(cn, tail...), rcode, nil
+		}
+	}
+
+	zoneName, servers := r.bestServers(qname)
+	for step := 0; step < r.cfg.MaxSteps; step++ {
+		resp, err := r.querySet(servers, qname, qtype, depth)
+		if err != nil {
+			return nil, dnswire.RCodeServFail, err
+		}
+		switch kind := classify(resp, qname, qtype); kind {
+		case respAnswer:
+			return r.acceptAnswer(resp, qname, qtype, depth)
+		case respNXDomain:
+			ttl := negativeTTL(resp)
+			if !r.cfg.DisableCache {
+				r.cache.PutNegative(r.now(), qname, qtype, dnswire.RCodeNXDomain, ttl)
+			}
+			return nil, dnswire.RCodeNXDomain, nil
+		case respNoData:
+			ttl := negativeTTL(resp)
+			if !r.cfg.DisableCache {
+				r.cache.PutNegative(r.now(), qname, qtype, dnswire.RCodeNoError, ttl)
+			}
+			return nil, dnswire.RCodeNoError, nil
+		case respReferral:
+			child, nsset := referralTarget(resp)
+			// Progress and sanity: the child zone must enclose qname and
+			// be strictly deeper than the zone we just asked; anything
+			// else is a bogus or looping referral.
+			if !qname.IsSubdomainOf(child) || child.NumLabels() <= zoneName.NumLabels() {
+				return nil, dnswire.RCodeServFail, fmt.Errorf("%w: referral to %s from zone %s", ErrLoop, child, zoneName)
+			}
+			r.cachePut(child, dnswire.TypeNS, nsset)
+			for _, glue := range resp.Additional {
+				if glue.Type == dnswire.TypeA || glue.Type == dnswire.TypeAAAA {
+					r.cachePut(glue.Name, glue.Type, []dnswire.RR{glue})
+				}
+			}
+			zoneName = child
+			// Attach glue addresses directly so they are used even when
+			// the cache is disabled (and without re-resolution).
+			servers = nsNamesWithGlue(nsset, resp.Additional)
+		default:
+			return nil, resp.Flags.RCode, fmt.Errorf("%w: rcode %v from zone %s", ErrServFail, resp.Flags.RCode, zoneName)
+		}
+	}
+	return nil, dnswire.RCodeServFail, fmt.Errorf("%w: exceeded %d steps", ErrLoop, r.cfg.MaxSteps)
+}
+
+// acceptAnswer caches the answer rrsets and follows a dangling CNAME chain.
+func (r *Resolver) acceptAnswer(resp *dnswire.Message, qname dnswire.Name, qtype dnswire.Type, depth int) ([]dnswire.RR, dnswire.RCode, error) {
+	// Group rrsets by (owner, type) and cache each.
+	groups := map[cacheKey][]dnswire.RR{}
+	for _, rr := range resp.Answers {
+		k := cacheKey{rr.Name, rr.Type}
+		groups[k] = append(groups[k], rr)
+	}
+	for k, rrs := range groups {
+		r.cachePut(k.name, k.rtype, rrs)
+	}
+	chain := append([]dnswire.RR(nil), resp.Answers...)
+	// Does the chain already contain a record of qtype?
+	for _, rr := range chain {
+		if rr.Type == qtype || qtype == dnswire.TypeANY {
+			return chain, dnswire.RCodeNoError, nil
+		}
+	}
+	// Dangling CNAME: follow the last target.
+	last := chain[len(chain)-1]
+	if cn, ok := last.Data.(*dnswire.CNAMEData); ok && qtype != dnswire.TypeCNAME {
+		tail, rcode, err := r.resolve(cn.Target, qtype, depth+1)
+		if err != nil {
+			return nil, rcode, err
+		}
+		return append(chain, tail...), rcode, nil
+	}
+	return chain, dnswire.RCodeNoError, nil
+}
+
+// serverRef names a candidate server: either by name (address resolved
+// lazily) or by literal address (root hints).
+type serverRef struct {
+	name dnswire.Name
+	addr netip.AddrPort
+}
+
+// bestServers finds the deepest cached zone cut enclosing qname; falls back
+// to root hints.
+func (r *Resolver) bestServers(qname dnswire.Name) (dnswire.Name, []serverRef) {
+	if !r.cfg.DisableCache {
+		for z := qname; ; z = z.Parent() {
+			if rrs, _, neg, ok := r.cacheGet(z, dnswire.TypeNS); ok && !neg && len(rrs) > 0 {
+				return z, nsNames(rrs)
+			}
+			if z.IsRoot() {
+				break
+			}
+		}
+	}
+	refs := make([]serverRef, len(r.cfg.RootHints))
+	for i, a := range r.cfg.RootHints {
+		refs[i] = serverRef{addr: a}
+	}
+	return dnswire.Root, refs
+}
+
+func nsNames(nsset []dnswire.RR) []serverRef {
+	return nsNamesWithGlue(nsset, nil)
+}
+
+func nsNamesWithGlue(nsset, glue []dnswire.RR) []serverRef {
+	refs := make([]serverRef, 0, len(nsset))
+	for _, rr := range nsset {
+		d, ok := rr.Data.(*dnswire.NSData)
+		if !ok {
+			continue
+		}
+		ref := serverRef{name: d.Host}
+		for _, g := range glue {
+			if g.Name == d.Host && g.Type == dnswire.TypeA {
+				ref.addr = netip.AddrPortFrom(g.Data.(*dnswire.AData).Addr, 53)
+				break
+			}
+		}
+		refs = append(refs, ref)
+	}
+	return refs
+}
+
+// querySet tries each server (with retries) until one responds.
+func (r *Resolver) querySet(servers []serverRef, qname dnswire.Name, qtype dnswire.Type, depth int) (*dnswire.Message, error) {
+	if len(servers) == 0 {
+		return nil, ErrNoServers
+	}
+	var lastErr error = ErrUnreachable
+	attempts := r.cfg.Retries + 1
+	for a := 0; a < attempts; a++ {
+		for _, ref := range servers {
+			addr := ref.addr
+			if !addr.IsValid() {
+				ip, err := r.serverAddr(ref.name, depth)
+				if err != nil {
+					lastErr = err
+					continue
+				}
+				addr = netip.AddrPortFrom(ip, 53)
+			}
+			resp, err := r.exchange(addr, qname, qtype)
+			if err != nil {
+				lastErr = err
+				if a > 0 {
+					r.Stats.Retries++
+				}
+				continue
+			}
+			return resp, nil
+		}
+	}
+	return nil, lastErr
+}
+
+// serverAddr resolves a name server's address, from glue/cache or by
+// sub-resolution (this is the path that resolves fabricated cookie names).
+func (r *Resolver) serverAddr(host dnswire.Name, depth int) (netip.Addr, error) {
+	if rrs, _, neg, ok := r.cacheGet(host, dnswire.TypeA); ok && !neg && len(rrs) > 0 {
+		return rrs[0].Data.(*dnswire.AData).Addr, nil
+	}
+	rrs, _, err := r.resolve(host, dnswire.TypeA, depth+1)
+	if err != nil {
+		return netip.Addr{}, fmt.Errorf("resolving server %s: %w", host, err)
+	}
+	for _, rr := range rrs {
+		if a, ok := rr.Data.(*dnswire.AData); ok {
+			return a.Addr, nil
+		}
+	}
+	return netip.Addr{}, fmt.Errorf("%w: no address for server %s", ErrNoServers, host)
+}
+
+// exchange performs one UDP query/response with TCP fallback on truncation.
+func (r *Resolver) exchange(server netip.AddrPort, qname dnswire.Name, qtype dnswire.Type) (*dnswire.Message, error) {
+	conn, err := r.cfg.Env.ListenUDP(netip.AddrPort{})
+	if err != nil {
+		return nil, fmt.Errorf("resolver: binding query socket: %w", err)
+	}
+	defer conn.Close()
+
+	id := uint16(r.rng.Uint32())
+	q := dnswire.NewQuery(id, qname, qtype)
+	q.Flags.RD = false // iterative
+	wire, err := q.PackUDP(dnswire.MaxUDPSize)
+	if err != nil {
+		return nil, err
+	}
+	r.Stats.Upstream++
+	if err := conn.WriteTo(wire, server); err != nil {
+		return nil, err
+	}
+	deadline := r.now() + r.cfg.Timeout
+	for {
+		remain := deadline - r.now()
+		if remain <= 0 {
+			r.Stats.Timeouts++
+			return nil, ErrTimeout
+		}
+		payload, _, err := conn.ReadFrom(remain)
+		if err != nil {
+			if errors.Is(err, netapi.ErrTimeout) {
+				r.Stats.Timeouts++
+				return nil, ErrTimeout
+			}
+			return nil, err
+		}
+		resp, err := dnswire.Unpack(payload)
+		if err != nil || resp.ID != id || !resp.Flags.QR {
+			continue // stray or forged datagram; keep waiting
+		}
+		if len(resp.Questions) > 0 && (resp.Questions[0].Name != qname || resp.Questions[0].Type != qtype) {
+			continue
+		}
+		if resp.Flags.TC {
+			r.Stats.TCPFallbacks++
+			return r.exchangeTCP(server, qname, qtype)
+		}
+		return resp, nil
+	}
+}
+
+// exchangeTCP retries the query over a fresh TCP connection.
+func (r *Resolver) exchangeTCP(server netip.AddrPort, qname dnswire.Name, qtype dnswire.Type) (*dnswire.Message, error) {
+	conn, err := r.cfg.Env.DialTCP(server)
+	if err != nil {
+		return nil, fmt.Errorf("resolver: TCP fallback dial: %w", err)
+	}
+	defer conn.Close()
+	id := uint16(r.rng.Uint32())
+	q := dnswire.NewQuery(id, qname, qtype)
+	q.Flags.RD = false
+	wire, err := q.Pack()
+	if err != nil {
+		return nil, err
+	}
+	frame, err := dnswire.AppendTCPFrame(nil, wire)
+	if err != nil {
+		return nil, err
+	}
+	r.Stats.Upstream++
+	if _, err := conn.Write(frame); err != nil {
+		return nil, err
+	}
+	deadline := r.now() + r.cfg.Timeout
+	var sc dnswire.FrameScanner
+	buf := make([]byte, 4096)
+	for {
+		remain := deadline - r.now()
+		if remain <= 0 {
+			r.Stats.Timeouts++
+			return nil, ErrTimeout
+		}
+		n, err := conn.Read(buf, remain)
+		if err != nil {
+			if errors.Is(err, netapi.ErrTimeout) {
+				r.Stats.Timeouts++
+				return nil, ErrTimeout
+			}
+			return nil, err
+		}
+		sc.Add(buf[:n])
+		msg, ok, err := sc.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		resp, err := dnswire.Unpack(msg)
+		if err != nil || resp.ID != id {
+			continue
+		}
+		return resp, nil
+	}
+}
+
+// Response classification --------------------------------------------------
+
+type respKind int
+
+const (
+	respAnswer respKind = iota + 1
+	respReferral
+	respNXDomain
+	respNoData
+	respError
+)
+
+func classify(resp *dnswire.Message, qname dnswire.Name, qtype dnswire.Type) respKind {
+	switch {
+	case resp.Flags.RCode == dnswire.RCodeNXDomain:
+		return respNXDomain
+	case resp.Flags.RCode != dnswire.RCodeNoError:
+		return respError
+	case len(resp.Answers) > 0:
+		return respAnswer
+	default:
+		// Referral: NS records in authority, not authoritative.
+		for _, rr := range resp.Authority {
+			if rr.Type == dnswire.TypeNS {
+				return respReferral
+			}
+		}
+		return respNoData
+	}
+}
+
+func referralTarget(resp *dnswire.Message) (dnswire.Name, []dnswire.RR) {
+	var nsset []dnswire.RR
+	var child dnswire.Name
+	for _, rr := range resp.Authority {
+		if rr.Type == dnswire.TypeNS {
+			child = rr.Name
+			nsset = append(nsset, rr)
+		}
+	}
+	return child, nsset
+}
+
+func negativeTTL(resp *dnswire.Message) time.Duration {
+	for _, rr := range resp.Authority {
+		if soa, ok := rr.Data.(*dnswire.SOAData); ok {
+			ttl := soa.Minimum
+			if rr.TTL < ttl {
+				ttl = rr.TTL
+			}
+			return time.Duration(ttl) * time.Second
+		}
+	}
+	return 30 * time.Second
+}

@@ -1,0 +1,165 @@
+package resolver
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"dnsguard/internal/dnswire"
+	"dnsguard/internal/netapi"
+)
+
+// ServerConfig parameterizes an LRS front end.
+type ServerConfig struct {
+	// Env supplies clock and sockets.
+	Env netapi.Env
+	// Addr is the UDP service address (port 53).
+	Addr netip.AddrPort
+	// Resolver answers the questions.
+	Resolver *Resolver
+	// AllowedClients, when non-empty, restricts service to sources inside
+	// these prefixes — the paper notes most LRSs only serve their own
+	// organization, which is what stops attackers from recruiting LRSs.
+	AllowedClients []netip.Prefix
+}
+
+// Server exposes a Resolver as a recursive DNS service over UDP, the role
+// the paper's LRS plays for stub resolvers (message 1/8 in Figure 3).
+type Server struct {
+	cfg ServerConfig
+	udp netapi.UDPConn
+
+	// Stats counts server activity.
+	Stats ServerStats
+}
+
+// ServerStats counts LRS front-end activity.
+type ServerStats struct {
+	Queries  uint64
+	Refused  uint64
+	Answered uint64
+	Failed   uint64
+}
+
+// NewServer validates cfg and creates an LRS server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Env == nil || cfg.Resolver == nil {
+		return nil, errors.New("resolver: ServerConfig.Env and Resolver are required")
+	}
+	return &Server{cfg: cfg}, nil
+}
+
+// Start binds the socket and spawns the serving proc.
+func (s *Server) Start() error {
+	udp, err := s.cfg.Env.ListenUDP(s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("resolver: binding %v: %w", s.cfg.Addr, err)
+	}
+	s.udp = udp
+	s.cfg.Env.Go("lrs", s.serve)
+	return nil
+}
+
+// Close shuts the server down.
+func (s *Server) Close() {
+	if s.udp != nil {
+		_ = s.udp.Close()
+	}
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() netip.AddrPort {
+	if s.udp != nil {
+		return s.udp.LocalAddr()
+	}
+	return s.cfg.Addr
+}
+
+func (s *Server) allowed(src netip.Addr) bool {
+	if len(s.cfg.AllowedClients) == 0 {
+		return true
+	}
+	for _, p := range s.cfg.AllowedClients {
+		if p.Contains(src) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) serve() {
+	for {
+		payload, src, err := s.udp.ReadFrom(netapi.NoTimeout)
+		if err != nil {
+			return
+		}
+		s.Stats.Queries++
+		q, err := dnswire.Unpack(payload)
+		if err != nil || q.Flags.QR || len(q.Questions) == 0 {
+			continue
+		}
+		if !s.allowed(src.Addr()) {
+			s.Stats.Refused++
+			resp := q.Response()
+			resp.Flags.RCode = dnswire.RCodeRefused
+			if wire, err := resp.PackUDP(dnswire.MaxUDPSize); err == nil {
+				_ = s.udp.WriteTo(wire, src)
+			}
+			continue
+		}
+		// Each recursive question gets its own proc: resolution blocks on
+		// upstream round trips.
+		s.cfg.Env.Go("lrs-query", func() { s.answer(q, src) })
+	}
+}
+
+func (s *Server) answer(q *dnswire.Message, src netip.AddrPort) {
+	question := q.Question()
+	res, err := s.cfg.Resolver.Resolve(question.Name, question.Type)
+	resp := q.Response()
+	resp.Flags.RA = true
+	if err != nil {
+		s.Stats.Failed++
+		resp.Flags.RCode = dnswire.RCodeServFail
+	} else {
+		resp.Flags.RCode = res.RCode
+		resp.Answers = res.Answers
+		s.Stats.Answered++
+	}
+	if wire, err := resp.PackUDP(dnswire.MaxUDPSize); err == nil {
+		_ = s.udp.WriteTo(wire, src)
+	}
+}
+
+// StubQuery is a stub-resolver helper: one recursive UDP query to an LRS.
+func StubQuery(env netapi.Env, lrs netip.AddrPort, qname dnswire.Name, qtype dnswire.Type, id uint16, timeout time.Duration) (*dnswire.Message, error) {
+	conn, err := env.ListenUDP(netip.AddrPort{})
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	wire, err := dnswire.NewQuery(id, qname, qtype).PackUDP(dnswire.MaxUDPSize)
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.WriteTo(wire, lrs); err != nil {
+		return nil, err
+	}
+	deadline := env.Now() + timeout
+	for {
+		remain := deadline - env.Now()
+		if remain <= 0 {
+			return nil, netapi.ErrTimeout
+		}
+		payload, _, err := conn.ReadFrom(remain)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := dnswire.Unpack(payload)
+		if err != nil || resp.ID != id || !resp.Flags.QR {
+			continue
+		}
+		return resp, nil
+	}
+}

@@ -1,0 +1,275 @@
+// Package tcpproxy implements the DNS guard's kernel-level TCP proxy
+// (§III-C): it terminates TCP connections addressed to the protected ANS
+// (whose address the guard intercepts — the paper uses Linux DNAT), converts
+// each DNS-over-TCP request to UDP toward the real ANS, and converts the
+// response back. TCP's three-way handshake proves the requester's source
+// address; SYN cookies (in the TCP stack underneath) keep the handshake
+// itself stateless.
+//
+// Per the paper, the proxy defends its own resources: connections living
+// longer than 5×RTT are torn down, and per-client token buckets bound the
+// rate of new connections.
+package tcpproxy
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"dnsguard/internal/dnswire"
+	"dnsguard/internal/netapi"
+	"dnsguard/internal/ratelimit"
+)
+
+// Config parameterizes a Proxy.
+type Config struct {
+	// Env supplies clock and sockets.
+	Env netapi.Env
+	// Listen is the TCP service address (the protected ANS's public
+	// address, port 53).
+	Listen netip.AddrPort
+	// ANSAddr is the real ANS's UDP address.
+	ANSAddr netip.AddrPort
+	// RTT is the estimated client round-trip time; the connection
+	// duration cap is 5×RTT (§III-C). 0 means 200ms.
+	RTT time.Duration
+	// MaxDuration overrides the 5×RTT duration cap when positive.
+	MaxDuration time.Duration
+	// UpstreamTimeout bounds the ANS's answer time. 0 means 2s.
+	UpstreamTimeout time.Duration
+	// ConnRate and ConnBurst bound per-client new-connection rates.
+	// Zero means 50/s with burst 20.
+	ConnRate  float64
+	ConnBurst float64
+	// MaxConcurrent bounds simultaneous proxied connections. 0 means
+	// 8192.
+	MaxConcurrent int
+	// CPU, when non-nil, is charged CostPerRequest for every proxied
+	// request (the simulator's kernel-TCP service time).
+	CPU CPUWorker
+	// CostPerRequest computes the service cost given the current number
+	// of live connections — connection-table management makes it grow
+	// with concurrency (Figure 7a).
+	CostPerRequest func(live int) time.Duration
+}
+
+// CPUWorker charges simulated CPU time; netsim.(*CPU) implements it.
+type CPUWorker interface {
+	Work(d time.Duration)
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Env == nil {
+		return errors.New("tcpproxy: Config.Env is required")
+	}
+	if !c.Listen.IsValid() || !c.ANSAddr.IsValid() {
+		return errors.New("tcpproxy: Listen and ANSAddr are required")
+	}
+	if c.RTT <= 0 {
+		c.RTT = 200 * time.Millisecond
+	}
+	if c.MaxDuration <= 0 {
+		c.MaxDuration = 5 * c.RTT
+	}
+	if c.UpstreamTimeout <= 0 {
+		c.UpstreamTimeout = 2 * time.Second
+	}
+	if c.ConnRate <= 0 {
+		c.ConnRate = 50
+	}
+	if c.ConnBurst <= 0 {
+		c.ConnBurst = 20
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 8192
+	}
+	return nil
+}
+
+// Stats counts proxy activity.
+type Stats struct {
+	Accepted      uint64
+	RateRejected  uint64 // closed immediately by per-client token bucket
+	FullRejected  uint64 // closed due to MaxConcurrent
+	Requests      uint64 // DNS requests proxied to UDP
+	Responses     uint64
+	DurationKills uint64 // connections torn down at the 5×RTT cap
+	UpstreamDrops uint64 // ANS did not answer in time
+}
+
+// Proxy is a running TCP→UDP DNS proxy.
+type Proxy struct {
+	cfg      Config
+	listener netapi.Listener
+	buckets  *clientBuckets
+	live     int
+	closed   bool
+
+	// Stats is updated as the proxy runs.
+	Stats Stats
+}
+
+// clientBuckets is a small bounded map of per-client token buckets.
+type clientBuckets struct {
+	rate, burst float64
+	m           map[netip.Addr]*ratelimit.TokenBucket
+}
+
+func (cb *clientBuckets) allow(a netip.Addr, now time.Duration) bool {
+	b, ok := cb.m[a]
+	if !ok {
+		if len(cb.m) > 65536 {
+			cb.m = make(map[netip.Addr]*ratelimit.TokenBucket) // crude reset under spray
+		}
+		b = ratelimit.NewTokenBucket(cb.rate, cb.burst, now)
+		cb.m[a] = b
+	}
+	return b.Allow(now)
+}
+
+// New validates cfg and creates a proxy (not yet started).
+func New(cfg Config) (*Proxy, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	return &Proxy{
+		cfg:     cfg,
+		buckets: &clientBuckets{rate: cfg.ConnRate, burst: cfg.ConnBurst, m: make(map[netip.Addr]*ratelimit.TokenBucket)},
+	}, nil
+}
+
+// Start binds the listener and spawns the accept proc.
+func (p *Proxy) Start() error {
+	l, err := p.cfg.Env.ListenTCP(p.cfg.Listen)
+	if err != nil {
+		return fmt.Errorf("tcpproxy: listen %v: %w", p.cfg.Listen, err)
+	}
+	p.listener = l
+	p.cfg.Env.Go("tcpproxy-accept", p.acceptLoop)
+	return nil
+}
+
+// Close stops the proxy.
+func (p *Proxy) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	if p.listener != nil {
+		_ = p.listener.Close()
+	}
+}
+
+// Live reports currently proxied connections (drives the connection-table
+// cost factor in experiments).
+func (p *Proxy) Live() int { return p.live }
+
+func (p *Proxy) acceptLoop() {
+	for {
+		conn, err := p.listener.Accept(netapi.NoTimeout)
+		if err != nil {
+			return
+		}
+		now := p.cfg.Env.Now()
+		if !p.buckets.allow(conn.RemoteAddr().Addr(), now) {
+			p.Stats.RateRejected++
+			_ = conn.Close()
+			continue
+		}
+		if p.live >= p.cfg.MaxConcurrent {
+			p.Stats.FullRejected++
+			_ = conn.Close()
+			continue
+		}
+		p.Stats.Accepted++
+		p.live++
+		p.cfg.Env.Go("tcpproxy-conn", func() {
+			defer func() { p.live-- }()
+			p.serve(conn)
+		})
+	}
+}
+
+// serve relays one TCP connection until it closes, errors, or exceeds the
+// duration cap.
+func (p *Proxy) serve(conn netapi.Conn) {
+	defer conn.Close()
+	opened := p.cfg.Env.Now()
+	var sc dnswire.FrameScanner
+	buf := make([]byte, 4096)
+	for {
+		remain := p.cfg.MaxDuration - (p.cfg.Env.Now() - opened)
+		if remain <= 0 {
+			p.Stats.DurationKills++
+			return
+		}
+		n, err := conn.Read(buf, remain)
+		if err != nil {
+			if errors.Is(err, netapi.ErrTimeout) {
+				p.Stats.DurationKills++
+			}
+			return
+		}
+		sc.Add(buf[:n])
+		for {
+			frame, ok, err := sc.Next()
+			if err != nil {
+				return
+			}
+			if !ok {
+				break
+			}
+			if !p.relay(conn, frame) {
+				return
+			}
+		}
+	}
+}
+
+// relay forwards one request frame to the ANS over UDP and writes the
+// response back on the TCP connection.
+func (p *Proxy) relay(conn netapi.Conn, frame []byte) bool {
+	req, err := dnswire.Unpack(frame)
+	if err != nil || req.Flags.QR {
+		return false
+	}
+	p.Stats.Requests++
+	if p.cfg.CPU != nil && p.cfg.CostPerRequest != nil {
+		p.cfg.CPU.Work(p.cfg.CostPerRequest(p.live))
+	}
+	udp, err := p.cfg.Env.ListenUDP(netip.AddrPort{})
+	if err != nil {
+		return false
+	}
+	defer udp.Close()
+	if err := udp.WriteTo(frame, p.cfg.ANSAddr); err != nil {
+		return false
+	}
+	deadline := p.cfg.Env.Now() + p.cfg.UpstreamTimeout
+	for {
+		remain := deadline - p.cfg.Env.Now()
+		if remain <= 0 {
+			p.Stats.UpstreamDrops++
+			return false
+		}
+		payload, _, err := udp.ReadFrom(remain)
+		if err != nil {
+			p.Stats.UpstreamDrops++
+			return false
+		}
+		resp, err := dnswire.Unpack(payload)
+		if err != nil || resp.ID != req.ID {
+			continue
+		}
+		out, err := dnswire.AppendTCPFrame(nil, payload)
+		if err != nil {
+			return false
+		}
+		if _, err := conn.Write(out); err != nil {
+			return false
+		}
+		p.Stats.Responses++
+		return true
+	}
+}

@@ -1,0 +1,336 @@
+package tcpproxy
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"dnsguard/internal/ans"
+	"dnsguard/internal/cookie"
+	"dnsguard/internal/dnswire"
+	"dnsguard/internal/guard"
+
+	"dnsguard/internal/netsim"
+	"dnsguard/internal/resolver"
+	"dnsguard/internal/tcpsim"
+	"dnsguard/internal/vclock"
+	"dnsguard/internal/zone"
+)
+
+const fooZoneText = `
+$ORIGIN foo.com.
+@ 3600 IN SOA ns1 admin 1 7200 600 360000 60
+@ 3600 IN NS ns1
+ns1 3600 IN A 192.0.2.1
+www 300 IN A 198.51.100.10
+`
+
+func mustAddr(s string) netip.Addr   { return netip.MustParseAddr(s) }
+func mustAP(s string) netip.AddrPort { return netip.MustParseAddrPort(s) }
+
+// fixture: guard in TCP-redirect mode + TCP proxy in front of foo.com's ANS.
+type fixture struct {
+	sched  *vclock.Scheduler
+	net    *netsim.Network
+	proxy  *Proxy
+	g      *guard.Remote
+	fooNS  *ans.Server
+	lrs    *netsim.Host
+	res    *resolver.Resolver
+	gStack *tcpsim.Stack
+}
+
+func newFixture(t *testing.T, mutate func(*Config)) *fixture {
+	t.Helper()
+	sched := vclock.New(55)
+	network := netsim.New(sched, 5*time.Millisecond)
+	f := &fixture{sched: sched, net: network}
+
+	ansHost := network.AddHost("foo-ans", mustAddr("10.99.0.2"))
+	srv, err := ans.New(ans.Config{
+		Env: ansHost, Addr: mustAP("10.99.0.2:53"),
+		Zone: zone.MustParse(fooZoneText, dnswire.Root),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	f.fooNS = srv
+
+	guardHost := network.AddHost("guard", mustAddr("10.99.0.1"))
+	guardHost.ClaimAddr(mustAddr("192.0.2.1"))
+	network.SetLatency(guardHost, ansHost, 100*time.Microsecond)
+	f.gStack = tcpsim.Install(guardHost, tcpsim.Config{SYNCookies: true})
+
+	tap, err := guardHost.OpenTap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := guard.NewRemote(guard.RemoteConfig{
+		Env:        guardHost,
+		IO:         guard.TapIO{Tap: tap},
+		PublicAddr: mustAP("192.0.2.1:53"),
+		ANSAddr:    mustAP("10.99.0.2:53"),
+		Zone:       dnswire.MustName("foo.com"),
+		Fallback:   guard.SchemeTCP,
+		Auth:       newAuth(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+	f.g = g
+
+	cfg := Config{
+		Env:     guardHost,
+		Listen:  mustAP("192.0.2.1:53"),
+		ANSAddr: mustAP("10.99.0.2:53"),
+		RTT:     10 * time.Millisecond,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	f.proxy = p
+
+	f.lrs = network.AddHost("lrs", mustAddr("10.0.0.53"))
+	tcpsim.Install(f.lrs, tcpsim.Config{})
+	res, err := resolver.New(resolver.Config{
+		Env:       f.lrs,
+		RootHints: []netip.AddrPort{mustAP("192.0.2.1:53")},
+		Timeout:   time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.res = res
+	return f
+}
+
+func newAuth() *cookie.Authenticator {
+	var key [cookie.KeySize]byte
+	for i := range key {
+		key[i] = byte(i)
+	}
+	return cookie.NewAuthenticatorWithKey(key)
+}
+
+func (f *fixture) run(t *testing.T, fn func()) {
+	t.Helper()
+	f.sched.Go("test", fn)
+	f.sched.Run(15 * time.Minute)
+}
+
+func TestTCPSchemeEndToEnd(t *testing.T) {
+	f := newFixture(t, nil)
+	var lat time.Duration
+	f.run(t, func() {
+		start := f.sched.Now()
+		res, err := f.res.Resolve(dnswire.MustName("www.foo.com"), dnswire.TypeA)
+		lat = f.sched.Now() - start
+		if err != nil {
+			t.Errorf("Resolve: %v (guard %+v proxy %+v)", err, f.g.Stats, f.proxy.Stats)
+			return
+		}
+		if len(res.Answers) != 1 || res.Answers[0].Data.(*dnswire.AData).Addr != mustAddr("198.51.100.10") {
+			t.Errorf("answers = %v", res.Answers)
+		}
+	})
+	// Paper Table II: TCP scheme is always ~3 RTT (TC redirect + handshake
+	// + query/response): 34.5ms at RTT 10.9. Ours: 30ms + LAN hops.
+	if lat < 29*time.Millisecond || lat > 33*time.Millisecond {
+		t.Errorf("latency = %v, want ~30ms (3 RTT)", lat)
+	}
+	if f.g.Stats.TCRedirects != 1 {
+		t.Errorf("redirects = %d, want 1", f.g.Stats.TCRedirects)
+	}
+	if f.proxy.Stats.Requests != 1 || f.proxy.Stats.Responses != 1 {
+		t.Errorf("proxy stats = %+v", f.proxy.Stats)
+	}
+	if f.fooNS.Stats.UDPQueries != 1 {
+		t.Errorf("ANS queries = %d, want 1 (over UDP, not TCP)", f.fooNS.Stats.UDPQueries)
+	}
+	if f.fooNS.Stats.TCPQueries != 0 {
+		t.Errorf("ANS saw %d TCP queries; the proxy must offload TCP", f.fooNS.Stats.TCPQueries)
+	}
+}
+
+func TestTCPSchemeSecondQueryStillThreeRTT(t *testing.T) {
+	// TCP-based protection has no cacheable credential: every request is
+	// redirected (the "Best Latency 3 RTT" row of Table I).
+	f := newFixture(t, nil)
+	var lat time.Duration
+	f.run(t, func() {
+		if _, err := f.res.Resolve(dnswire.MustName("www.foo.com"), dnswire.TypeA); err != nil {
+			t.Errorf("first: %v", err)
+			return
+		}
+		f.sched.Sleep(400 * time.Second) // let the answer TTL (300s) lapse
+		start := f.sched.Now()
+		if _, err := f.res.Resolve(dnswire.MustName("www.foo.com"), dnswire.TypeA); err != nil {
+			t.Errorf("second: %v", err)
+			return
+		}
+		lat = f.sched.Now() - start
+	})
+	if lat < 29*time.Millisecond || lat > 33*time.Millisecond {
+		t.Errorf("second-query latency = %v, want ~30ms (3 RTT, no caching win)", lat)
+	}
+	if f.g.Stats.TCRedirects != 2 {
+		t.Errorf("redirects = %d, want 2", f.g.Stats.TCRedirects)
+	}
+}
+
+func TestProxyDurationCap(t *testing.T) {
+	f := newFixture(t, nil) // cap = 5×10ms = 50ms
+	f.run(t, func() {
+		conn, err := f.lrs.DialTCP(mustAP("192.0.2.1:53"))
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		defer conn.Close()
+		// Send nothing; the proxy must kill the idle connection at ~50ms.
+		start := f.sched.Now()
+		buf := make([]byte, 16)
+		_, err = conn.Read(buf, time.Second)
+		elapsed := f.sched.Now() - start
+		if err == nil {
+			t.Error("read succeeded on a capped connection")
+			return
+		}
+		if elapsed > 100*time.Millisecond {
+			t.Errorf("connection lived %v, cap is 50ms", elapsed)
+		}
+	})
+	if f.proxy.Stats.DurationKills != 1 {
+		t.Errorf("duration kills = %d, want 1", f.proxy.Stats.DurationKills)
+	}
+}
+
+func TestProxyConnRateLimiting(t *testing.T) {
+	f := newFixture(t, func(c *Config) {
+		c.ConnRate = 10
+		c.ConnBurst = 5
+	})
+	served, refused := 0, 0
+	f.run(t, func() {
+		q, _ := dnswire.NewQuery(1, dnswire.MustName("www.foo.com"), dnswire.TypeA).Pack()
+		frame, _ := dnswire.AppendTCPFrame(nil, q)
+		for i := 0; i < 50; i++ {
+			conn, err := f.lrs.DialTCP(mustAP("192.0.2.1:53"))
+			if err != nil {
+				refused++
+				continue
+			}
+			if _, err := conn.Write(frame); err != nil {
+				refused++
+				_ = conn.Close()
+				continue
+			}
+			buf := make([]byte, 2048)
+			if _, err := conn.Read(buf, 100*time.Millisecond); err != nil {
+				refused++
+			} else {
+				served++
+			}
+			_ = conn.Close()
+		}
+	})
+	if served > 25 {
+		t.Errorf("served = %d of 50 rapid connections, want most rejected", served)
+	}
+	if f.proxy.Stats.RateRejected == 0 {
+		t.Error("rate limiter never rejected")
+	}
+}
+
+func TestProxyConcurrentClients(t *testing.T) {
+	f := newFixture(t, func(c *Config) {
+		c.ConnRate = 1e6
+		c.ConnBurst = 1e6
+	})
+	const n = 100
+	done := 0
+	for i := 0; i < n; i++ {
+		id := uint16(i + 1)
+		f.sched.Go("client", func() {
+			conn, err := f.lrs.DialTCP(mustAP("192.0.2.1:53"))
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer conn.Close()
+			q, _ := dnswire.NewQuery(id, dnswire.MustName("www.foo.com"), dnswire.TypeA).Pack()
+			frame, _ := dnswire.AppendTCPFrame(nil, q)
+			if _, err := conn.Write(frame); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+			var sc dnswire.FrameScanner
+			buf := make([]byte, 2048)
+			for {
+				rn, err := conn.Read(buf, time.Second)
+				if err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				sc.Add(buf[:rn])
+				msg, ok, _ := sc.Next()
+				if ok {
+					resp, err := dnswire.Unpack(msg)
+					if err != nil || resp.ID != id {
+						t.Errorf("bad response: %v %v", resp, err)
+						return
+					}
+					done++
+					return
+				}
+			}
+		})
+	}
+	f.sched.Run(time.Minute)
+	if done != n {
+		t.Fatalf("done = %d, want %d", done, n)
+	}
+	if f.proxy.Live() != 0 {
+		t.Fatalf("live = %d after completion", f.proxy.Live())
+	}
+}
+
+func TestProxyMaxConcurrent(t *testing.T) {
+	f := newFixture(t, func(c *Config) {
+		c.ConnRate = 1e6
+		c.ConnBurst = 1e6
+		c.MaxConcurrent = 5
+		c.MaxDuration = 10 * time.Second
+	})
+	for i := 0; i < 20; i++ {
+		f.sched.Go("holder", func() {
+			conn, err := f.lrs.DialTCP(mustAP("192.0.2.1:53"))
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			buf := make([]byte, 16)
+			_, _ = conn.Read(buf, 5*time.Second) // hold open
+		})
+	}
+	f.sched.Run(time.Minute)
+	if f.proxy.Stats.FullRejected == 0 {
+		t.Error("MaxConcurrent never enforced")
+	}
+	if f.proxy.Stats.Accepted > 6 {
+		t.Errorf("accepted = %d with MaxConcurrent 5", f.proxy.Stats.Accepted)
+	}
+}

@@ -1,0 +1,99 @@
+package tcpsim
+
+import (
+	"bytes"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dnsguard/internal/netapi"
+	"dnsguard/internal/netsim"
+	"dnsguard/internal/vclock"
+)
+
+// TestRegressionHandshakeLossStreamStart reproduces a bug found by the
+// stream-integrity property (seed 280): when the handshake-completing ACK
+// and the first data segment were lost, a later data segment completed the
+// handshake and the server seeded rcvNxt from it, silently skipping the
+// start of the stream. The server must take the initial sequence from the
+// SYN it acknowledged.
+func TestRegressionHandshakeLossStreamStart(t *testing.T) {
+	seed := int64(280)
+	r := rand.New(rand.NewSource(seed))
+	sched := vclock.New(seed)
+	network := netsim.New(sched, time.Duration(1+r.Intn(5))*time.Millisecond)
+	client := network.AddHost("c", netip.MustParseAddr("10.0.0.1"))
+	server := network.AddHost("s", netip.MustParseAddr("10.0.0.2"))
+	cst := Install(client, Config{})
+	sc := r.Intn(2) == 0
+	sst := Install(server, Config{SYNCookies: sc})
+	lossy := r.Intn(2) == 0
+	loss := 0.0
+	if lossy {
+		loss = float64(r.Intn(20)) / 100
+		network.SetLoss(client, server, loss)
+		network.SetLoss(server, client, loss)
+	}
+	payload := make([]byte, 1+r.Intn(20000))
+	r.Read(payload)
+	t.Logf("syncookies=%v lossy=%v loss=%.2f payloadLen=%d", sc, lossy, loss, len(payload))
+
+	var received []byte
+	ok := true
+	l, _ := server.ListenTCP(netip.MustParseAddrPort("10.0.0.2:53"))
+	sched.Go("server", func() {
+		conn, err := l.Accept(netapi.NoTimeout)
+		if err != nil {
+			ok = false
+			t.Logf("accept err %v", err)
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 4096)
+		for len(received) < len(payload) {
+			n, err := conn.Read(buf, 30*time.Second)
+			if err != nil {
+				ok = false
+				t.Logf("read err %v after %d", err, len(received))
+				return
+			}
+			received = append(received, buf[:n]...)
+		}
+	})
+	sched.Go("client", func() {
+		conn, err := client.DialTCP(netip.MustParseAddrPort("10.0.0.2:53"))
+		if err != nil {
+			ok = false
+			t.Logf("dial err %v", err)
+			return
+		}
+		defer conn.Close()
+		for off := 0; off < len(payload); {
+			n := 1 + r.Intn(2000)
+			if off+n > len(payload) {
+				n = len(payload) - off
+			}
+			if _, err := conn.Write(payload[off : off+n]); err != nil {
+				ok = false
+				t.Logf("write err %v at %d", err, off)
+				return
+			}
+			off += n
+			if r.Intn(3) == 0 {
+				sched.Sleep(time.Duration(r.Intn(5)) * time.Millisecond)
+			}
+		}
+	})
+	sched.Run(5 * time.Minute)
+	t.Logf("ok=%v received=%d/%d cst=%+v sst=%+v", ok, len(received), len(payload), cst.Stats, sst.Stats)
+	if len(received) > len(payload) || !bytes.Equal(received, payload[:len(received)]) {
+		for i := range received {
+			if received[i] != payload[i] {
+				t.Logf("first mismatch at %d", i)
+				break
+			}
+		}
+		t.Fatal("corruption/reorder")
+	}
+}

@@ -1,0 +1,137 @@
+// Package workload implements the traffic endpoints of the paper's
+// evaluation (§IV): the authors' ANS simulator (fixed answer, ~110K req/s),
+// scheme-aware LRS simulators (closed-loop or paced, with the 10 ms wait /
+// 2 s BIND-style stall behaviors), and spoofing attackers.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"dnsguard/internal/dnswire"
+	"dnsguard/internal/netapi"
+)
+
+// CPUWorker charges simulated CPU time; netsim.(*CPU) implements it.
+type CPUWorker interface {
+	Work(d time.Duration)
+}
+
+// ANSSimMode selects the shape of the simulator's fixed answer.
+type ANSSimMode int
+
+// ANS simulator modes.
+const (
+	// ModeAnswer returns an authoritative A record for every question
+	// (the non-referral case).
+	ModeAnswer ANSSimMode = iota + 1
+	// ModeReferral returns a referral (NS + glue A) for every question
+	// (the root/TLD case).
+	ModeReferral
+)
+
+// ANSSimConfig parameterizes the fixed-answer authoritative simulator.
+type ANSSimConfig struct {
+	// Env supplies clock and sockets.
+	Env netapi.Env
+	// Addr is the UDP service address.
+	Addr netip.AddrPort
+	// Mode selects answer or referral responses.
+	Mode ANSSimMode
+	// AnswerAddr is the address returned in answers/glue.
+	AnswerAddr netip.Addr
+	// TTL applied to all records. The throughput experiments use 0 so
+	// LRS caches never absorb load.
+	TTL uint32
+	// CPU, when non-nil, is charged Cost per request (~9.1 µs for the
+	// paper's 110K req/s simulator).
+	CPU CPUWorker
+	// Cost is the per-request service time.
+	Cost time.Duration
+}
+
+// ANSSim is the paper's ANS simulator: it answers every DNS question with
+// the same fixed response as fast as its CPU allows.
+type ANSSim struct {
+	cfg  ANSSimConfig
+	conn netapi.UDPConn
+
+	// Served counts responses sent.
+	Served uint64
+}
+
+// NewANSSim validates cfg and creates the simulator.
+func NewANSSim(cfg ANSSimConfig) (*ANSSim, error) {
+	if cfg.Env == nil {
+		return nil, errors.New("workload: ANSSimConfig.Env is required")
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeAnswer
+	}
+	if !cfg.AnswerAddr.IsValid() {
+		cfg.AnswerAddr = netip.MustParseAddr("203.0.113.80")
+	}
+	return &ANSSim{cfg: cfg}, nil
+}
+
+// Start binds the socket and spawns the serving proc.
+func (s *ANSSim) Start() error {
+	conn, err := s.cfg.Env.ListenUDP(s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("workload: anssim bind %v: %w", s.cfg.Addr, err)
+	}
+	s.conn = conn
+	s.cfg.Env.Go("anssim", s.serve)
+	return nil
+}
+
+// Close stops the simulator.
+func (s *ANSSim) Close() {
+	if s.conn != nil {
+		_ = s.conn.Close()
+	}
+}
+
+func (s *ANSSim) serve() {
+	for {
+		payload, src, err := s.conn.ReadFrom(netapi.NoTimeout)
+		if err != nil {
+			return
+		}
+		if s.cfg.CPU != nil && s.cfg.Cost > 0 {
+			s.cfg.CPU.Work(s.cfg.Cost)
+		}
+		q, err := dnswire.Unpack(payload)
+		if err != nil || q.Flags.QR || len(q.Questions) == 0 {
+			continue
+		}
+		resp := q.Response()
+		qname := q.Question().Name
+		switch s.cfg.Mode {
+		case ModeReferral:
+			nsName, err := qname.PrependLabel("ns1")
+			if err != nil {
+				nsName = dnswire.MustName("ns1.invalid")
+			}
+			resp.Authority = []dnswire.RR{
+				dnswire.NewRR(qname, s.cfg.TTL, &dnswire.NSData{Host: nsName}),
+			}
+			resp.Additional = []dnswire.RR{
+				dnswire.NewRR(nsName, s.cfg.TTL, &dnswire.AData{Addr: s.cfg.AnswerAddr}),
+			}
+		default:
+			resp.Flags.AA = true
+			resp.Answers = []dnswire.RR{
+				dnswire.NewRR(qname, s.cfg.TTL, &dnswire.AData{Addr: s.cfg.AnswerAddr}),
+			}
+		}
+		wire, err := resp.PackUDP(dnswire.MaxUDPSize)
+		if err != nil {
+			continue
+		}
+		s.Served++
+		_ = s.conn.WriteTo(wire, src)
+	}
+}

@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"errors"
+	"net/netip"
+	"time"
+
+	"dnsguard/internal/cookie"
+	"dnsguard/internal/dnswire"
+	"dnsguard/internal/guard"
+	"dnsguard/internal/netsim"
+)
+
+// AttackKind selects the spoofed payload.
+type AttackKind int
+
+// Attack kinds.
+const (
+	// AttackPlain floods ordinary queries from spoofed sources (the
+	// Figure 5 attack against BIND, and Figure 7b's UDP flood against
+	// the TCP proxy).
+	AttackPlain AttackKind = iota + 1
+	// AttackBadCookie floods queries carrying forged modified-DNS
+	// cookies (the Figure 6 attack: spoofed requests "without the right
+	// cookie" exercising the guard's check-and-drop path).
+	AttackBadCookie
+	// AttackBadNSLabel floods queries for forged fabricated names
+	// (guessing the DNS-based cookie).
+	AttackBadNSLabel
+)
+
+// AttackerConfig parameterizes a spoofing flood source.
+type AttackerConfig struct {
+	// Host is the simulated machine originating the flood; spoofing
+	// requires netsim's raw injection.
+	Host *netsim.Host
+	// Target is the victim address.
+	Target netip.AddrPort
+	// Rate is the flood rate in packets/second.
+	Rate float64
+	// Kind selects the payload.
+	Kind AttackKind
+	// QName is the query name used in flood packets.
+	QName dnswire.Name
+	// SpoofPool bounds the number of distinct spoofed sources cycled
+	// through. 0 means 65536.
+	SpoofPool int
+	// Tick batches packet emission (one wakeup per tick). 0 means 1ms.
+	Tick time.Duration
+	// Duration bounds the flood; 0 means until the simulation horizon.
+	Duration time.Duration
+}
+
+// Attacker floods a target with spoofed DNS requests at a fixed rate.
+type Attacker struct {
+	cfg     AttackerConfig
+	payload []byte
+	stopped bool
+
+	// Sent counts emitted packets.
+	Sent uint64
+}
+
+// NewAttacker validates cfg and pre-builds the flood payload.
+func NewAttacker(cfg AttackerConfig) (*Attacker, error) {
+	if cfg.Host == nil || !cfg.Target.IsValid() || cfg.Rate <= 0 {
+		return nil, errors.New("workload: AttackerConfig.Host, Target, Rate are required")
+	}
+	if cfg.Kind == 0 {
+		cfg.Kind = AttackPlain
+	}
+	if cfg.QName == "" {
+		cfg.QName = dnswire.MustName("www.foo.com")
+	}
+	if cfg.SpoofPool <= 0 {
+		cfg.SpoofPool = 65536
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = time.Millisecond
+	}
+	a := &Attacker{cfg: cfg}
+
+	q := dnswire.NewQuery(0xBAD, cfg.QName, dnswire.TypeA)
+	switch cfg.Kind {
+	case AttackBadCookie:
+		var forged cookie.Cookie
+		for i := range forged {
+			forged[i] = byte(0xA0 + i)
+		}
+		guard.AttachCookie(q, forged, 0)
+	case AttackBadNSLabel:
+		name, err := cfg.QName.PrependLabel("pr00c0ffee")
+		if err == nil {
+			q.Questions[0].Name = name
+		}
+	}
+	wire, err := q.PackUDP(dnswire.MaxUDPSize)
+	if err != nil {
+		return nil, err
+	}
+	a.payload = wire
+	return a, nil
+}
+
+// Start spawns the flood proc.
+func (a *Attacker) Start() {
+	a.cfg.Host.Go("attacker", a.run)
+}
+
+// Stop ends the flood at the next tick.
+func (a *Attacker) Stop() { a.stopped = true }
+
+func (a *Attacker) run() {
+	env := a.cfg.Host
+	start := env.Now()
+	perTick := a.cfg.Rate * a.cfg.Tick.Seconds()
+	carry := 0.0
+	spoofIdx := 0
+	for !a.stopped {
+		if a.cfg.Duration > 0 && env.Now()-start >= a.cfg.Duration {
+			return
+		}
+		carry += perTick
+		n := int(carry)
+		carry -= float64(n)
+		for i := 0; i < n; i++ {
+			spoofIdx = (spoofIdx + 1) % a.cfg.SpoofPool
+			src := netip.AddrPortFrom(
+				netip.AddrFrom4([4]byte{172, byte(16 + spoofIdx>>16), byte(spoofIdx >> 8), byte(spoofIdx)}),
+				uint16(1024+spoofIdx%60000),
+			)
+			_ = a.cfg.Host.SendRaw(src, a.cfg.Target, a.payload)
+			a.Sent++
+		}
+		env.Sleep(a.cfg.Tick)
+	}
+}

@@ -1,0 +1,290 @@
+package workload
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"dnsguard/internal/cookie"
+	"dnsguard/internal/dnswire"
+	"dnsguard/internal/guard"
+	"dnsguard/internal/netsim"
+	"dnsguard/internal/vclock"
+)
+
+func mustAddr(s string) netip.Addr   { return netip.MustParseAddr(s) }
+func mustAP(s string) netip.AddrPort { return netip.MustParseAddrPort(s) }
+
+type world struct {
+	sched *vclock.Scheduler
+	net   *netsim.Network
+}
+
+func newWorld() *world {
+	sched := vclock.New(99)
+	return &world{sched: sched, net: netsim.New(sched, 200*time.Microsecond)}
+}
+
+func TestANSSimAnswerMode(t *testing.T) {
+	w := newWorld()
+	h := w.net.AddHost("ans", mustAddr("10.0.0.2"))
+	sim, err := NewANSSim(ANSSimConfig{Env: h, Addr: mustAP("10.0.0.2:53"), TTL: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	client := w.net.AddHost("c", mustAddr("10.0.0.1"))
+	c, err := NewClient(ClientConfig{Env: client, Kind: KindPlain, Target: mustAP("10.0.0.2:53")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lat time.Duration
+	w.sched.Go("test", func() {
+		var err error
+		lat, err = c.RunOnce()
+		if err != nil {
+			t.Errorf("RunOnce: %v", err)
+		}
+	})
+	w.sched.Run(0)
+	if c.Stats.Completed != 1 {
+		t.Fatalf("completed = %d", c.Stats.Completed)
+	}
+	if lat != 400*time.Microsecond {
+		t.Fatalf("latency = %v, want 1 RTT (400µs)", lat)
+	}
+}
+
+func TestANSSimReferralMode(t *testing.T) {
+	w := newWorld()
+	h := w.net.AddHost("ans", mustAddr("10.0.0.2"))
+	sim, err := NewANSSim(ANSSimConfig{Env: h, Addr: mustAP("10.0.0.2:53"), Mode: ModeReferral, AnswerAddr: mustAddr("192.88.99.1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	client := w.net.AddHost("c", mustAddr("10.0.0.1"))
+	w.sched.Go("test", func() {
+		conn, _ := client.ListenUDP(netip.AddrPort{})
+		defer conn.Close()
+		q, _ := dnswire.NewQuery(3, dnswire.MustName("foo.com"), dnswire.TypeA).PackUDP(512)
+		_ = conn.WriteTo(q, mustAP("10.0.0.2:53"))
+		payload, _, err := conn.ReadFrom(time.Second)
+		if err != nil {
+			t.Errorf("read: %v", err)
+			return
+		}
+		resp, _ := dnswire.Unpack(payload)
+		if len(resp.Authority) != 1 || resp.Authority[0].Type != dnswire.TypeNS {
+			t.Errorf("authority = %v", resp.Authority)
+		}
+		if len(resp.Additional) != 1 || resp.Additional[0].Type != dnswire.TypeA {
+			t.Errorf("additional = %v", resp.Additional)
+		}
+	})
+	w.sched.Run(0)
+}
+
+// guardedWorld builds ANSSim behind a remote guard for client-scheme tests.
+func guardedWorld(t *testing.T, fallback guard.Scheme, mode ANSSimMode) (*world, *guard.Remote) {
+	t.Helper()
+	w := newWorld()
+	ansHost := w.net.AddHost("ans", mustAddr("10.99.0.2"))
+	sim, err := NewANSSim(ANSSimConfig{Env: ansHost, Addr: mustAP("10.99.0.2:53"), Mode: mode, TTL: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	guardHost := w.net.AddHost("guard", mustAddr("10.99.0.1"))
+	guardHost.ClaimPrefix(netip.MustParsePrefix("192.0.2.0/24"))
+	w.net.SetLatency(guardHost, ansHost, 50*time.Microsecond)
+	tap, err := guardHost.OpenTap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var key [cookie.KeySize]byte
+	g, err := guard.NewRemote(guard.RemoteConfig{
+		Env:        guardHost,
+		IO:         guard.TapIO{Tap: tap},
+		PublicAddr: mustAP("192.0.2.1:53"),
+		ANSAddr:    mustAP("10.99.0.2:53"),
+		Zone:       dnswire.MustName("foo.com"),
+		Subnet:     netip.MustParsePrefix("192.0.2.0/24"),
+		Fallback:   fallback,
+		Auth:       cookie.NewAuthenticatorWithKey(key),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return w, g
+}
+
+func TestClientNSNameAgainstGuard(t *testing.T) {
+	w, g := guardedWorld(t, guard.SchemeDNS, ModeReferral)
+	ch := w.net.AddHost("lrs", mustAddr("10.0.0.53"))
+	c, err := NewClient(ClientConfig{
+		Env: ch, Kind: KindNSName, Mode: ModeHit,
+		Target: mustAP("192.0.2.1:53"), QName: dnswire.MustName("www.foo.com"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.sched.Go("test", func() {
+		for i := 0; i < 5; i++ {
+			if _, err := c.RunOnce(); err != nil {
+				t.Errorf("request %d: %v (guard %+v)", i, err, g.Stats)
+				return
+			}
+		}
+	})
+	w.sched.Run(0)
+	if c.Stats.Completed != 5 {
+		t.Fatalf("completed = %d, want 5", c.Stats.Completed)
+	}
+	// Hit mode: one grant, then cookie queries only.
+	if g.Stats.NewcomerGrants != 1 {
+		t.Fatalf("grants = %d, want 1", g.Stats.NewcomerGrants)
+	}
+	if g.Stats.CookieValid != 5 {
+		t.Fatalf("valid = %d, want 5", g.Stats.CookieValid)
+	}
+}
+
+func TestClientFabIPAgainstGuard(t *testing.T) {
+	w, g := guardedWorld(t, guard.SchemeDNS, ModeAnswer)
+	ch := w.net.AddHost("lrs", mustAddr("10.0.0.53"))
+	c, err := NewClient(ClientConfig{
+		Env: ch, Kind: KindFabIP, Mode: ModeHit,
+		Target: mustAP("192.0.2.1:53"), QName: dnswire.MustName("www.foo.com"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.sched.Go("test", func() {
+		for i := 0; i < 5; i++ {
+			if _, err := c.RunOnce(); err != nil {
+				t.Errorf("request %d: %v (guard %+v)", i, err, g.Stats)
+				return
+			}
+		}
+	})
+	w.sched.Run(0)
+	if c.Stats.Completed != 5 {
+		t.Fatalf("completed = %d (stats %+v)", c.Stats.Completed, c.Stats)
+	}
+	if g.Stats.NewcomerGrants != 1 {
+		t.Fatalf("grants = %d, want 1", g.Stats.NewcomerGrants)
+	}
+}
+
+func TestClientModifiedAgainstGuard(t *testing.T) {
+	w, g := guardedWorld(t, guard.SchemeDNS, ModeAnswer)
+	ch := w.net.AddHost("lrs", mustAddr("10.0.0.53"))
+	c, err := NewClient(ClientConfig{
+		Env: ch, Kind: KindModified, Mode: ModeHit,
+		Target: mustAP("192.0.2.1:53"), QName: dnswire.MustName("www.foo.com"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.sched.Go("test", func() {
+		for i := 0; i < 5; i++ {
+			if _, err := c.RunOnce(); err != nil {
+				t.Errorf("request %d: %v (guard %+v)", i, err, g.Stats)
+				return
+			}
+		}
+	})
+	w.sched.Run(0)
+	if g.Stats.NewcomerGrants != 1 || g.Stats.CookieValid != 5 {
+		t.Fatalf("guard stats = %+v", g.Stats)
+	}
+}
+
+func TestClientMissModeRedoesHandshake(t *testing.T) {
+	w, g := guardedWorld(t, guard.SchemeDNS, ModeAnswer)
+	ch := w.net.AddHost("lrs", mustAddr("10.0.0.53"))
+	c, err := NewClient(ClientConfig{
+		Env: ch, Kind: KindModified, Mode: ModeMiss,
+		Target: mustAP("192.0.2.1:53"), QName: dnswire.MustName("www.foo.com"),
+		Requests: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	w.sched.Run(time.Minute)
+	if c.Stats.Completed != 5 {
+		t.Fatalf("completed = %d", c.Stats.Completed)
+	}
+	if g.Stats.NewcomerGrants != 5 {
+		t.Fatalf("grants = %d, want 5 (miss mode re-exchanges)", g.Stats.NewcomerGrants)
+	}
+}
+
+func TestAttackerRateAndSpoofDiversity(t *testing.T) {
+	w := newWorld()
+	atk := w.net.AddHost("attacker", mustAddr("203.0.113.66"))
+	victim := w.net.AddHost("victim", mustAddr("10.0.0.2"))
+	victim.SetQueueCap(1 << 20)
+	received := map[netip.Addr]int{}
+	w.sched.Go("victim", func() {
+		conn, _ := victim.ListenUDP(mustAP("10.0.0.2:53"))
+		for {
+			_, src, err := conn.ReadFrom(200 * time.Millisecond)
+			if err != nil {
+				return
+			}
+			received[src.Addr()]++
+		}
+	})
+	a, err := NewAttacker(AttackerConfig{
+		Host: atk, Target: mustAP("10.0.0.2:53"),
+		Rate: 50000, Duration: 200 * time.Millisecond, SpoofPool: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	w.sched.Run(0)
+	// 50K/s for 0.2s = 10000 packets.
+	if a.Sent < 9900 || a.Sent > 10100 {
+		t.Fatalf("sent = %d, want ~10000", a.Sent)
+	}
+	if len(received) != 1000 {
+		t.Fatalf("distinct sources = %d, want 1000", len(received))
+	}
+}
+
+func TestPacedClientStallsOnTimeout(t *testing.T) {
+	w := newWorld()
+	// No server: every request times out; with stall 100ms and wait 10ms,
+	// ~9 attempts fit in a second.
+	w.net.AddHost("dead", mustAddr("10.0.0.2"))
+	ch := w.net.AddHost("lrs", mustAddr("10.0.0.53"))
+	c, err := NewClient(ClientConfig{
+		Env: ch, Kind: KindPlain, Target: mustAP("10.0.0.2:53"),
+		Wait: 10 * time.Millisecond, Interval: time.Millisecond,
+		StallOnTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	w.sched.Run(time.Second)
+	if c.Stats.Attempts < 8 || c.Stats.Attempts > 11 {
+		t.Fatalf("attempts = %d, want ~9 (stall behavior)", c.Stats.Attempts)
+	}
+	if c.Stats.Timeouts != c.Stats.Attempts {
+		t.Fatalf("timeouts = %d of %d", c.Stats.Timeouts, c.Stats.Attempts)
+	}
+}

@@ -1,0 +1,271 @@
+package zone
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"dnsguard/internal/dnswire"
+)
+
+// Parse reads a master file (practical RFC 1035 subset) and returns the
+// zone. Supported directives: $ORIGIN, $TTL. Supported types: SOA, NS, A,
+// AAAA, CNAME, MX, TXT, PTR. Names without a trailing dot are relative to
+// the origin; "@" denotes the origin. The class field (IN) is optional.
+// Comments start with ';'. Parenthesized multi-line SOA records are
+// supported.
+func Parse(text string, defaultOrigin dnswire.Name) (*Zone, error) {
+	lines := joinParens(text)
+	origin := defaultOrigin
+	var defTTL uint32 = 3600
+	var z *Zone
+	var lastOwner dnswire.Name
+
+	for lineno, raw := range lines {
+		line := stripComment(raw)
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch strings.ToUpper(fields[0]) {
+		case "$ORIGIN":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("%w: line %d: $ORIGIN needs a name", ErrParse, lineno+1)
+			}
+			n, err := dnswire.ParseName(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrParse, lineno+1, err)
+			}
+			origin = n
+			continue
+		case "$TTL":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("%w: line %d: $TTL needs a value", ErrParse, lineno+1)
+			}
+			ttl, err := atoiTTL(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineno+1, err)
+			}
+			defTTL = ttl
+			continue
+		}
+
+		// Owner column: present unless the line starts with whitespace.
+		rest := fields
+		owner := lastOwner
+		if !strings.HasPrefix(line, " ") && !strings.HasPrefix(line, "\t") {
+			var err error
+			owner, err = resolveName(fields[0], origin)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrParse, lineno+1, err)
+			}
+			rest = fields[1:]
+		}
+		if owner == "" {
+			return nil, fmt.Errorf("%w: line %d: no owner name", ErrParse, lineno+1)
+		}
+		lastOwner = owner
+
+		// Optional TTL and class, in either order.
+		ttl := defTTL
+		for len(rest) > 0 {
+			tok := strings.ToUpper(rest[0])
+			if tok == "IN" {
+				rest = rest[1:]
+				continue
+			}
+			if v, err := atoiTTL(rest[0]); err == nil {
+				ttl = v
+				rest = rest[1:]
+				continue
+			}
+			break
+		}
+		if len(rest) == 0 {
+			return nil, fmt.Errorf("%w: line %d: missing record type", ErrParse, lineno+1)
+		}
+		rtype := strings.ToUpper(rest[0])
+		args := rest[1:]
+
+		if z == nil {
+			z = New(origin)
+		}
+		rr, err := buildRR(owner, ttl, rtype, args, origin)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno+1, err)
+		}
+		if err := z.Add(rr); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno+1, err)
+		}
+	}
+	if z == nil {
+		return nil, fmt.Errorf("%w: empty zone file", ErrParse)
+	}
+	return z, nil
+}
+
+// MustParse is Parse that panics, for fixtures.
+func MustParse(text string, origin dnswire.Name) *Zone {
+	z, err := Parse(text, origin)
+	if err != nil {
+		panic(err)
+	}
+	return z
+}
+
+func buildRR(owner dnswire.Name, ttl uint32, rtype string, args []string, origin dnswire.Name) (dnswire.RR, error) {
+	need := func(n int) error {
+		if len(args) < n {
+			return fmt.Errorf("%w: %s needs %d fields, have %d", ErrParse, rtype, n, len(args))
+		}
+		return nil
+	}
+	switch rtype {
+	case "A":
+		if err := need(1); err != nil {
+			return dnswire.RR{}, err
+		}
+		a, err := netip.ParseAddr(args[0])
+		if err != nil || !a.Is4() {
+			return dnswire.RR{}, fmt.Errorf("%w: bad A address %q", ErrParse, args[0])
+		}
+		return dnswire.NewRR(owner, ttl, &dnswire.AData{Addr: a}), nil
+	case "AAAA":
+		if err := need(1); err != nil {
+			return dnswire.RR{}, err
+		}
+		a, err := netip.ParseAddr(args[0])
+		if err != nil || !a.Is6() {
+			return dnswire.RR{}, fmt.Errorf("%w: bad AAAA address %q", ErrParse, args[0])
+		}
+		return dnswire.NewRR(owner, ttl, &dnswire.AAAAData{Addr: a}), nil
+	case "NS":
+		if err := need(1); err != nil {
+			return dnswire.RR{}, err
+		}
+		h, err := resolveName(args[0], origin)
+		if err != nil {
+			return dnswire.RR{}, err
+		}
+		return dnswire.NewRR(owner, ttl, &dnswire.NSData{Host: h}), nil
+	case "CNAME":
+		if err := need(1); err != nil {
+			return dnswire.RR{}, err
+		}
+		h, err := resolveName(args[0], origin)
+		if err != nil {
+			return dnswire.RR{}, err
+		}
+		return dnswire.NewRR(owner, ttl, &dnswire.CNAMEData{Target: h}), nil
+	case "PTR":
+		if err := need(1); err != nil {
+			return dnswire.RR{}, err
+		}
+		h, err := resolveName(args[0], origin)
+		if err != nil {
+			return dnswire.RR{}, err
+		}
+		return dnswire.NewRR(owner, ttl, &dnswire.PTRData{Target: h}), nil
+	case "MX":
+		if err := need(2); err != nil {
+			return dnswire.RR{}, err
+		}
+		pref, err := atoiTTL(args[0])
+		if err != nil {
+			return dnswire.RR{}, err
+		}
+		h, err := resolveName(args[1], origin)
+		if err != nil {
+			return dnswire.RR{}, err
+		}
+		return dnswire.NewRR(owner, ttl, &dnswire.MXData{Pref: uint16(pref), Host: h}), nil
+	case "TXT":
+		if err := need(1); err != nil {
+			return dnswire.RR{}, err
+		}
+		var strs [][]byte
+		for _, a := range args {
+			strs = append(strs, []byte(strings.Trim(a, `"`)))
+		}
+		return dnswire.NewRR(owner, ttl, &dnswire.TXTData{Strings: strs}), nil
+	case "SOA":
+		if err := need(7); err != nil {
+			return dnswire.RR{}, err
+		}
+		mname, err := resolveName(args[0], origin)
+		if err != nil {
+			return dnswire.RR{}, err
+		}
+		rname, err := resolveName(args[1], origin)
+		if err != nil {
+			return dnswire.RR{}, err
+		}
+		var nums [5]uint32
+		for i := 0; i < 5; i++ {
+			v, err := atoiTTL(args[2+i])
+			if err != nil {
+				return dnswire.RR{}, err
+			}
+			nums[i] = v
+		}
+		return dnswire.NewRR(owner, ttl, &dnswire.SOAData{
+			MName: mname, RName: rname,
+			Serial: nums[0], Refresh: nums[1], Retry: nums[2], Expire: nums[3], Minimum: nums[4],
+		}), nil
+	default:
+		return dnswire.RR{}, fmt.Errorf("%w: unsupported type %q", ErrParse, rtype)
+	}
+}
+
+func resolveName(s string, origin dnswire.Name) (dnswire.Name, error) {
+	if s == "@" {
+		return origin, nil
+	}
+	if strings.HasSuffix(s, ".") {
+		return dnswire.ParseName(s)
+	}
+	n, err := dnswire.ParseName(s)
+	if err != nil {
+		return "", err
+	}
+	if origin.IsRoot() {
+		return n, nil
+	}
+	return dnswire.ParseName(string(n) + "." + string(origin))
+}
+
+func stripComment(line string) string {
+	if i := strings.IndexByte(line, ';'); i >= 0 {
+		return line[:i]
+	}
+	return line
+}
+
+// joinParens merges parenthesized multi-line records into single lines.
+func joinParens(text string) []string {
+	raw := strings.Split(text, "\n")
+	var out []string
+	depth := 0
+	var cur strings.Builder
+	for _, l := range raw {
+		l = stripComment(l)
+		depth += strings.Count(l, "(") - strings.Count(l, ")")
+		l = strings.ReplaceAll(strings.ReplaceAll(l, "(", " "), ")", " ")
+		if depth > 0 {
+			cur.WriteString(l)
+			cur.WriteString(" ")
+			continue
+		}
+		if cur.Len() > 0 {
+			cur.WriteString(l)
+			out = append(out, cur.String())
+			cur.Reset()
+			continue
+		}
+		out = append(out, l)
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}

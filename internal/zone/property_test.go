@@ -1,0 +1,81 @@
+package zone
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dnsguard/internal/dnswire"
+)
+
+// TestPropertyLookupTotal exercises Lookup with random names and types: it
+// must never panic, always classify, and respect basic invariants (answers
+// only for existing rrsets; SOA present in negatives; referral authority is
+// all NS).
+func TestPropertyLookupTotal(t *testing.T) {
+	z := comZone(t)
+	labels := []string{"www", "foo", "bar", "ns1", "ns2", "a", "b", "pr00aabbcc", ""}
+	tlds := []string{"com", "org", "foo.com", "x.foo.com", ""}
+	types := []dnswire.Type{dnswire.TypeA, dnswire.TypeNS, dnswire.TypeMX, dnswire.TypeTXT, dnswire.TypeSOA, dnswire.TypeCNAME}
+
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		name := tlds[r.Intn(len(tlds))]
+		if l := labels[r.Intn(len(labels))]; l != "" {
+			if name != "" {
+				name = l + "." + name
+			} else {
+				name = l
+			}
+		}
+		qname, err := dnswire.ParseName(name)
+		if err != nil {
+			return true
+		}
+		qtype := types[r.Intn(len(types))]
+		ans := z.Lookup(qname, qtype)
+		switch ans.Kind {
+		case KindAnswer:
+			if len(ans.Answer) == 0 {
+				t.Logf("answer kind with empty answers for %s %v", qname, qtype)
+				return false
+			}
+		case KindReferral:
+			for _, rr := range ans.Authority {
+				if rr.Type != dnswire.TypeNS {
+					t.Logf("referral authority has %v", rr.Type)
+					return false
+				}
+			}
+		case KindNXDomain, KindNoData:
+			if len(ans.Authority) != 1 || ans.Authority[0].Type != dnswire.TypeSOA {
+				t.Logf("negative without SOA for %s", qname)
+				return false
+			}
+		default:
+			t.Logf("unclassified result for %s", qname)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyParseNeverPanics feeds mutated zone text to the parser.
+func TestPropertyParseNeverPanics(t *testing.T) {
+	base := fooZoneText
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := []byte(base)
+		for i := 0; i < 1+r.Intn(10); i++ {
+			b[r.Intn(len(b))] = byte(r.Intn(256))
+		}
+		_, _ = Parse(string(b), dnswire.Root) // errors fine; panics are not
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
