@@ -1,0 +1,34 @@
+# dnsguard build/verify entry points. `make check` is the full local gate:
+# vet, the race-enabled suite, and a short fuzz smoke on both dnswire targets.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build test check vet race fuzz-smoke testdata
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short deterministic-ish smoke on each fuzz target; regressions in the
+# checked-in corpus (testdata/fuzz/...) fail `make test` already, this adds
+# fresh mutation coverage.
+fuzz-smoke:
+	$(GO) test ./internal/dnswire -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/dnswire -run='^$$' -fuzz='^FuzzNameRoundTrip$$' -fuzztime=$(FUZZTIME)
+
+check: vet race fuzz-smoke
+
+# Regenerate the wire-capture fuzz seeds under internal/dnswire/testdata/.
+testdata:
+	$(GO) run internal/dnswire/testdata/gen.go

@@ -32,6 +32,11 @@ func run() error {
 	hints := flag.String("hints", "127.0.0.1:5353", "comma-separated root server addresses")
 	allow := flag.String("allow", "", "comma-separated client prefixes to serve (empty = everyone)")
 	timeout := flag.Duration("timeout", 2*time.Second, "upstream query timeout (BIND default 2s)")
+	retries := flag.Int("retries", 0, "extra retry rounds per query set (0 = resolver default)")
+	backoff := flag.Duration("backoff", 0, "initial retry backoff, doubled each round with jitter (0 = no backoff)")
+	maxBackoff := flag.Duration("max-backoff", 0, "backoff ceiling (0 = 8x -backoff)")
+	queryTimeout := flag.Duration("query-timeout", 0, "total per-query budget across all retries (0 = unbounded)")
+	tcpRetryAfter := flag.Int("tcp-retry-after", 0, "retry over TCP after this many failed UDP rounds (0 = never)")
 	flag.Parse()
 
 	env := dnsguard.NewEnv()
@@ -54,10 +59,15 @@ func run() error {
 		}
 	}
 	res, err := dnsguard.NewResolver(dnsguard.ResolverConfig{
-		Env:       env,
-		RootHints: roots,
-		Timeout:   *timeout,
-		Seed:      time.Now().UnixNano(),
+		Env:           env,
+		RootHints:     roots,
+		Timeout:       *timeout,
+		Retries:       *retries,
+		Backoff:       *backoff,
+		MaxBackoff:    *maxBackoff,
+		QueryTimeout:  *queryTimeout,
+		TCPRetryAfter: *tcpRetryAfter,
+		Seed:          time.Now().UnixNano(),
 	})
 	if err != nil {
 		return err

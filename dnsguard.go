@@ -81,6 +81,20 @@ func InstallTCP(h *SimHost, synCookies bool) {
 	tcpsim.Install(h, tcpsim.Config{SYNCookies: synCookies})
 }
 
+// Fault injection ----------------------------------------------------------
+
+// Faults is a per-link fault-injection policy for the simulator: packet
+// loss, duplication, reordering, payload corruption and latency jitter, all
+// drawn deterministically from the simulation seed. The zero value injects
+// nothing and leaves event schedules bit-for-bit unchanged. Install with
+// (*Simulation).SetFaults / SetLinkFaults / SetDefaultFaults; partitions are
+// managed separately with Partition / Heal / PartitionFor.
+type Faults = netsim.Faults
+
+// LinkStats counts per-directed-link fault outcomes (sent, lost, duplicated,
+// reordered, corrupted, partition drops); read with (*Simulation).LinkStats.
+type LinkStats = netsim.LinkStats
+
 // DNS protocol ------------------------------------------------------------
 
 // Name is a canonical DNS domain name.
@@ -106,16 +120,28 @@ func ParseZone(text string, defaultOrigin Name) (*Zone, error) {
 // ZoneSet hosts multiple zones on one authoritative server.
 type ZoneSet = ans.ZoneSet
 
-// NewZoneSet builds a zone set; add zones with Add or pass them here.
-func NewZoneSet(zones ...*Zone) *ZoneSet {
+// NewZoneSetErr builds a zone set, reporting invalid or duplicate zones as
+// an error. Use this when zone data comes from configuration or user input.
+func NewZoneSetErr(zones ...*Zone) (*ZoneSet, error) {
+	return ans.NewZoneSet(zones...)
+}
+
+// MustZoneSet builds a zone set and panics on invalid or duplicate zones,
+// mirroring MustName; for statically-known zone literals.
+func MustZoneSet(zones ...*Zone) *ZoneSet {
 	zs, err := ans.NewZoneSet(zones...)
 	if err != nil {
-		// Only invalid/duplicate zones error; the variadic convenience
-		// form panics, mirroring MustName. Use (*ZoneSet).Add for
-		// error handling.
 		panic(err)
 	}
 	return zs
+}
+
+// NewZoneSet builds a zone set; add zones with Add or pass them here.
+//
+// Deprecated: NewZoneSet panics on duplicate zones. Use NewZoneSetErr for
+// error handling or MustZoneSet to make the panic explicit.
+func NewZoneSet(zones ...*Zone) *ZoneSet {
+	return MustZoneSet(zones...)
 }
 
 // Servers and resolvers ----------------------------------------------------

@@ -221,3 +221,71 @@ func TestZoneSetFacade(t *testing.T) {
 		t.Fatal("matched foreign name")
 	}
 }
+
+// TestZoneSetErrDuplicateZone checks the error-returning constructor rejects
+// a duplicate apex instead of panicking, and that MustZoneSet still panics.
+func TestZoneSetErrDuplicateZone(t *testing.T) {
+	z, err := ParseZone(testZone, MustName(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewZoneSetErr(z); err != nil {
+		t.Fatalf("single zone rejected: %v", err)
+	}
+	if _, err := NewZoneSetErr(z, z); err == nil {
+		t.Fatal("duplicate zone accepted")
+	}
+	if _, err := NewZoneSetErr(nil); err == nil {
+		t.Fatal("nil zone accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustZoneSet did not panic on duplicate zone")
+		}
+	}()
+	MustZoneSet(z, z)
+}
+
+// TestFaultInjectionFacade drives the exported fault-injection surface: a
+// lossy, jittery link plus a scheduled partition, observed via LinkStats.
+func TestFaultInjectionFacade(t *testing.T) {
+	sim := NewSimulation(9, 2*time.Millisecond)
+	sched := sim.Scheduler()
+	a := sim.AddHost("a", netip.MustParseAddr("10.0.0.1"))
+	b := sim.AddHost("b", netip.MustParseAddr("10.0.0.2"))
+	sim.SetLinkFaults(a, b, Faults{Loss: 0.5, Jitter: time.Millisecond})
+	sim.PartitionFor(a, b, 50*time.Millisecond, 20*time.Millisecond)
+
+	dst := netip.MustParseAddrPort("10.0.0.2:9000")
+	sched.Go("sink", func() {
+		conn, err := b.ListenUDP(dst)
+		if err != nil {
+			t.Errorf("bind: %v", err)
+			return
+		}
+		defer conn.Close()
+		for {
+			if _, _, err := conn.ReadFrom(200 * time.Millisecond); err != nil {
+				return
+			}
+		}
+	})
+	sched.Go("source", func() {
+		conn, err := a.ListenUDP(netip.AddrPort{})
+		if err != nil {
+			t.Errorf("bind: %v", err)
+			return
+		}
+		defer conn.Close()
+		for i := 0; i < 100; i++ {
+			_ = conn.WriteTo([]byte{byte(i)}, dst)
+			sched.Sleep(time.Millisecond)
+		}
+	})
+	sched.Run(time.Minute)
+
+	var st LinkStats = sim.LinkStats(a, b)
+	if st.Sent != 100 || st.Lost == 0 || st.PartitionDrops == 0 {
+		t.Fatalf("link stats = %+v", st)
+	}
+}

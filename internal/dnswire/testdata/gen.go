@@ -1,0 +1,127 @@
+//go:build ignore
+
+// gen.go regenerates the wire-capture seed corpus for the dnswire fuzz
+// targets. Run from the module root:
+//
+//	go run internal/dnswire/testdata/gen.go
+//
+// Each .bin file is the exact wire encoding of one representative message
+// shape the system exchanges: plain queries, answers with CNAME chains,
+// referrals with glue, TXT cookie payloads, and negative responses. The fuzz
+// harness loads every *.bin here as a seed so mutation starts from realistic
+// captures rather than random bytes.
+package main
+
+import (
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+
+	"dnsguard/internal/dnswire"
+)
+
+func main() {
+	dir := filepath.Join("internal", "dnswire", "testdata")
+	seeds := map[string]*dnswire.Message{
+		"query_a.bin": dnswire.NewQuery(0x1234, dnswire.MustName("www.foo.com"), dnswire.TypeA),
+		"query_aaaa.bin": dnswire.NewQuery(0x00ff, dnswire.MustName("deep.sub.domain.example.org"),
+			dnswire.TypeAAAA),
+		"answer_a.bin": {
+			ID:        0x1234,
+			Flags:     dnswire.Flags{QR: true, RD: true, RA: true},
+			Questions: []dnswire.Question{{Name: "www.foo.com", Type: dnswire.TypeA, Class: dnswire.ClassINET}},
+			Answers: []dnswire.RR{
+				{Name: "www.foo.com", Type: dnswire.TypeA, Class: dnswire.ClassINET, TTL: 300,
+					Data: &dnswire.AData{Addr: netip.MustParseAddr("198.51.100.10")}},
+			},
+		},
+		"cname_chain.bin": {
+			ID:        0x4242,
+			Flags:     dnswire.Flags{QR: true, RA: true},
+			Questions: []dnswire.Question{{Name: "alias.foo.com", Type: dnswire.TypeA, Class: dnswire.ClassINET}},
+			Answers: []dnswire.RR{
+				{Name: "alias.foo.com", Type: dnswire.TypeCNAME, Class: dnswire.ClassINET, TTL: 300,
+					Data: &dnswire.CNAMEData{Target: "web.foo.com"}},
+				{Name: "web.foo.com", Type: dnswire.TypeCNAME, Class: dnswire.ClassINET, TTL: 300,
+					Data: &dnswire.CNAMEData{Target: "www.foo.com"}},
+				{Name: "www.foo.com", Type: dnswire.TypeA, Class: dnswire.ClassINET, TTL: 300,
+					Data: &dnswire.AData{Addr: netip.MustParseAddr("198.51.100.10")}},
+			},
+		},
+		// Referral with glue: heavy name compression across sections.
+		"referral_glue.bin": {
+			ID:        0x0007,
+			Flags:     dnswire.Flags{QR: true},
+			Questions: []dnswire.Question{{Name: "www.foo.com", Type: dnswire.TypeA, Class: dnswire.ClassINET}},
+			Authority: []dnswire.RR{
+				{Name: "foo.com", Type: dnswire.TypeNS, Class: dnswire.ClassINET, TTL: 3600,
+					Data: &dnswire.NSData{Host: "ns1.foo.com"}},
+				{Name: "foo.com", Type: dnswire.TypeNS, Class: dnswire.ClassINET, TTL: 3600,
+					Data: &dnswire.NSData{Host: "ns2.foo.com"}},
+			},
+			Additional: []dnswire.RR{
+				{Name: "ns1.foo.com", Type: dnswire.TypeA, Class: dnswire.ClassINET, TTL: 3600,
+					Data: &dnswire.AData{Addr: netip.MustParseAddr("192.0.2.1")}},
+				{Name: "ns2.foo.com", Type: dnswire.TypeAAAA, Class: dnswire.ClassINET, TTL: 3600,
+					Data: &dnswire.AAAAData{Addr: netip.MustParseAddr("2001:db8::53")}},
+			},
+		},
+		// TXT carrying an opaque cookie blob, as the modified-DNS scheme does.
+		"txt_cookie.bin": {
+			ID:        0xbeef,
+			Flags:     dnswire.Flags{QR: true},
+			Questions: []dnswire.Question{{Name: "_cookie.foo.com", Type: dnswire.TypeTXT, Class: dnswire.ClassINET}},
+			Answers: []dnswire.RR{
+				{Name: "_cookie.foo.com", Type: dnswire.TypeTXT, Class: dnswire.ClassINET, TTL: 0,
+					Data: &dnswire.TXTData{Strings: [][]byte{
+						{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01, 0x02, 0x03},
+						[]byte("gen=1"),
+					}}},
+			},
+		},
+		"negative_soa.bin": {
+			ID:        0x5151,
+			Flags:     dnswire.Flags{QR: true, AA: true, RCode: dnswire.RCodeNXDomain},
+			Questions: []dnswire.Question{{Name: "nope.foo.com", Type: dnswire.TypeA, Class: dnswire.ClassINET}},
+			Authority: []dnswire.RR{
+				{Name: "foo.com", Type: dnswire.TypeSOA, Class: dnswire.ClassINET, TTL: 60,
+					Data: &dnswire.SOAData{MName: "ns1.foo.com", RName: "admin.foo.com",
+						Serial: 1, Refresh: 7200, Retry: 600, Expire: 360000, Minimum: 60}},
+			},
+		},
+		"mx_ptr.bin": {
+			ID:        0x0a0a,
+			Flags:     dnswire.Flags{QR: true},
+			Questions: []dnswire.Question{{Name: "foo.com", Type: dnswire.TypeMX, Class: dnswire.ClassINET}},
+			Answers: []dnswire.RR{
+				{Name: "foo.com", Type: dnswire.TypeMX, Class: dnswire.ClassINET, TTL: 3600,
+					Data: &dnswire.MXData{Pref: 10, Host: "mail.foo.com"}},
+				{Name: "10.100.51.198.in-addr.arpa", Type: dnswire.TypePTR, Class: dnswire.ClassINET, TTL: 3600,
+					Data: &dnswire.PTRData{Target: "www.foo.com"}},
+			},
+		},
+		// Unknown RR type round-trips as raw rdata.
+		"unknown_type.bin": {
+			ID:        0x0101,
+			Flags:     dnswire.Flags{QR: true},
+			Questions: []dnswire.Question{{Name: "foo.com", Type: dnswire.Type(99), Class: dnswire.ClassINET}},
+			Answers: []dnswire.RR{
+				{Name: "foo.com", Type: dnswire.Type(99), Class: dnswire.ClassINET, TTL: 30,
+					Data: &dnswire.Raw{Data: []byte{1, 2, 3, 4, 5}}},
+			},
+		},
+	}
+	for name, m := range seeds {
+		b, err := m.Pack()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pack %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", name, len(b))
+	}
+}

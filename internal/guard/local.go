@@ -79,6 +79,8 @@ type LocalStats struct {
 	PassedThrough  uint64 // non-DNS, responses, or legacy servers
 	Exchanges      uint64 // cookie requests sent (message 2)
 	CookiesLearned uint64
+	LateCookies    uint64 // cookies learned after the exchange timed out
+	ExchangeStrays uint64 // duplicated/unmatched exchange-port responses
 	LegacyServers  uint64 // exchanges that revealed a non-guarded server
 	HeldOverflow   uint64
 	Delivered      uint64 // inbound packets handed to the LRS
@@ -95,6 +97,13 @@ type exchangeState struct {
 	started time.Duration
 }
 
+// lateExchange remembers a timed-out exchange so that a reordered or
+// jitter-delayed message 3 can still teach us the cookie.
+type lateExchange struct {
+	dst     netip.AddrPort
+	expires time.Duration
+}
+
 // Local is the LRS-side guard: transparent to the LRS, it stamps outbound
 // queries with the destination guard's cookie, performing the cookie
 // exchange on first contact and caching per-ANS cookies (one cookie per ANS
@@ -105,6 +114,7 @@ type Local struct {
 	notCapable map[netip.AddrPort]time.Duration
 	exchanges  map[netip.AddrPort]*exchangeState
 	byID       map[uint16]netip.AddrPort
+	late       map[uint16]lateExchange
 	nextID     uint16
 	closed     bool
 
@@ -123,6 +133,7 @@ func NewLocal(cfg LocalConfig) (*Local, error) {
 		notCapable: make(map[netip.AddrPort]time.Duration),
 		exchanges:  make(map[netip.AddrPort]*exchangeState),
 		byID:       make(map[uint16]netip.AddrPort),
+		late:       make(map[uint16]lateExchange),
 	}, nil
 }
 
@@ -256,14 +267,26 @@ func (l *Local) sendCookieRequest(dst netip.AddrPort, template *dnswire.Message,
 }
 
 // expireExchange gives up on a cookie exchange: the server is remembered as
-// legacy and held queries are released unstamped.
+// legacy and held queries are released unstamped. The transaction ID stays
+// registered for a grace window so a message 3 delayed past the timeout (by
+// jitter or reordering) can still be learned and the legacy verdict undone.
 func (l *Local) expireExchange(dst netip.AddrPort, ex *exchangeState) {
 	cur, ok := l.exchanges[dst]
 	if !ok || cur != ex {
 		return // already resolved
 	}
 	delete(l.exchanges, dst)
-	delete(l.byID, ex.id)
+	grace := 4 * l.cfg.ExchangeTimeout
+	l.late[ex.id] = lateExchange{dst: dst, expires: l.now() + grace}
+	l.cfg.Env.Go("localguard-late-reap", func() {
+		l.cfg.Env.Sleep(grace)
+		if le, ok := l.late[ex.id]; ok && le.dst == dst {
+			delete(l.late, ex.id)
+			if d, ok := l.byID[ex.id]; ok && d == dst {
+				delete(l.byID, ex.id)
+			}
+		}
+	})
 	l.Stats.LegacyServers++
 	l.notCapable[dst] = l.now() + l.cfg.NotCapableTTL
 	for _, pkt := range ex.held {
@@ -280,10 +303,12 @@ func (l *Local) handleExchangeResponse(pkt Packet) {
 	}
 	dst, ok := l.byID[resp.ID]
 	if !ok || dst != pkt.Src {
+		l.Stats.ExchangeStrays++
 		return
 	}
 	ex, ok := l.exchanges[dst]
 	if !ok || ex.id != resp.ID {
+		l.handleLateExchangeResponse(dst, resp)
 		return
 	}
 	delete(l.exchanges, dst)
@@ -310,4 +335,31 @@ func (l *Local) handleExchangeResponse(pkt Packet) {
 			l.stampAndSend(held, msg, c)
 		}
 	}
+}
+
+// handleLateExchangeResponse learns from a message 3 that arrived after its
+// exchange timed out: the held queries are long gone (released unstamped),
+// but the cookie is still good, and the premature legacy verdict must be
+// reversed so the next query is stamped instead of passed through for
+// NotCapableTTL (up to a minute of degraded service).
+func (l *Local) handleLateExchangeResponse(dst netip.AddrPort, resp *dnswire.Message) {
+	le, ok := l.late[resp.ID]
+	if !ok || le.dst != dst || l.now() >= le.expires {
+		l.Stats.ExchangeStrays++
+		return
+	}
+	delete(l.late, resp.ID)
+	delete(l.byID, resp.ID)
+	c, ttl, _, has := FindCookie(resp)
+	if !has || c.IsZero() {
+		return // legacy verdict was correct after all
+	}
+	life := time.Duration(ttl) * time.Second
+	if life <= 0 || life > l.cfg.CookieTTLCap {
+		life = l.cfg.CookieTTLCap
+	}
+	l.cookies[dst] = learnedCookie{c: c, expires: l.now() + life}
+	delete(l.notCapable, dst)
+	l.Stats.CookiesLearned++
+	l.Stats.LateCookies++
 }

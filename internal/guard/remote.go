@@ -147,6 +147,7 @@ type RemoteStats struct {
 	RepliesToClient uint64
 	TCRedirects     uint64
 	PendingDropped  uint64 // NAT table overflow/expiry losses
+	UpstreamStrays  uint64 // duplicated/unmatched ANS responses discarded
 	KeyRotations    uint64
 }
 
@@ -564,7 +565,15 @@ func (g *Remote) upstreamLoop() {
 			continue
 		}
 		entry, ok := g.pending[resp.ID]
-		if !ok || g.now() >= entry.expires {
+		if !ok {
+			// Duplicated or long-delayed ANS response whose entry was
+			// already consumed — the network, not the ANS, misbehaving.
+			g.Stats.UpstreamStrays++
+			continue
+		}
+		if g.now() >= entry.expires {
+			delete(g.pending, resp.ID)
+			g.Stats.PendingDropped++
 			continue
 		}
 		delete(g.pending, resp.ID)

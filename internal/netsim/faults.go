@@ -1,0 +1,207 @@
+// Adversarial-network fault injection. The paper's testbed degrades only by
+// probabilistic loss; real DNS attacks (and the operational studies they
+// spawned) degrade delivery in richer ways: duplicated datagrams from
+// retransmitting middleboxes, reordering across load-balanced paths, bit
+// corruption, latency jitter, and outright partitions. Faults models all of
+// these per directed host pair, deterministically, using the scheduler's
+// seeded random source — the same inputs always replay the same run.
+package netsim
+
+import (
+	"time"
+)
+
+// Faults is a per-link fault-injection policy. The zero value injects
+// nothing and consumes no randomness, so unfaulted simulations remain
+// bit-for-bit identical to runs predating this layer. Probabilities are in
+// [0, 1] and evaluated independently per datagram.
+type Faults struct {
+	// Loss drops the datagram silently, in addition to any rate installed
+	// with SetLoss (either trigger drops).
+	Loss float64
+	// Duplicate delivers a second, independent copy of the datagram after
+	// an extra delay in (0, ReorderDelay].
+	Duplicate float64
+	// Reorder delays the datagram by an extra amount in (0, ReorderDelay],
+	// letting later traffic overtake it (netsim links are otherwise FIFO).
+	Reorder float64
+	// ReorderDelay bounds the extra delay for reordered and duplicated
+	// datagrams. Zero means twice the link's one-way latency.
+	ReorderDelay time.Duration
+	// Corrupt flips one to four random bits of a UDP payload. Non-UDP
+	// transports (simulated TCP segments) carry structured payloads whose
+	// checksums would reject the damage, so corruption drops them instead
+	// — which is what a real link-layer CRC failure looks like to TCP.
+	Corrupt float64
+	// Jitter adds a uniform extra latency in [0, Jitter) to every
+	// datagram on the link.
+	Jitter time.Duration
+	// UDPOnly restricts this policy to UDP datagrams, letting simulated TCP
+	// segments pass clean — the signature of middleboxes that rate-limit or
+	// mangle UDP/53 specifically. Partitions and SetLoss are unaffected.
+	UDPOnly bool
+}
+
+// active reports whether the policy can affect traffic at all.
+func (f Faults) active() bool {
+	return f.Loss > 0 || f.Duplicate > 0 || f.Reorder > 0 || f.Corrupt > 0 || f.Jitter > 0
+}
+
+// LinkStats counts per-fault events on one directed link (and, aggregated,
+// network-wide in NetStats). Sent counts datagrams that reached the fault
+// stage, before any verdict.
+type LinkStats struct {
+	Sent           uint64
+	Lost           uint64 // dropped by SetLoss or Faults.Loss
+	Duplicated     uint64
+	Reordered      uint64
+	Corrupted      uint64 // payload damaged (UDP) or CRC-dropped (non-UDP)
+	PartitionDrops uint64 // dropped while the link was partitioned
+}
+
+// SetFaults installs the fault policy for datagrams from a to b. Directions
+// are independent; call twice (or use SetLinkFaults) for a symmetric link.
+func (n *Network) SetFaults(a, b *Host, f Faults) {
+	n.faults[hostPair{a, b}] = f
+}
+
+// SetLinkFaults installs the same fault policy in both directions.
+func (n *Network) SetLinkFaults(a, b *Host, f Faults) {
+	n.SetFaults(a, b, f)
+	n.SetFaults(b, a, f)
+}
+
+// SetDefaultFaults installs the policy applied to links without an explicit
+// override.
+func (n *Network) SetDefaultFaults(f Faults) { n.defFaults = f }
+
+func (n *Network) faultsBetween(a, b *Host) Faults {
+	if f, ok := n.faults[hostPair{a, b}]; ok {
+		return f
+	}
+	return n.defFaults
+}
+
+// Partition severs the link between a and b in both directions; datagrams
+// are dropped (and counted) until Heal. Partitioning is idempotent.
+func (n *Network) Partition(a, b *Host) {
+	n.parts[hostPair{a, b}] = true
+	n.parts[hostPair{b, a}] = true
+}
+
+// Heal restores a partitioned link in both directions.
+func (n *Network) Heal(a, b *Host) {
+	delete(n.parts, hostPair{a, b})
+	delete(n.parts, hostPair{b, a})
+}
+
+// Partitioned reports whether traffic from a to b is currently severed.
+func (n *Network) Partitioned(a, b *Host) bool { return n.parts[hostPair{a, b}] }
+
+// PartitionFor schedules a split of the a—b link at virtual time `after`
+// from now, healing itself `duration` later. Scheduled events compose: a
+// test can script an entire outage timeline up front.
+func (n *Network) PartitionFor(a, b *Host, after, duration time.Duration) {
+	n.sched.After(after, func() { n.Partition(a, b) })
+	n.sched.After(after+duration, func() { n.Heal(a, b) })
+}
+
+// LinkStats returns a copy of the per-fault counters for the directed link
+// from a to b.
+func (n *Network) LinkStats(a, b *Host) LinkStats {
+	if ls, ok := n.linkStats[hostPair{a, b}]; ok {
+		return *ls
+	}
+	return LinkStats{}
+}
+
+func (n *Network) linkStatsFor(a, b *Host) *LinkStats {
+	p := hostPair{a, b}
+	ls, ok := n.linkStats[p]
+	if !ok {
+		ls = &LinkStats{}
+		n.linkStats[p] = ls
+	}
+	return ls
+}
+
+// applyFaults runs the fault pipeline for one datagram from src to target.
+// It returns the (possibly corrupted) payload, the extra latency to add, a
+// duplicate-copy delay (0 means no duplicate), and whether to deliver at
+// all. It draws randomness only for configured faults, preserving replay
+// compatibility for fault-free simulations.
+func (n *Network) applyFaults(proto uint8, src, target *Host, payload any) (any, time.Duration, time.Duration, bool) {
+	ls := n.linkStatsFor(src, target)
+	ls.Sent++
+	if n.parts[hostPair{src, target}] {
+		ls.PartitionDrops++
+		n.Stats.PartitionDrops++
+		return payload, 0, 0, false
+	}
+	if r := n.lossBetween(src, target); r > 0 && n.sched.Rand().Float64() < r {
+		ls.Lost++
+		n.Stats.Lost++
+		return payload, 0, 0, false
+	}
+	f := n.faultsBetween(src, target)
+	if !f.active() || (f.UDPOnly && proto != ProtoUDP) {
+		return payload, 0, 0, true
+	}
+	if f.Loss > 0 && n.sched.Rand().Float64() < f.Loss {
+		ls.Lost++
+		n.Stats.Lost++
+		return payload, 0, 0, false
+	}
+	if f.Corrupt > 0 && n.sched.Rand().Float64() < f.Corrupt {
+		ls.Corrupted++
+		n.Stats.Corrupted++
+		b, ok := payload.([]byte)
+		if !ok || proto != ProtoUDP || len(b) == 0 {
+			// Structured transport payload: the checksum underneath
+			// would reject it, so corruption degenerates to loss.
+			return payload, 0, 0, false
+		}
+		payload = n.corruptBytes(b)
+	}
+	reorderDelay := f.ReorderDelay
+	if reorderDelay <= 0 {
+		reorderDelay = 2 * n.latencyBetween(src, target)
+	}
+	var extra time.Duration
+	if f.Jitter > 0 {
+		extra += n.sched.RandDuration(f.Jitter)
+	}
+	if f.Reorder > 0 && n.sched.Rand().Float64() < f.Reorder {
+		ls.Reordered++
+		n.Stats.Reordered++
+		extra += time.Microsecond + n.sched.RandDuration(reorderDelay)
+	}
+	var dupDelay time.Duration
+	if f.Duplicate > 0 && n.sched.Rand().Float64() < f.Duplicate {
+		ls.Duplicated++
+		n.Stats.Duplicated++
+		dupDelay = time.Microsecond + n.sched.RandDuration(reorderDelay)
+	}
+	return payload, extra, dupDelay, true
+}
+
+// corruptBytes flips 1–4 random bits in a copy of b.
+func (n *Network) corruptBytes(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	flips := 1 + n.sched.Rand().Intn(4)
+	for i := 0; i < flips; i++ {
+		out[n.sched.Rand().Intn(len(out))] ^= byte(1) << n.sched.Rand().Intn(8)
+	}
+	return out
+}
+
+// dupPayload deep-copies a []byte payload so the duplicate delivery cannot
+// alias the original buffer; structured payloads (TCP segments) are shared,
+// matching how tcpsim treats received segments as immutable.
+func dupPayload(payload any) any {
+	if b, ok := payload.([]byte); ok {
+		return cloneBytes(b)
+	}
+	return payload
+}

@@ -40,6 +40,10 @@ type Network struct {
 	latency    map[hostPair]time.Duration
 	loss       map[hostPair]float64
 	defLoss    float64
+	faults     map[hostPair]Faults
+	defFaults  Faults
+	parts      map[hostPair]bool
+	linkStats  map[hostPair]*LinkStats
 
 	// Stats counts network-wide events.
 	Stats NetStats
@@ -54,11 +58,15 @@ type hostPair struct{ a, b *Host }
 
 // NetStats aggregates network-level counters.
 type NetStats struct {
-	Sent      uint64 // datagrams/segments submitted
-	Delivered uint64 // handed to a socket, tap, or protocol handler
-	Lost      uint64 // dropped by link loss
-	NoRoute   uint64 // no host owns the destination address
-	NoSocket  uint64 // host had no matching socket/tap/handler
+	Sent           uint64 // datagrams/segments submitted
+	Delivered      uint64 // handed to a socket, tap, or protocol handler
+	Lost           uint64 // dropped by link loss (SetLoss or Faults.Loss)
+	NoRoute        uint64 // no host owns the destination address
+	NoSocket       uint64 // host had no matching socket/tap/handler
+	Duplicated     uint64 // extra copies injected by Faults.Duplicate
+	Reordered      uint64 // datagrams delayed past later traffic
+	Corrupted      uint64 // payloads bit-flipped (UDP) or CRC-dropped
+	PartitionDrops uint64 // dropped on a partitioned link
 }
 
 // New creates an empty network on sched with a default one-way link latency.
@@ -68,6 +76,9 @@ func New(sched *vclock.Scheduler, defaultOneWayLatency time.Duration) *Network {
 		native:     make(map[netip.Addr]*Host),
 		latency:    make(map[hostPair]time.Duration),
 		loss:       make(map[hostPair]float64),
+		faults:     make(map[hostPair]Faults),
+		parts:      make(map[hostPair]bool),
+		linkStats:  make(map[hostPair]*LinkStats),
 		defLatency: defaultOneWayLatency,
 	}
 }
@@ -177,12 +188,16 @@ func (n *Network) send(proto uint8, srcHost *Host, src, dst netip.AddrPort, payl
 		n.Stats.NoRoute++
 		return fmt.Errorf("netsim: send %v->%v: %w", src, dst, netapi.ErrNoRoute)
 	}
-	if r := n.lossBetween(srcHost, target); r > 0 && n.sched.Rand().Float64() < r {
-		n.Stats.Lost++
+	payload, extra, dupDelay, deliver := n.applyFaults(proto, srcHost, target, payload)
+	if !deliver {
 		return nil // silently lost, like the real network
 	}
 	lat := n.latencyBetween(srcHost, target)
-	n.sched.After(lat, func() { target.deliver(proto, src, dst, payload) })
+	n.sched.After(lat+extra, func() { target.deliver(proto, src, dst, payload) })
+	if dupDelay > 0 {
+		dup := dupPayload(payload)
+		n.sched.After(lat+dupDelay, func() { target.deliver(proto, src, dst, dup) })
+	}
 	return nil
 }
 

@@ -33,6 +33,22 @@ type Config struct {
 	// Retries is how many additional attempts (rotating servers) are made
 	// after the first.
 	Retries int
+	// QueryTimeout bounds the total wall-clock time one upstream query may
+	// spend across all retry rounds, server rotations, backoff sleeps, and
+	// TCP retries. Zero means only the per-attempt Timeout applies.
+	QueryTimeout time.Duration
+	// Backoff enables capped exponential backoff between retry rounds: the
+	// resolver sleeps a jittered delay starting at Backoff and doubling
+	// each round, capped at MaxBackoff. Zero disables backoff, preserving
+	// the paper's fixed-interval retry behaviour.
+	Backoff time.Duration
+	// MaxBackoff caps the backoff delay. Zero means 8×Backoff.
+	MaxBackoff time.Duration
+	// TCPRetryAfter switches the query to TCP after this many fully-failed
+	// UDP retry rounds — the escape hatch when an adversary (or a fault
+	// policy) makes UDP unusable but the path still carries streams.
+	// Zero disables UDP-failure TCP retry (truncation fallback is always on).
+	TCPRetryAfter int
 	// MaxSteps bounds delegation-following iterations per query.
 	MaxSteps int
 	// MaxDepth bounds sub-resolutions (NS target addresses, CNAME chains).
@@ -55,6 +71,9 @@ func (c *Config) fillDefaults() {
 	} else if c.Retries == 0 {
 		c.Retries = 2
 	}
+	if c.Backoff > 0 && c.MaxBackoff <= 0 {
+		c.MaxBackoff = 8 * c.Backoff
+	}
 	if c.MaxSteps <= 0 {
 		c.MaxSteps = 24
 	}
@@ -75,7 +94,9 @@ type Stats struct {
 	Upstream     uint64 // queries sent to authoritative servers
 	Retries      uint64
 	Timeouts     uint64
-	TCPFallbacks uint64
+	TCPFallbacks uint64 // truncation-driven TCP fallbacks
+	TCPRetries   uint64 // TCP retries after repeated UDP failure
+	Backoffs     uint64 // inter-round backoff sleeps taken
 	CacheAnswers uint64 // questions answered fully from cache
 }
 
@@ -304,14 +325,34 @@ func nsNamesWithGlue(nsset, glue []dnswire.RR) []serverRef {
 	return refs
 }
 
-// querySet tries each server (with retries) until one responds.
+// querySet tries each server (with retries) until one responds. Retry rounds
+// back off exponentially with jitter when Backoff is set, the whole effort is
+// bounded by QueryTimeout when set, and after TCPRetryAfter fully-failed UDP
+// rounds the query is retried over TCP.
 func (r *Resolver) querySet(servers []serverRef, qname dnswire.Name, qtype dnswire.Type, depth int) (*dnswire.Message, error) {
 	if len(servers) == 0 {
 		return nil, ErrNoServers
 	}
+	var deadline time.Duration // 0 = unbounded
+	if r.cfg.QueryTimeout > 0 {
+		deadline = r.now() + r.cfg.QueryTimeout
+	}
 	var lastErr error = ErrUnreachable
+	backoff := r.cfg.Backoff
+	tcpTried := false
 	attempts := r.cfg.Retries + 1
 	for a := 0; a < attempts; a++ {
+		if a > 0 && backoff > 0 {
+			d := backoff/2 + time.Duration(r.rng.Int63n(int64(backoff/2)+1))
+			if deadline > 0 && r.now()+d >= deadline {
+				break
+			}
+			r.Stats.Backoffs++
+			r.cfg.Env.Sleep(d)
+			if backoff *= 2; backoff > r.cfg.MaxBackoff {
+				backoff = r.cfg.MaxBackoff
+			}
+		}
 		for _, ref := range servers {
 			addr := ref.addr
 			if !addr.IsValid() {
@@ -322,7 +363,11 @@ func (r *Resolver) querySet(servers []serverRef, qname dnswire.Name, qtype dnswi
 				}
 				addr = netip.AddrPortFrom(ip, 53)
 			}
-			resp, err := r.exchange(addr, qname, qtype)
+			timeout, ok := r.attemptTimeout(deadline)
+			if !ok {
+				return nil, lastErr
+			}
+			resp, err := r.exchange(addr, qname, qtype, timeout)
 			if err != nil {
 				lastErr = err
 				if a > 0 {
@@ -332,8 +377,61 @@ func (r *Resolver) querySet(servers []serverRef, qname dnswire.Name, qtype dnswi
 			}
 			return resp, nil
 		}
+		if r.cfg.TCPRetryAfter > 0 && !tcpTried && a+1 >= r.cfg.TCPRetryAfter {
+			tcpTried = true
+			if resp, err := r.querySetTCP(servers, qname, qtype, deadline); err == nil {
+				return resp, nil
+			} else {
+				lastErr = err
+			}
+		}
+	}
+	if r.cfg.TCPRetryAfter > 0 && !tcpTried {
+		if resp, err := r.querySetTCP(servers, qname, qtype, deadline); err == nil {
+			return resp, nil
+		}
 	}
 	return nil, lastErr
+}
+
+// querySetTCP retries the query over TCP against every server that already
+// has a resolved address (re-resolving over a broken UDP path would defeat
+// the point).
+func (r *Resolver) querySetTCP(servers []serverRef, qname dnswire.Name, qtype dnswire.Type, deadline time.Duration) (*dnswire.Message, error) {
+	var lastErr error = ErrUnreachable
+	for _, ref := range servers {
+		if !ref.addr.IsValid() {
+			continue
+		}
+		timeout, ok := r.attemptTimeout(deadline)
+		if !ok {
+			return nil, lastErr
+		}
+		r.Stats.TCPRetries++
+		resp, err := r.exchangeTCP(ref.addr, qname, qtype, timeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return resp, nil
+	}
+	return nil, lastErr
+}
+
+// attemptTimeout returns the per-attempt timeout, clipped to the remaining
+// query deadline; ok is false when the deadline has already passed.
+func (r *Resolver) attemptTimeout(deadline time.Duration) (time.Duration, bool) {
+	timeout := r.cfg.Timeout
+	if deadline > 0 {
+		remain := deadline - r.now()
+		if remain <= 0 {
+			return 0, false
+		}
+		if remain < timeout {
+			timeout = remain
+		}
+	}
+	return timeout, true
 }
 
 // serverAddr resolves a name server's address, from glue/cache or by
@@ -355,7 +453,7 @@ func (r *Resolver) serverAddr(host dnswire.Name, depth int) (netip.Addr, error) 
 }
 
 // exchange performs one UDP query/response with TCP fallback on truncation.
-func (r *Resolver) exchange(server netip.AddrPort, qname dnswire.Name, qtype dnswire.Type) (*dnswire.Message, error) {
+func (r *Resolver) exchange(server netip.AddrPort, qname dnswire.Name, qtype dnswire.Type, timeout time.Duration) (*dnswire.Message, error) {
 	conn, err := r.cfg.Env.ListenUDP(netip.AddrPort{})
 	if err != nil {
 		return nil, fmt.Errorf("resolver: binding query socket: %w", err)
@@ -373,7 +471,7 @@ func (r *Resolver) exchange(server netip.AddrPort, qname dnswire.Name, qtype dns
 	if err := conn.WriteTo(wire, server); err != nil {
 		return nil, err
 	}
-	deadline := r.now() + r.cfg.Timeout
+	deadline := r.now() + timeout
 	for {
 		remain := deadline - r.now()
 		if remain <= 0 {
@@ -397,14 +495,14 @@ func (r *Resolver) exchange(server netip.AddrPort, qname dnswire.Name, qtype dns
 		}
 		if resp.Flags.TC {
 			r.Stats.TCPFallbacks++
-			return r.exchangeTCP(server, qname, qtype)
+			return r.exchangeTCP(server, qname, qtype, timeout)
 		}
 		return resp, nil
 	}
 }
 
 // exchangeTCP retries the query over a fresh TCP connection.
-func (r *Resolver) exchangeTCP(server netip.AddrPort, qname dnswire.Name, qtype dnswire.Type) (*dnswire.Message, error) {
+func (r *Resolver) exchangeTCP(server netip.AddrPort, qname dnswire.Name, qtype dnswire.Type, timeout time.Duration) (*dnswire.Message, error) {
 	conn, err := r.cfg.Env.DialTCP(server)
 	if err != nil {
 		return nil, fmt.Errorf("resolver: TCP fallback dial: %w", err)
@@ -425,7 +523,7 @@ func (r *Resolver) exchangeTCP(server netip.AddrPort, qname dnswire.Name, qtype 
 	if _, err := conn.Write(frame); err != nil {
 		return nil, err
 	}
-	deadline := r.now() + r.cfg.Timeout
+	deadline := r.now() + timeout
 	var sc dnswire.FrameScanner
 	buf := make([]byte, 4096)
 	for {

@@ -1,0 +1,125 @@
+package tcpproxy
+
+import (
+	"testing"
+	"time"
+
+	"dnsguard/internal/dnswire"
+	"dnsguard/internal/netsim"
+)
+
+// The proxy's two DoS backstops — the 5×RTT duration cap and the
+// token-bucket connection-rate limit — must hold up when the network itself
+// is degraded, not just on a clean link: jitter stretches legitimate
+// connections toward the cap, and a partition turns accepted connections
+// into zombies the cap must reap.
+
+func TestProxyDurationCapUnderJitter(t *testing.T) {
+	f := newFixture(t, nil) // cap = 5×10ms = 50ms
+	// Jitter every segment between the LRS and the guard by up to 15 ms
+	// each way. A handshake still completes, but an idle connection must
+	// still die at the cap — jitter must not let it linger unboundedly.
+	f.net.SetLinkFaults(f.lrs, f.guardHost, netsim.Faults{Jitter: 15 * time.Millisecond})
+	f.run(t, func() {
+		conn, err := f.lrs.DialTCP(mustAP("192.0.2.1:53"))
+		if err != nil {
+			t.Errorf("dial under jitter: %v", err)
+			return
+		}
+		defer conn.Close()
+		start := f.sched.Now()
+		buf := make([]byte, 16)
+		_, err = conn.Read(buf, 2*time.Second)
+		elapsed := f.sched.Now() - start
+		if err == nil {
+			t.Error("read succeeded on a capped connection")
+			return
+		}
+		// Cap is 50 ms from accept; allow the RST itself to be jittered.
+		if elapsed > 150*time.Millisecond {
+			t.Errorf("connection lived %v under jitter, cap is 50ms", elapsed)
+		}
+	})
+	if f.proxy.Stats.DurationKills != 1 {
+		t.Errorf("duration kills = %d, want 1", f.proxy.Stats.DurationKills)
+	}
+}
+
+func TestProxyDurationCapReapsPartitionedClients(t *testing.T) {
+	// A client completes the handshake, then the WAN partitions: the client
+	// can never FIN. The duration cap is what frees the proxy slot — without
+	// it a slow-drip attacker behind lossy links would pin MaxConcurrent.
+	f := newFixture(t, func(c *Config) {
+		c.MaxConcurrent = 4
+		c.ConnRate = 1e6
+		c.ConnBurst = 1e6
+	})
+	for i := 0; i < 4; i++ {
+		f.sched.Go("zombie", func() {
+			conn, err := f.lrs.DialTCP(mustAP("192.0.2.1:53"))
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			buf := make([]byte, 16)
+			_, _ = conn.Read(buf, 10*time.Second)
+		})
+	}
+	// Sever the link shortly after the handshakes complete.
+	f.net.PartitionFor(f.lrs, f.guardHost, 30*time.Millisecond, 5*time.Second)
+	f.sched.Run(10 * time.Second)
+	if f.proxy.Stats.DurationKills != 4 {
+		t.Errorf("duration kills = %d, want all 4 partitioned connections reaped", f.proxy.Stats.DurationKills)
+	}
+	if live := f.proxy.Live(); live != 0 {
+		t.Errorf("live = %d after reaping, want 0", live)
+	}
+}
+
+func TestProxyConnRateLimitUnderJitterAndDuplication(t *testing.T) {
+	// Duplicated SYNs must not double-count against (or bypass) the token
+	// bucket, and jitter must not smear the arrival rate below the
+	// limiter's threshold. 50 rapid attempts against rate 10/s, burst 5:
+	// most must still be rejected.
+	f := newFixture(t, func(c *Config) {
+		c.ConnRate = 10
+		c.ConnBurst = 5
+	})
+	f.net.SetLinkFaults(f.lrs, f.guardHost, netsim.Faults{
+		Duplicate: 0.5,
+		Jitter:    5 * time.Millisecond,
+	})
+	served, refused := 0, 0
+	f.run(t, func() {
+		q, _ := dnswire.NewQuery(1, dnswire.MustName("www.foo.com"), dnswire.TypeA).Pack()
+		frame, _ := dnswire.AppendTCPFrame(nil, q)
+		for i := 0; i < 50; i++ {
+			conn, err := f.lrs.DialTCP(mustAP("192.0.2.1:53"))
+			if err != nil {
+				refused++
+				continue
+			}
+			if _, err := conn.Write(frame); err != nil {
+				refused++
+				_ = conn.Close()
+				continue
+			}
+			buf := make([]byte, 2048)
+			if _, err := conn.Read(buf, 200*time.Millisecond); err != nil {
+				refused++
+			} else {
+				served++
+			}
+			_ = conn.Close()
+		}
+	})
+	if served > 25 {
+		t.Errorf("served = %d of 50 rapid connections under faults, want most rejected", served)
+	}
+	if f.proxy.Stats.RateRejected == 0 {
+		t.Error("rate limiter never rejected under faults")
+	}
+	if served == 0 {
+		t.Error("rate limiter starved every legitimate connection")
+	}
+}

@@ -30,14 +30,15 @@ func mustAP(s string) netip.AddrPort { return netip.MustParseAddrPort(s) }
 
 // fixture: guard in TCP-redirect mode + TCP proxy in front of foo.com's ANS.
 type fixture struct {
-	sched  *vclock.Scheduler
-	net    *netsim.Network
-	proxy  *Proxy
-	g      *guard.Remote
-	fooNS  *ans.Server
-	lrs    *netsim.Host
-	res    *resolver.Resolver
-	gStack *tcpsim.Stack
+	sched     *vclock.Scheduler
+	net       *netsim.Network
+	proxy     *Proxy
+	g         *guard.Remote
+	fooNS     *ans.Server
+	lrs       *netsim.Host
+	guardHost *netsim.Host
+	res       *resolver.Resolver
+	gStack    *tcpsim.Stack
 }
 
 func newFixture(t *testing.T, mutate func(*Config)) *fixture {
@@ -60,6 +61,7 @@ func newFixture(t *testing.T, mutate func(*Config)) *fixture {
 	f.fooNS = srv
 
 	guardHost := network.AddHost("guard", mustAddr("10.99.0.1"))
+	f.guardHost = guardHost
 	guardHost.ClaimAddr(mustAddr("192.0.2.1"))
 	network.SetLatency(guardHost, ansHost, 100*time.Microsecond)
 	f.gStack = tcpsim.Install(guardHost, tcpsim.Config{SYNCookies: true})

@@ -53,6 +53,18 @@ func (s *Scheduler) Now() time.Duration { return s.now }
 // used from procs or event callbacks.
 func (s *Scheduler) Rand() *rand.Rand { return s.rng }
 
+// RandDuration returns a uniformly distributed duration in [0, max), drawn
+// from the scheduler's deterministic random source. It is the primitive the
+// network simulator's fault-injection layer uses for latency jitter and
+// reorder delays, so degraded-network runs replay bit-for-bit from a seed.
+// A non-positive max yields zero without consuming randomness.
+func (s *Scheduler) RandDuration(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	return time.Duration(s.rng.Int63n(int64(max)))
+}
+
 // Proc is a simulated goroutine. Procs are created with Go and must perform
 // all blocking through the scheduler that owns them.
 type Proc struct {
