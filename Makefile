@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test check vet race fuzz-smoke testdata
+.PHONY: all build test check vet race fuzz-smoke metrics-smoke testdata
 
 all: build
 
@@ -27,7 +27,28 @@ fuzz-smoke:
 	$(GO) test ./internal/dnswire -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/dnswire -run='^$$' -fuzz='^FuzzNameRoundTrip$$' -fuzztime=$(FUZZTIME)
 
-check: vet race fuzz-smoke
+# Boot a guarded ANS with -metrics-addr, scrape /metrics once, and check the
+# guard's series are present. End-to-end proof the observability layer serves.
+metrics-smoke:
+	@set -e; \
+	$(GO) build -o /tmp/dnsguard-smoke-ansd ./cmd/ansd; \
+	$(GO) build -o /tmp/dnsguard-smoke-guardd ./cmd/dnsguardd; \
+	/tmp/dnsguard-smoke-ansd -zone testdata/foo.com.zone -listen 127.0.0.1:15353 & ANS=$$!; \
+	/tmp/dnsguard-smoke-guardd -listen 127.0.0.1:15355 -ans 127.0.0.1:15353 -zone foo.com \
+		-metrics-addr 127.0.0.1:19090 -stats 0 & GUARD=$$!; \
+	trap 'kill $$ANS $$GUARD 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://127.0.0.1:19090/metrics >/tmp/dnsguard-smoke-metrics.txt 2>/dev/null && break; \
+		sleep 0.1; \
+	done; \
+	curl -sf http://127.0.0.1:19090/debug/vars >/dev/null; \
+	for series in guard_remote_received guard_remote_cookie_valid guard_remote_upstream_spoofed \
+		guard_rl1_allowed tcpproxy_accepted guard_remote_pending; do \
+		grep -q "^$$series " /tmp/dnsguard-smoke-metrics.txt || { echo "missing $$series"; exit 1; }; \
+	done; \
+	echo "metrics-smoke: ok ($$(wc -l < /tmp/dnsguard-smoke-metrics.txt) series)"
+
+check: vet race fuzz-smoke metrics-smoke
 
 # Regenerate the wire-capture fuzz seeds under internal/dnswire/testdata/.
 testdata:

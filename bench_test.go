@@ -18,6 +18,7 @@ import (
 	"dnsguard/internal/dnswire"
 	"dnsguard/internal/experiments"
 	"dnsguard/internal/guard"
+	"dnsguard/internal/metrics"
 	"dnsguard/internal/workload"
 )
 
@@ -56,6 +57,13 @@ func benchTableIIIScheme(b *testing.B, label experiments.SchemeLabel) {
 			if r.Scheme == label {
 				b.ReportMetric(r.Miss, "miss_req/s")
 				b.ReportMetric(r.Hit, "hit_req/s")
+				// Observability wired through the metrics registry: guard
+				// counter movement over the hit window and fleet latency
+				// percentiles.
+				b.ReportMetric(float64(r.HitDetail.CookieValid), "hit_Δvalid")
+				b.ReportMetric(float64(r.HitDetail.Forwarded), "hit_Δfwd")
+				b.ReportMetric(float64(r.HitDetail.P50.Nanoseconds())/1e6, "hit_p50_ms")
+				b.ReportMetric(float64(r.HitDetail.P99.Nanoseconds())/1e6, "hit_p99_ms")
 			}
 		}
 		// One full TableIII run covers all schemes; report only the
@@ -345,4 +353,25 @@ func BenchmarkGuardPipeline_CookieQuery(b *testing.B) {
 	}
 	costs := cpumodel.Default2006()
 	b.ReportMetric(float64(costs.Guard.CookieCheck.Nanoseconds()), "calibrated2006_ns")
+}
+
+// --- Micro-benchmarks: metrics primitives ------------------------------------
+// The registry sits on every daemon's hot path (atomic adds inline, Func
+// adapters only at scrape time); these bound the per-event cost.
+
+func BenchmarkMetricsCounterInc(b *testing.B) {
+	r := metrics.NewRegistry()
+	c := r.Counter("bench_counter")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkMetricsHistogramObserve(b *testing.B) {
+	h := metrics.NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i%1000) * time.Microsecond)
+	}
 }

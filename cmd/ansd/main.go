@@ -31,6 +31,7 @@ func run() error {
 	zonePath := flag.String("zone", "", "comma-separated zone master file(s) (required)")
 	listen := flag.String("listen", "127.0.0.1:5353", "UDP/TCP listen address")
 	enableTCP := flag.Bool("tcp", true, "also serve DNS over TCP")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this address (empty = off)")
 	flag.Parse()
 
 	if *zonePath == "" {
@@ -68,6 +69,17 @@ func run() error {
 		return err
 	}
 	fmt.Printf("ansd: serving zones %v on %v (tcp=%v)\n", zones.Origins(), srv.Addr(), *enableTCP)
+
+	if *metricsAddr != "" {
+		reg := dnsguard.NewMetrics()
+		srv.Stats.MetricsInto(reg)
+		l, err := dnsguard.ServeMetrics(*metricsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("serving metrics: %w", err)
+		}
+		defer l.Close()
+		fmt.Printf("ansd: metrics on http://%v/metrics\n", l.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

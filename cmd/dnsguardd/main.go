@@ -41,6 +41,7 @@ func run() error {
 	threshold := flag.Float64("threshold", 0, "activation threshold in req/s (0 = always on)")
 	withProxy := flag.Bool("proxy", true, "run the TCP proxy for redirected/truncated requesters")
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats reporting interval (0 = off)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this address (empty = off)")
 	flag.Parse()
 
 	if *zoneName == "" {
@@ -113,15 +114,36 @@ func run() error {
 		fmt.Printf("dnsguardd: TCP proxy on %v\n", sock.LocalAddr())
 	}
 
+	reg := dnsguard.NewMetrics()
+	g.MetricsInto(reg)
+	if proxy != nil {
+		proxy.MetricsInto(reg)
+	}
+	if *metricsAddr != "" {
+		l, err := dnsguard.ServeMetrics(*metricsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("serving metrics: %w", err)
+		}
+		defer l.Close()
+		fmt.Printf("dnsguardd: metrics on http://%v/metrics\n", l.Addr())
+	}
+	stop := make(chan struct{})
+	defer close(stop)
 	if *statsEvery > 0 {
 		go func() {
 			for {
-				time.Sleep(*statsEvery)
-				s := g.Stats
-				fmt.Printf("dnsguardd: recv=%d grants=%d valid=%d invalid=%d rl1drop=%d fwd=%d\n",
-					s.Received, s.NewcomerGrants, s.CookieValid, s.CookieInvalid, s.RL1Dropped, s.ForwardedToANS)
+				select {
+				case <-stop:
+					return
+				case <-time.After(*statsEvery):
+				}
+				s := g.Stats.Load()
+				fmt.Printf("dnsguardd: recv=%d grants=%d valid=%d invalid=%d rl1drop=%d fwd=%d spoofed=%d\n",
+					s.Received, s.NewcomerGrants, s.CookieValid, s.CookieInvalid, s.RL1Dropped,
+					s.ForwardedToANS, s.UpstreamSpoofed)
 			}
 		}()
+		go dnsguard.DumpMetricsEvery(reg, 6**statsEvery, os.Stderr, stop)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -131,8 +153,8 @@ func run() error {
 	if proxy != nil {
 		proxy.Close()
 	}
-	s := g.Stats
-	fmt.Printf("dnsguardd: final stats: recv=%d valid=%d invalid=%d dropped(rl1=%d rl2=%d)\n",
-		s.Received, s.CookieValid, s.CookieInvalid, s.RL1Dropped, s.RL2Dropped)
+	s := g.Stats.Load()
+	fmt.Printf("dnsguardd: final stats: recv=%d valid=%d invalid=%d dropped(rl1=%d rl2=%d) spoofed=%d\n",
+		s.Received, s.CookieValid, s.CookieInvalid, s.RL1Dropped, s.RL2Dropped, s.UpstreamSpoofed)
 	return nil
 }

@@ -37,6 +37,8 @@ func run() error {
 	maxBackoff := flag.Duration("max-backoff", 0, "backoff ceiling (0 = 8x -backoff)")
 	queryTimeout := flag.Duration("query-timeout", 0, "total per-query budget across all retries (0 = unbounded)")
 	tcpRetryAfter := flag.Int("tcp-retry-after", 0, "retry over TCP after this many failed UDP rounds (0 = never)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this address (empty = off)")
+	metricsDump := flag.Duration("metrics-dump", 0, "dump metrics to stderr at this interval (0 = off)")
 	flag.Parse()
 
 	env := dnsguard.NewEnv()
@@ -89,6 +91,23 @@ func run() error {
 		return err
 	}
 	fmt.Printf("lrsd: recursive service on %v, %d root hints\n", srv.Addr(), len(roots))
+
+	reg := dnsguard.NewMetrics()
+	res.MetricsInto(reg)
+	srv.Stats.MetricsInto(reg)
+	if *metricsAddr != "" {
+		l, err := dnsguard.ServeMetrics(*metricsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("serving metrics: %w", err)
+		}
+		defer l.Close()
+		fmt.Printf("lrsd: metrics on http://%v/metrics\n", l.Addr())
+	}
+	if *metricsDump > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go dnsguard.DumpMetricsEvery(reg, *metricsDump, os.Stderr, stop)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -31,6 +31,8 @@
 package dnsguard
 
 import (
+	"io"
+	"net"
 	"time"
 
 	"dnsguard/internal/ans"
@@ -38,6 +40,7 @@ import (
 	"dnsguard/internal/cpumodel"
 	"dnsguard/internal/dnswire"
 	"dnsguard/internal/guard"
+	"dnsguard/internal/metrics"
 	"dnsguard/internal/netapi"
 	"dnsguard/internal/netsim"
 	"dnsguard/internal/ratelimit"
@@ -239,6 +242,39 @@ type Limiter1Config = ratelimit.Limiter1Config
 // Limiter2Config configures Rate-Limiter2 (per-host nominal rate for
 // verified requesters).
 type Limiter2Config = ratelimit.Limiter2Config
+
+// Observability ---------------------------------------------------------------
+
+// Metrics is a registry of named counters, gauges and latency histograms.
+// Every long-running component (guards, resolver, LRS, ANS, TCP proxy, the
+// simulator) has a MetricsInto method that registers its live counters on
+// one; see DESIGN.md §9 for the naming scheme.
+type Metrics = metrics.Registry
+
+// MetricSample is one named value from a Metrics snapshot.
+type MetricSample = metrics.Sample
+
+// NewMetrics creates an empty metrics registry.
+func NewMetrics() *Metrics { return metrics.NewRegistry() }
+
+// ServeMetrics serves the registry over HTTP on addr: /metrics is the
+// deterministic "name value" text form, /debug/vars the expvar-style JSON
+// object. It returns the bound listener (close it to stop serving).
+func ServeMetrics(addr string, r *Metrics) (net.Listener, error) {
+	return metrics.Serve(addr, r)
+}
+
+// DumpMetricsEvery writes a framed text snapshot of r to w every interval
+// until stop is closed; the cmd/ daemons use it for periodic stderr dumps.
+func DumpMetricsEvery(r *Metrics, interval time.Duration, w io.Writer, stop <-chan struct{}) {
+	metrics.DumpEvery(r, interval, w, stop)
+}
+
+// MetricsDelta returns after-minus-before for every series present in after;
+// benchmarks use it to report per-run counter movement.
+func MetricsDelta(before, after []MetricSample) []MetricSample {
+	return metrics.Delta(before, after)
+}
 
 // Cost model ------------------------------------------------------------------
 

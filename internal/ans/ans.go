@@ -10,9 +10,11 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"sync/atomic"
 	"time"
 
 	"dnsguard/internal/dnswire"
+	"dnsguard/internal/metrics"
 	"dnsguard/internal/netapi"
 	"dnsguard/internal/zone"
 )
@@ -49,7 +51,9 @@ type Config struct {
 	RecursionAvailable bool
 }
 
-// Stats counts server activity.
+// Stats counts server activity. Fields are written atomically (the UDP
+// serving proc and per-TCP-connection procs run concurrently under real
+// clocks).
 type Stats struct {
 	UDPQueries uint64
 	TCPQueries uint64
@@ -58,15 +62,28 @@ type Stats struct {
 	Truncated  uint64
 }
 
+// MetricsInto registers every counter as an ans_* series reading the live
+// fields.
+func (s *Stats) MetricsInto(r *metrics.Registry) {
+	for name, f := range map[string]*uint64{
+		"ans_udp_queries": &s.UDPQueries,
+		"ans_tcp_queries": &s.TCPQueries,
+		"ans_malformed":   &s.Malformed,
+		"ans_responses":   &s.Responses,
+		"ans_truncated":   &s.Truncated,
+	} {
+		f := f
+		r.FuncUint(name, func() uint64 { return atomic.LoadUint64(f) })
+	}
+}
+
 // Server is a running authoritative server.
 type Server struct {
 	cfg  Config
 	udp  netapi.UDPConn
 	tcpl netapi.Listener
 
-	// Stats is updated as the server runs; read it after the simulation
-	// quiesces (or for real servers, accept the benign race as
-	// diagnostics-only).
+	// Stats is updated as the server runs (atomically; see Stats).
 	Stats Stats
 }
 
@@ -140,7 +157,7 @@ func (s *Server) serveUDP() {
 		if err != nil {
 			return // closed
 		}
-		s.Stats.UDPQueries++
+		atomic.AddUint64(&s.Stats.UDPQueries, 1)
 		resp := s.HandleQuery(payload)
 		if resp == nil {
 			continue
@@ -150,9 +167,9 @@ func (s *Server) serveUDP() {
 			continue
 		}
 		if wire[2]&0x02 != 0 { // TC bit, possibly set by PackUDP truncation
-			s.Stats.Truncated++
+			atomic.AddUint64(&s.Stats.Truncated, 1)
 		}
-		s.Stats.Responses++
+		atomic.AddUint64(&s.Stats.Responses, 1)
 		_ = s.udp.WriteTo(wire, src)
 	}
 }
@@ -185,7 +202,7 @@ func (s *Server) serveConn(conn netapi.Conn) {
 			if !ok {
 				break
 			}
-			s.Stats.TCPQueries++
+			atomic.AddUint64(&s.Stats.TCPQueries, 1)
 			resp := s.HandleQuery(frame)
 			if resp == nil {
 				return
@@ -198,7 +215,7 @@ func (s *Server) serveConn(conn netapi.Conn) {
 			if err != nil {
 				return
 			}
-			s.Stats.Responses++
+			atomic.AddUint64(&s.Stats.Responses, 1)
 			if _, err := conn.Write(out); err != nil {
 				return
 			}
@@ -215,7 +232,7 @@ func (s *Server) HandleQuery(payload []byte) *dnswire.Message {
 	}
 	q, err := dnswire.Unpack(payload)
 	if err != nil || q.Flags.QR || len(q.Questions) == 0 {
-		s.Stats.Malformed++
+		atomic.AddUint64(&s.Stats.Malformed, 1)
 		return nil
 	}
 	resp := q.Response()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dnsguard/internal/guard"
+	"dnsguard/internal/metrics"
 	"dnsguard/internal/netsim"
 	"dnsguard/internal/workload"
 )
@@ -148,6 +149,9 @@ type Figure6Point struct {
 	ThroughputOff float64
 	CPUOn         float64 // guard CPU utilization (on-world)
 	CPUOff        float64 // guard CPU when spoof detection is off: 0 (no guard)
+	// DroppedOn counts requests the guard rejected over the measurement
+	// window (forged cookies + rate-limited), on-world only.
+	DroppedOn uint64
 }
 
 // Figure6Options tunes the sweep.
@@ -184,12 +188,12 @@ func Figure6(opts Figure6Options) ([]Figure6Point, error) {
 	for _, rate := range opts.AttackRates {
 		p := Figure6Point{AttackRate: rate}
 		for _, guardOn := range []bool{true, false} {
-			tput, cpu, err := figure6Cell(rate, guardOn, opts)
+			tput, cpu, dropped, err := figure6Cell(rate, guardOn, opts)
 			if err != nil {
 				return nil, fmt.Errorf("figure 6 rate=%v on=%v: %w", rate, guardOn, err)
 			}
 			if guardOn {
-				p.ThroughputOn, p.CPUOn = tput, cpu
+				p.ThroughputOn, p.CPUOn, p.DroppedOn = tput, cpu, dropped
 			} else {
 				p.ThroughputOff, p.CPUOff = tput, cpu
 			}
@@ -199,7 +203,7 @@ func Figure6(opts Figure6Options) ([]Figure6Point, error) {
 	return points, nil
 }
 
-func figure6Cell(attackRate float64, guardOn bool, opts Figure6Options) (float64, float64, error) {
+func figure6Cell(attackRate float64, guardOn bool, opts Figure6Options) (float64, float64, uint64, error) {
 	w, err := NewWorld(WorldConfig{
 		GuardOff:           !guardOn,
 		Scheme:             guard.SchemeDNS,
@@ -207,7 +211,7 @@ func figure6Cell(attackRate float64, guardOn bool, opts Figure6Options) (float64
 		RL1Unlimited:       true,
 	})
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	kind := workload.KindModified
 	if !guardOn {
@@ -224,7 +228,7 @@ func figure6Cell(attackRate float64, guardOn bool, opts Figure6Options) (float64
 			Wait:   10 * time.Millisecond,
 		})
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, 0, err
 		}
 		clients[i] = c
 		c.Start()
@@ -242,7 +246,7 @@ func figure6Cell(attackRate float64, guardOn bool, opts Figure6Options) (float64
 			QName:  qname,
 		})
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, 0, err
 		}
 		atk.Start()
 	}
@@ -259,15 +263,31 @@ func figure6Cell(attackRate float64, guardOn bool, opts Figure6Options) (float64
 	} else {
 		cpuHost = w.ANSHost
 	}
+	var reg *metrics.Registry
+	if guardOn {
+		reg = metrics.NewRegistry()
+		w.Guard.MetricsInto(reg)
+	}
 	meter := netsim.NewUtilizationMeter(cpuHost.CPU())
 	w.Sched.Run(opts.Warmup)
 	meter.Sample()
+	var s0 []metrics.Sample
+	if reg != nil {
+		s0 = reg.Snapshot()
+	}
 	tput := w.MeasureRate(opts.Warmup, opts.Warmup+opts.Window, completed)
 	cpu := meter.Sample()
+	var dropped uint64
+	if reg != nil {
+		d := metrics.Delta(s0, reg.Snapshot())
+		dropped = deltaUint(d, "guard_remote_cookie_invalid") +
+			deltaUint(d, "guard_remote_rl1_dropped") +
+			deltaUint(d, "guard_remote_rl2_dropped")
+	}
 	if !guardOn {
 		cpu = 0 // Figure 6(b) plots the guard machine, idle when disabled
 	}
-	return tput, cpu, nil
+	return tput, cpu, dropped, nil
 }
 
 // Figure7aPoint is one x-position of Figure 7(a): proxy throughput vs

@@ -34,14 +34,24 @@ func WriteTableII(w io.Writer, rows []TableIIRow) {
 	}
 }
 
-// WriteTableIII renders measured throughput next to the paper's (Table III).
+// WriteTableIII renders measured throughput next to the paper's (Table III),
+// with a per-cell detail line: guard counter movement over the measurement
+// window and the client-observed latency percentiles.
 func WriteTableIII(w io.Writer, rows []TableIIIRow) {
 	fmt.Fprintln(w, "TABLE III. Average DNS request throughput (requests/sec)")
 	fmt.Fprintf(w, "%-28s %14s %14s %14s %14s\n", "Scheme", "Miss (ours)", "Miss (paper)", "Hit (ours)", "Hit (paper)")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%-28s %14.0f %14.0f %14.0f %14.0f\n",
 			r.Scheme, r.Miss, r.PaperMiss, r.Hit, r.PaperHit)
+		writeCellDetail(w, "miss", r.MissDetail)
+		writeCellDetail(w, "hit", r.HitDetail)
 	}
+}
+
+func writeCellDetail(w io.Writer, label string, d CellDetail) {
+	fmt.Fprintf(w, "    %-4s Δvalid=%d Δinvalid=%d Δrl1drop=%d Δfwd=%d  p50=%.2fms p90=%.2fms p99=%.2fms\n",
+		label, d.CookieValid, d.CookieInvalid, d.RL1Dropped, d.Forwarded,
+		ms(d.P50), ms(d.P90), ms(d.P99))
 }
 
 // WriteFigure5 renders the Figure 5 series.
@@ -57,10 +67,10 @@ func WriteFigure5(w io.Writer, points []Figure5Point) {
 // WriteFigure6 renders the Figure 6 series.
 func WriteFigure6(w io.Writer, points []Figure6Point) {
 	fmt.Fprintln(w, "FIGURE 6. Guard throughput under spoofed flood (modified-DNS scheme)")
-	fmt.Fprintf(w, "%12s %14s %14s %12s\n", "attack(r/s)", "legit-on(r/s)", "legit-off(r/s)", "cpuGuard-on")
+	fmt.Fprintf(w, "%12s %14s %14s %12s %12s\n", "attack(r/s)", "legit-on(r/s)", "legit-off(r/s)", "cpuGuard-on", "Δdropped-on")
 	for _, p := range points {
-		fmt.Fprintf(w, "%12.0f %14.0f %14.0f %11.0f%%\n",
-			p.AttackRate, p.ThroughputOn, p.ThroughputOff, p.CPUOn*100)
+		fmt.Fprintf(w, "%12.0f %14.0f %14.0f %11.0f%% %12d\n",
+			p.AttackRate, p.ThroughputOn, p.ThroughputOff, p.CPUOn*100, p.DroppedOn)
 	}
 }
 

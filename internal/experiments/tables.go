@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dnsguard/internal/guard"
+	"dnsguard/internal/metrics"
 	"dnsguard/internal/workload"
 )
 
@@ -130,6 +131,29 @@ type TableIIIRow struct {
 	Hit    float64
 	// Paper's measurements (req/s) for EXPERIMENTS.md.
 	PaperMiss, PaperHit float64
+	// Per-cell observability (counter movement + latency percentiles).
+	MissDetail, HitDetail CellDetail
+}
+
+// CellDetail captures one measurement cell's observability: how the guard's
+// counters moved over the measurement window, and the latency percentiles
+// the client fleet observed.
+type CellDetail struct {
+	CookieValid   uint64 // verified requests over the window
+	CookieInvalid uint64
+	RL1Dropped    uint64
+	Forwarded     uint64 // requests relayed to the ANS
+	P50, P90, P99 time.Duration
+}
+
+// deltaUint extracts one series from a metrics.Delta result.
+func deltaUint(d []metrics.Sample, name string) uint64 {
+	for _, s := range d {
+		if s.Name == name {
+			return uint64(s.Value)
+		}
+	}
+	return 0
 }
 
 var paperTableIII = map[SchemeLabel][2]float64{
@@ -172,14 +196,14 @@ func TableIII(opts TableIIIOptions) ([]TableIIIRow, error) {
 			PaperHit:  paperTableIII[label][1],
 		}
 		for _, mode := range []workload.ClientMode{workload.ModeMiss, workload.ModeHit} {
-			rate, err := tableIIICell(label, mode, opts)
+			rate, detail, err := tableIIICell(label, mode, opts)
 			if err != nil {
 				return nil, fmt.Errorf("table III %s/%v: %w", label, mode, err)
 			}
 			if mode == workload.ModeMiss {
-				row.Miss = rate
+				row.Miss, row.MissDetail = rate, detail
 			} else {
-				row.Hit = rate
+				row.Hit, row.HitDetail = rate, detail
 			}
 		}
 		rows = append(rows, row)
@@ -187,15 +211,18 @@ func TableIII(opts TableIIIOptions) ([]TableIIIRow, error) {
 	return rows, nil
 }
 
-func tableIIICell(label SchemeLabel, mode workload.ClientMode, opts TableIIIOptions) (float64, error) {
+func tableIIICell(label SchemeLabel, mode workload.ClientMode, opts TableIIIOptions) (float64, CellDetail, error) {
 	w, err := worldFor(label, WorldConfig{
 		DisableAnswerCache: true,
 		ProxyCostSegments:  10,
 		RL1Unlimited:       true,
 	})
 	if err != nil {
-		return 0, err
+		return 0, CellDetail{}, err
 	}
+	reg := metrics.NewRegistry()
+	w.Guard.MetricsInto(reg)
+	hist := metrics.NewHistogram()
 	clients := make([]*workload.Client, opts.Clients)
 	n := opts.Clients
 	if label == LabelTCP {
@@ -204,15 +231,16 @@ func tableIIICell(label SchemeLabel, mode workload.ClientMode, opts TableIIIOpti
 	}
 	for i := 0; i < n; i++ {
 		c, err := workload.NewClient(workload.ClientConfig{
-			Env:    w.LRSHost,
-			Kind:   label.clientKind(),
-			Mode:   mode,
-			Target: w.Public,
-			QName:  qname,
-			Wait:   10 * time.Millisecond, // the paper's LRS simulator wait
+			Env:     w.LRSHost,
+			Kind:    label.clientKind(),
+			Mode:    mode,
+			Target:  w.Public,
+			QName:   qname,
+			Wait:    10 * time.Millisecond, // the paper's LRS simulator wait
+			Latency: hist,
 		})
 		if err != nil {
-			return 0, err
+			return 0, CellDetail{}, err
 		}
 		clients[i] = c
 		c.Start()
@@ -226,8 +254,26 @@ func tableIIICell(label SchemeLabel, mode workload.ClientMode, opts TableIIIOpti
 		}
 		return sum
 	}
-	rate := w.MeasureRate(opts.Warmup, opts.Warmup+opts.Window, completed)
-	return rate, nil
+	// Sample the registry at the same instants MeasureRate samples the
+	// completion counter, so the deltas cover exactly the rate window.
+	w.RunPhase(opts.Warmup)
+	c0 := completed()
+	s0 := reg.Snapshot()
+	w.RunPhase(opts.Warmup + opts.Window)
+	c1 := completed()
+	s1 := reg.Snapshot()
+	rate := float64(c1-c0) / opts.Window.Seconds()
+	d := metrics.Delta(s0, s1)
+	detail := CellDetail{
+		CookieValid:   deltaUint(d, "guard_remote_cookie_valid"),
+		CookieInvalid: deltaUint(d, "guard_remote_cookie_invalid"),
+		RL1Dropped:    deltaUint(d, "guard_remote_rl1_dropped"),
+		Forwarded:     deltaUint(d, "guard_remote_forwarded_to_ans"),
+		P50:           hist.Quantile(0.50),
+		P90:           hist.Quantile(0.90),
+		P99:           hist.Quantile(0.99),
+	}
+	return rate, detail, nil
 }
 
 // TableIRow is one column of the qualitative comparison (Table I), with the

@@ -2,12 +2,15 @@ package guard
 
 import (
 	"errors"
+	"sync"
+	"sync/atomic"
 
 	"net/netip"
 	"time"
 
 	"dnsguard/internal/cookie"
 	"dnsguard/internal/dnswire"
+	"dnsguard/internal/metrics"
 	"dnsguard/internal/netapi"
 )
 
@@ -72,7 +75,9 @@ func (c *LocalConfig) fillDefaults() error {
 	return nil
 }
 
-// LocalStats counts local-guard activity.
+// LocalStats counts local-guard activity. Fields are written atomically
+// (the capture loop and exchange-timeout procs run concurrently under real
+// clocks).
 type LocalStats struct {
 	Intercepted    uint64 // outbound packets seen
 	Stamped        uint64 // queries forwarded with a cookie attached
@@ -84,6 +89,26 @@ type LocalStats struct {
 	LegacyServers  uint64 // exchanges that revealed a non-guarded server
 	HeldOverflow   uint64
 	Delivered      uint64 // inbound packets handed to the LRS
+}
+
+// MetricsInto registers every counter as a guard_local_* series reading the
+// live fields.
+func (s *LocalStats) MetricsInto(r *metrics.Registry) {
+	for name, f := range map[string]*uint64{
+		"guard_local_intercepted":     &s.Intercepted,
+		"guard_local_stamped":         &s.Stamped,
+		"guard_local_passed_through":  &s.PassedThrough,
+		"guard_local_exchanges":       &s.Exchanges,
+		"guard_local_cookies_learned": &s.CookiesLearned,
+		"guard_local_late_cookies":    &s.LateCookies,
+		"guard_local_exchange_strays": &s.ExchangeStrays,
+		"guard_local_legacy_servers":  &s.LegacyServers,
+		"guard_local_held_overflow":   &s.HeldOverflow,
+		"guard_local_delivered":       &s.Delivered,
+	} {
+		f := f
+		r.FuncUint(name, func() uint64 { return atomic.LoadUint64(f) })
+	}
 }
 
 type learnedCookie struct {
@@ -109,18 +134,25 @@ type lateExchange struct {
 // exchange on first contact and caching per-ANS cookies (one cookie per ANS
 // — the storage advantage of the modified scheme, Table I).
 type Local struct {
-	cfg        LocalConfig
+	cfg    LocalConfig
+	closed atomic.Bool
+
+	// mu guards the cookie/exchange tables, shared between the capture
+	// loop and the exchange-timeout procs under real clocks.
+	mu         sync.Mutex
 	cookies    map[netip.AddrPort]learnedCookie
 	notCapable map[netip.AddrPort]time.Duration
 	exchanges  map[netip.AddrPort]*exchangeState
 	byID       map[uint16]netip.AddrPort
 	late       map[uint16]lateExchange
 	nextID     uint16
-	closed     bool
 
-	// Stats is updated as the guard runs.
+	// Stats is updated as the guard runs (atomically; see LocalStats).
 	Stats LocalStats
 }
+
+// MetricsInto registers the local guard's counters (guard_local_*) on r.
+func (l *Local) MetricsInto(r *metrics.Registry) { l.Stats.MetricsInto(r) }
 
 // NewLocal validates cfg and creates the guard.
 func NewLocal(cfg LocalConfig) (*Local, error) {
@@ -145,16 +177,17 @@ func (l *Local) Start() error {
 
 // Close stops the guard.
 func (l *Local) Close() {
-	if l.closed {
+	if l.closed.Swap(true) {
 		return
 	}
-	l.closed = true
 	_ = l.cfg.IO.Close()
 }
 
 // KnowsCookie reports whether a live cookie for dst is cached (tests).
 func (l *Local) KnowsCookie(dst netip.AddrPort) bool {
+	l.mu.Lock()
 	lc, ok := l.cookies[dst]
+	l.mu.Unlock()
 	return ok && l.cfg.Env.Now() < lc.expires
 }
 
@@ -169,7 +202,7 @@ func (l *Local) captureLoop() {
 		if pkt.Dst.Addr() == l.cfg.ClientAddr {
 			l.handleInbound(pkt)
 		} else {
-			l.Stats.Intercepted++
+			atomic.AddUint64(&l.Stats.Intercepted, 1)
 			l.handleOutbound(pkt)
 		}
 	}
@@ -182,7 +215,7 @@ func (l *Local) handleInbound(pkt Packet) {
 		l.handleExchangeResponse(pkt)
 		return
 	}
-	l.Stats.Delivered++
+	atomic.AddUint64(&l.Stats.Delivered, 1)
 	_ = l.cfg.Deliver(pkt.Src, pkt.Dst, pkt.Payload)
 }
 
@@ -204,6 +237,8 @@ func (l *Local) handleOutbound(pkt Packet) {
 	}
 	now := l.now()
 	dst := pkt.Dst
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if lc, ok := l.cookies[dst]; ok && now < lc.expires {
 		l.stampAndSend(pkt, msg, lc.c)
 		return
@@ -220,7 +255,7 @@ func (l *Local) handleOutbound(pkt Packet) {
 		l.sendCookieRequest(dst, msg, ex)
 	}
 	if len(ex.held) >= l.cfg.MaxHeld {
-		l.Stats.HeldOverflow++
+		atomic.AddUint64(&l.Stats.HeldOverflow, 1)
 		l.passthrough(pkt)
 		return
 	}
@@ -228,7 +263,7 @@ func (l *Local) handleOutbound(pkt Packet) {
 }
 
 func (l *Local) passthrough(pkt Packet) {
-	l.Stats.PassedThrough++
+	atomic.AddUint64(&l.Stats.PassedThrough, 1)
 	_ = l.cfg.IO.WriteFromTo(pkt.Src, pkt.Dst, pkt.Payload)
 }
 
@@ -239,13 +274,13 @@ func (l *Local) stampAndSend(pkt Packet, msg *dnswire.Message, c cookie.Cookie) 
 		l.passthrough(pkt)
 		return
 	}
-	l.Stats.Stamped++
+	atomic.AddUint64(&l.Stats.Stamped, 1)
 	_ = l.cfg.IO.WriteFromTo(pkt.Src, pkt.Dst, wire)
 }
 
 // sendCookieRequest emits message 2: the same question with an all-zero
 // cookie, from the LRS's address on the guard's dedicated port so message 3
-// comes back to the guard.
+// comes back to the guard. The caller must hold l.mu.
 func (l *Local) sendCookieRequest(dst netip.AddrPort, template *dnswire.Message, ex *exchangeState) {
 	l.nextID++
 	ex.id = l.nextID
@@ -257,7 +292,7 @@ func (l *Local) sendCookieRequest(dst netip.AddrPort, template *dnswire.Message,
 	if err != nil {
 		return
 	}
-	l.Stats.Exchanges++
+	atomic.AddUint64(&l.Stats.Exchanges, 1)
 	src := netip.AddrPortFrom(l.cfg.ClientAddr, l.cfg.ExchangePort)
 	_ = l.cfg.IO.WriteFromTo(src, dst, wire)
 	l.cfg.Env.Go("localguard-timeout", func() {
@@ -271,6 +306,8 @@ func (l *Local) sendCookieRequest(dst netip.AddrPort, template *dnswire.Message,
 // registered for a grace window so a message 3 delayed past the timeout (by
 // jitter or reordering) can still be learned and the legacy verdict undone.
 func (l *Local) expireExchange(dst netip.AddrPort, ex *exchangeState) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	cur, ok := l.exchanges[dst]
 	if !ok || cur != ex {
 		return // already resolved
@@ -280,6 +317,8 @@ func (l *Local) expireExchange(dst netip.AddrPort, ex *exchangeState) {
 	l.late[ex.id] = lateExchange{dst: dst, expires: l.now() + grace}
 	l.cfg.Env.Go("localguard-late-reap", func() {
 		l.cfg.Env.Sleep(grace)
+		l.mu.Lock()
+		defer l.mu.Unlock()
 		if le, ok := l.late[ex.id]; ok && le.dst == dst {
 			delete(l.late, ex.id)
 			if d, ok := l.byID[ex.id]; ok && d == dst {
@@ -287,7 +326,7 @@ func (l *Local) expireExchange(dst netip.AddrPort, ex *exchangeState) {
 			}
 		}
 	})
-	l.Stats.LegacyServers++
+	atomic.AddUint64(&l.Stats.LegacyServers, 1)
 	l.notCapable[dst] = l.now() + l.cfg.NotCapableTTL
 	for _, pkt := range ex.held {
 		l.passthrough(pkt)
@@ -301,9 +340,11 @@ func (l *Local) handleExchangeResponse(pkt Packet) {
 	if err != nil || !resp.Flags.QR {
 		return
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	dst, ok := l.byID[resp.ID]
 	if !ok || dst != pkt.Src {
-		l.Stats.ExchangeStrays++
+		atomic.AddUint64(&l.Stats.ExchangeStrays, 1)
 		return
 	}
 	ex, ok := l.exchanges[dst]
@@ -317,7 +358,7 @@ func (l *Local) handleExchangeResponse(pkt Packet) {
 	if !has || c.IsZero() {
 		// A legacy server answered the bare question: it is not
 		// cookie-capable.
-		l.Stats.LegacyServers++
+		atomic.AddUint64(&l.Stats.LegacyServers, 1)
 		l.notCapable[dst] = l.now() + l.cfg.NotCapableTTL
 		for _, held := range ex.held {
 			l.passthrough(held)
@@ -329,7 +370,7 @@ func (l *Local) handleExchangeResponse(pkt Packet) {
 		life = l.cfg.CookieTTLCap
 	}
 	l.cookies[dst] = learnedCookie{c: c, expires: l.now() + life}
-	l.Stats.CookiesLearned++
+	atomic.AddUint64(&l.Stats.CookiesLearned, 1)
 	for _, held := range ex.held {
 		if msg, err := dnswire.Unpack(held.Payload); err == nil {
 			l.stampAndSend(held, msg, c)
@@ -341,11 +382,12 @@ func (l *Local) handleExchangeResponse(pkt Packet) {
 // exchange timed out: the held queries are long gone (released unstamped),
 // but the cookie is still good, and the premature legacy verdict must be
 // reversed so the next query is stamped instead of passed through for
-// NotCapableTTL (up to a minute of degraded service).
+// NotCapableTTL (up to a minute of degraded service). The caller must hold
+// l.mu.
 func (l *Local) handleLateExchangeResponse(dst netip.AddrPort, resp *dnswire.Message) {
 	le, ok := l.late[resp.ID]
 	if !ok || le.dst != dst || l.now() >= le.expires {
-		l.Stats.ExchangeStrays++
+		atomic.AddUint64(&l.Stats.ExchangeStrays, 1)
 		return
 	}
 	delete(l.late, resp.ID)
@@ -360,6 +402,6 @@ func (l *Local) handleLateExchangeResponse(dst netip.AddrPort, resp *dnswire.Mes
 	}
 	l.cookies[dst] = learnedCookie{c: c, expires: l.now() + life}
 	delete(l.notCapable, dst)
-	l.Stats.CookiesLearned++
-	l.Stats.LateCookies++
+	atomic.AddUint64(&l.Stats.CookiesLearned, 1)
+	atomic.AddUint64(&l.Stats.LateCookies, 1)
 }

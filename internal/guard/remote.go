@@ -4,11 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dnsguard/internal/cookie"
 	"dnsguard/internal/cpumodel"
 	"dnsguard/internal/dnswire"
+	"dnsguard/internal/metrics"
 	"dnsguard/internal/netapi"
 	"dnsguard/internal/ratelimit"
 	"dnsguard/internal/resolver"
@@ -133,6 +136,9 @@ func (c *RemoteConfig) fillDefaults() error {
 }
 
 // RemoteStats counts guard activity; the experiment harness reads these.
+// Fields are written with atomic operations (the capture and upstream loops
+// run concurrently under real clocks); read individual fields with
+// atomic.LoadUint64, or take a consistent-enough copy via Load.
 type RemoteStats struct {
 	Received        uint64 // packets read from the capture interface
 	Passthrough     uint64 // relayed while spoof detection inactive
@@ -148,7 +154,58 @@ type RemoteStats struct {
 	TCRedirects     uint64
 	PendingDropped  uint64 // NAT table overflow/expiry losses
 	UpstreamStrays  uint64 // duplicated/unmatched ANS responses discarded
+	UpstreamSpoofed uint64 // upstream datagrams failing source/question checks
 	KeyRotations    uint64
+}
+
+// Load returns an atomically-field-read copy of the stats. Each field is
+// individually exact; the set is not a single consistent cut, which is fine
+// for monitoring and for quiesced test assertions.
+func (s *RemoteStats) Load() RemoteStats {
+	return RemoteStats{
+		Received:        atomic.LoadUint64(&s.Received),
+		Passthrough:     atomic.LoadUint64(&s.Passthrough),
+		Malformed:       atomic.LoadUint64(&s.Malformed),
+		NewcomerGrants:  atomic.LoadUint64(&s.NewcomerGrants),
+		RL1Dropped:      atomic.LoadUint64(&s.RL1Dropped),
+		CookieValid:     atomic.LoadUint64(&s.CookieValid),
+		CookieInvalid:   atomic.LoadUint64(&s.CookieInvalid),
+		RL2Dropped:      atomic.LoadUint64(&s.RL2Dropped),
+		ForwardedToANS:  atomic.LoadUint64(&s.ForwardedToANS),
+		AnswerCacheHits: atomic.LoadUint64(&s.AnswerCacheHits),
+		RepliesToClient: atomic.LoadUint64(&s.RepliesToClient),
+		TCRedirects:     atomic.LoadUint64(&s.TCRedirects),
+		PendingDropped:  atomic.LoadUint64(&s.PendingDropped),
+		UpstreamStrays:  atomic.LoadUint64(&s.UpstreamStrays),
+		UpstreamSpoofed: atomic.LoadUint64(&s.UpstreamSpoofed),
+		KeyRotations:    atomic.LoadUint64(&s.KeyRotations),
+	}
+}
+
+// MetricsInto registers every counter as a guard_remote_* series reading
+// the live fields, so exports track the struct without copying it.
+func (s *RemoteStats) MetricsInto(r *metrics.Registry) {
+	for name, f := range map[string]*uint64{
+		"guard_remote_received":          &s.Received,
+		"guard_remote_passthrough":       &s.Passthrough,
+		"guard_remote_malformed":         &s.Malformed,
+		"guard_remote_newcomer_grants":   &s.NewcomerGrants,
+		"guard_remote_rl1_dropped":       &s.RL1Dropped,
+		"guard_remote_cookie_valid":      &s.CookieValid,
+		"guard_remote_cookie_invalid":    &s.CookieInvalid,
+		"guard_remote_rl2_dropped":       &s.RL2Dropped,
+		"guard_remote_forwarded_to_ans":  &s.ForwardedToANS,
+		"guard_remote_answer_cache_hits": &s.AnswerCacheHits,
+		"guard_remote_replies_to_client": &s.RepliesToClient,
+		"guard_remote_tc_redirects":      &s.TCRedirects,
+		"guard_remote_pending_dropped":   &s.PendingDropped,
+		"guard_remote_upstream_strays":   &s.UpstreamStrays,
+		"guard_remote_upstream_spoofed":  &s.UpstreamSpoofed,
+		"guard_remote_key_rotations":     &s.KeyRotations,
+	} {
+		f := f
+		r.FuncUint(name, func() uint64 { return atomic.LoadUint64(f) })
+	}
 }
 
 type pendKind int
@@ -166,6 +223,7 @@ type pendEntry struct {
 	origID    uint16
 	question  dnswire.Question // the client's question (fabricated name for pendChild)
 	child     dnswire.Name     // restored child name (pendChild)
+	fwdQ      dnswire.Question // question actually sent upstream; responses must echo it
 	expires   time.Duration
 }
 
@@ -179,13 +237,31 @@ type Remote struct {
 	rate     *ratelimit.RateEstimator
 	active   bool
 	upstream netapi.UDPConn
-	pending  map[uint16]*pendEntry
-	nextID   uint16
-	answers  *resolver.Cache
-	closed   bool
+	closed   atomic.Bool
 
-	// Stats is updated as the guard runs.
+	// mu guards the NAT table, shared between the capture loop (register)
+	// and the upstream loop (consume) — concurrent goroutines under real
+	// clocks. The answer cache locks internally.
+	mu      sync.Mutex
+	pending map[uint16]*pendEntry
+	nextID  uint16
+	answers *resolver.Cache
+
+	// Stats is updated as the guard runs (atomically; see RemoteStats).
 	Stats RemoteStats
+}
+
+// MetricsInto registers the guard's counters, rate-limiter counters, and a
+// live NAT-table-size gauge on r (guard_remote_* series).
+func (g *Remote) MetricsInto(r *metrics.Registry) {
+	g.Stats.MetricsInto(r)
+	g.rl1.MetricsInto(r, "guard_rl1_")
+	g.rl2.MetricsInto(r, "guard_rl2_")
+	r.Func("guard_remote_pending", func() float64 {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return float64(len(g.pending))
+	})
 }
 
 // NewRemote validates cfg and creates the guard (not yet started).
@@ -222,28 +298,37 @@ func (g *Remote) Start() error {
 	return nil
 }
 
+// UpstreamAddr reports the local address of the guard's upstream socket
+// (valid after Start). Tests use it to aim spoofed datagrams at the
+// ANS-facing path.
+func (g *Remote) UpstreamAddr() netip.AddrPort {
+	if g.upstream == nil {
+		return netip.AddrPort{}
+	}
+	return g.upstream.LocalAddr()
+}
+
 // rotateLoop changes the cookie key every KeyRotation period. Cookies from
 // the previous generation stay valid for one more period (the generation
 // bit selects the key), so rotation is invisible to live requesters.
 func (g *Remote) rotateLoop() {
-	for !g.closed {
+	for !g.closed.Load() {
 		g.cfg.Env.Sleep(g.cfg.KeyRotation)
-		if g.closed {
+		if g.closed.Load() {
 			return
 		}
 		if err := g.cfg.Auth.Rotate(); err != nil {
 			continue // keep the old key; retry next period
 		}
-		g.Stats.KeyRotations++
+		atomic.AddUint64(&g.Stats.KeyRotations, 1)
 	}
 }
 
 // Close stops the guard.
 func (g *Remote) Close() {
-	if g.closed {
+	if g.closed.Swap(true) {
 		return
 	}
-	g.closed = true
 	_ = g.cfg.IO.Close()
 	if g.upstream != nil {
 		_ = g.upstream.Close()
@@ -281,7 +366,7 @@ func (g *Remote) captureLoop() {
 		if err != nil {
 			return
 		}
-		g.Stats.Received++
+		atomic.AddUint64(&g.Stats.Received, 1)
 		g.charge(g.cfg.Costs.PacketOp)
 		g.updateActivation()
 		g.handle(pkt)
@@ -313,7 +398,7 @@ func (g *Remote) handle(pkt Packet) {
 	}
 	msg, err := dnswire.Unpack(pkt.Payload)
 	if err != nil || msg.Flags.QR || len(msg.Questions) == 0 {
-		g.Stats.Malformed++
+		atomic.AddUint64(&g.Stats.Malformed, 1)
 		return
 	}
 	// Scheme 1b: queries addressed to a cookie IP inside the guard subnet.
@@ -338,10 +423,10 @@ func (g *Remote) handle(pkt Packet) {
 func (g *Remote) passthrough(pkt Packet) {
 	msg, err := dnswire.Unpack(pkt.Payload)
 	if err != nil || msg.Flags.QR {
-		g.Stats.Malformed++
+		atomic.AddUint64(&g.Stats.Malformed, 1)
 		return
 	}
-	g.Stats.Passthrough++
+	atomic.AddUint64(&g.Stats.Passthrough, 1)
 	g.forwardMsg(msg, &pendEntry{
 		kind:      pendPassthrough,
 		clientSrc: pkt.Src,
@@ -353,7 +438,7 @@ func (g *Remote) passthrough(pkt Packet) {
 // handleNewcomer boots a cookie-less requester per the fallback scheme.
 func (g *Remote) handleNewcomer(pkt Packet, msg *dnswire.Message) {
 	if !g.rl1.AllowResponse(pkt.Src.Addr(), g.now()) {
-		g.Stats.RL1Dropped++
+		atomic.AddUint64(&g.Stats.RL1Dropped, 1)
 		return
 	}
 	qname := msg.Question().Name
@@ -369,8 +454,8 @@ func (g *Remote) handleNewcomer(pkt Packet, msg *dnswire.Message) {
 		// TC redirect: also used for apex queries, which have no child
 		// name to fabricate.
 		g.charge(g.cfg.Costs.TCReply)
-		g.Stats.NewcomerGrants++
-		g.Stats.TCRedirects++
+		atomic.AddUint64(&g.Stats.NewcomerGrants, 1)
+		atomic.AddUint64(&g.Stats.TCRedirects, 1)
 		resp := msg.Response()
 		resp.Flags.TC = true
 		g.reply(pkt.Dst, pkt.Src, resp)
@@ -383,13 +468,13 @@ func (g *Remote) handleNewcomer(pkt Packet, msg *dnswire.Message) {
 	fabName, err := FabricateNSName(g.nsc, c, child)
 	if err != nil {
 		// Label too long to carry a cookie; fall back to TCP.
-		g.Stats.TCRedirects++
+		atomic.AddUint64(&g.Stats.TCRedirects, 1)
 		resp := msg.Response()
 		resp.Flags.TC = true
 		g.reply(pkt.Dst, pkt.Src, resp)
 		return
 	}
-	g.Stats.NewcomerGrants++
+	atomic.AddUint64(&g.Stats.NewcomerGrants, 1)
 	resp := msg.Response()
 	resp.Authority = []dnswire.RR{
 		dnswire.NewRR(child, g.cfg.NSTTL, &dnswire.NSData{Host: fabName}),
@@ -412,12 +497,12 @@ func (g *Remote) isTCPClient(src netip.Addr) bool {
 func (g *Remote) handleNSCookie(pkt Packet, msg *dnswire.Message, label string, child dnswire.Name) {
 	g.charge(g.cfg.Costs.CookieCheck)
 	if !g.nsc.VerifyLabel(g.cfg.Auth, pkt.Src.Addr(), label) {
-		g.Stats.CookieInvalid++
+		atomic.AddUint64(&g.Stats.CookieInvalid, 1)
 		return
 	}
-	g.Stats.CookieValid++
+	atomic.AddUint64(&g.Stats.CookieValid, 1)
 	if !g.rl2.AllowRequest(pkt.Src.Addr(), g.now()) {
-		g.Stats.RL2Dropped++
+		atomic.AddUint64(&g.Stats.RL2Dropped, 1)
 		return
 	}
 	g.charge(g.cfg.Costs.Rewrite)
@@ -439,18 +524,18 @@ func (g *Remote) handleNSCookie(pkt Packet, msg *dnswire.Message, label string, 
 func (g *Remote) handleIPCookie(pkt Packet, msg *dnswire.Message) {
 	g.charge(g.cfg.Costs.CookieCheck)
 	if !g.ipc.Verify(g.cfg.Auth, pkt.Src.Addr(), pkt.Dst.Addr()) {
-		g.Stats.CookieInvalid++
+		atomic.AddUint64(&g.Stats.CookieInvalid, 1)
 		return
 	}
-	g.Stats.CookieValid++
+	atomic.AddUint64(&g.Stats.CookieValid, 1)
 	if !g.rl2.AllowRequest(pkt.Src.Addr(), g.now()) {
-		g.Stats.RL2Dropped++
+		atomic.AddUint64(&g.Stats.RL2Dropped, 1)
 		return
 	}
 	q := msg.Question()
 	// Serve from the answer cache when message 5's result is still fresh.
 	if rrs, _, neg, ok := g.answersGet(q.Name, q.Type); ok && !neg {
-		g.Stats.AnswerCacheHits++
+		atomic.AddUint64(&g.Stats.AnswerCacheHits, 1)
 		resp := msg.Response()
 		resp.Flags.AA = true
 		resp.Answers = rrs
@@ -473,11 +558,11 @@ func (g *Remote) handleModified(pkt Packet, msg *dnswire.Message, c cookie.Cooki
 	if c.IsZero() {
 		// Message 2: cookie request. Answer through Rate-Limiter1.
 		if !g.rl1.AllowResponse(pkt.Src.Addr(), g.now()) {
-			g.Stats.RL1Dropped++
+			atomic.AddUint64(&g.Stats.RL1Dropped, 1)
 			return
 		}
 		g.charge(g.cfg.Costs.CookieGrant)
-		g.Stats.NewcomerGrants++
+		atomic.AddUint64(&g.Stats.NewcomerGrants, 1)
 		resp := msg.Response()
 		AttachCookie(resp, g.cfg.Auth.Mint(pkt.Src.Addr()), g.cfg.NSTTL)
 		g.reply(pkt.Dst, pkt.Src, resp)
@@ -485,12 +570,12 @@ func (g *Remote) handleModified(pkt Packet, msg *dnswire.Message, c cookie.Cooki
 	}
 	g.charge(g.cfg.Costs.CookieCheck)
 	if !g.cfg.Auth.Verify(pkt.Src.Addr(), c) {
-		g.Stats.CookieInvalid++
+		atomic.AddUint64(&g.Stats.CookieInvalid, 1)
 		return
 	}
-	g.Stats.CookieValid++
+	atomic.AddUint64(&g.Stats.CookieValid, 1)
 	if !g.rl2.AllowRequest(pkt.Src.Addr(), g.now()) {
-		g.Stats.RL2Dropped++
+		atomic.AddUint64(&g.Stats.RL2Dropped, 1)
 		return
 	}
 	g.charge(g.cfg.Costs.Rewrite)
@@ -509,25 +594,34 @@ func (g *Remote) handleModified(pkt Packet, msg *dnswire.Message, c cookie.Cooki
 // forwardMsg sends msg to the ANS under a fresh transaction ID and registers
 // the pending entry for the response.
 func (g *Remote) forwardMsg(msg *dnswire.Message, entry *pendEntry) {
-	id, ok := g.allocID()
-	if !ok {
-		g.Stats.PendingDropped++
-		return
+	if len(msg.Questions) > 0 {
+		entry.fwdQ = msg.Questions[0]
 	}
 	entry.expires = g.now() + g.cfg.PendingTimeout
+	g.mu.Lock()
+	id, ok := g.allocID()
+	if !ok {
+		g.mu.Unlock()
+		atomic.AddUint64(&g.Stats.PendingDropped, 1)
+		return
+	}
 	g.pending[id] = entry
+	g.mu.Unlock()
 	out := *msg
 	out.ID = id
 	wire, err := out.PackUDP(dnswire.MaxUDPSize)
 	if err != nil {
+		g.mu.Lock()
 		delete(g.pending, id)
+		g.mu.Unlock()
 		return
 	}
-	g.Stats.ForwardedToANS++
+	atomic.AddUint64(&g.Stats.ForwardedToANS, 1)
 	g.charge(g.cfg.Costs.PacketOp)
 	_ = g.upstream.WriteTo(wire, g.cfg.ANSAddr)
 }
 
+// allocID picks an unused transaction ID; the caller must hold g.mu.
 func (g *Remote) allocID() (uint16, bool) {
 	if len(g.pending) >= 4096 {
 		// Reap expired entries before refusing.
@@ -535,7 +629,7 @@ func (g *Remote) allocID() (uint16, bool) {
 		for id, e := range g.pending {
 			if now >= e.expires {
 				delete(g.pending, id)
-				g.Stats.PendingDropped++
+				atomic.AddUint64(&g.Stats.PendingDropped, 1)
 			}
 		}
 		if len(g.pending) >= 4096 {
@@ -552,31 +646,50 @@ func (g *Remote) allocID() (uint16, bool) {
 }
 
 // upstreamLoop receives ANS responses and transforms them per the pending
-// entry's kind.
+// entry's kind. A datagram is consumed only when it (a) comes from the
+// configured ANS address, and (b) echoes the question the guard forwarded —
+// ID alone is 16 bits of entropy, trivially sweepable by an off-path
+// attacker who learns the upstream port.
 func (g *Remote) upstreamLoop() {
 	for {
-		payload, _, err := g.upstream.ReadFrom(netapi.NoTimeout)
+		payload, src, err := g.upstream.ReadFrom(netapi.NoTimeout)
 		if err != nil {
 			return
 		}
 		g.charge(g.cfg.Costs.PacketOp)
+		if src != g.cfg.ANSAddr {
+			// Off-path datagram: only the real ANS sends to this socket.
+			atomic.AddUint64(&g.Stats.UpstreamSpoofed, 1)
+			continue
+		}
 		resp, err := dnswire.Unpack(payload)
 		if err != nil || !resp.Flags.QR {
 			continue
 		}
+		g.mu.Lock()
 		entry, ok := g.pending[resp.ID]
 		if !ok {
+			g.mu.Unlock()
 			// Duplicated or long-delayed ANS response whose entry was
 			// already consumed — the network, not the ANS, misbehaving.
-			g.Stats.UpstreamStrays++
+			atomic.AddUint64(&g.Stats.UpstreamStrays, 1)
+			continue
+		}
+		if len(resp.Questions) == 0 || resp.Questions[0] != entry.fwdQ {
+			// Right ID, wrong question: spoofed (or corrupted) response.
+			// Keep the entry so the genuine answer can still land.
+			g.mu.Unlock()
+			atomic.AddUint64(&g.Stats.UpstreamSpoofed, 1)
 			continue
 		}
 		if g.now() >= entry.expires {
 			delete(g.pending, resp.ID)
-			g.Stats.PendingDropped++
+			g.mu.Unlock()
+			atomic.AddUint64(&g.Stats.PendingDropped, 1)
 			continue
 		}
 		delete(g.pending, resp.ID)
+		g.mu.Unlock()
 		switch entry.kind {
 		case pendPassthrough, pendDirect:
 			resp.ID = entry.origID
@@ -662,7 +775,7 @@ func (g *Remote) reply(from, to netip.AddrPort, msg *dnswire.Message) {
 	if err != nil {
 		return
 	}
-	g.Stats.RepliesToClient++
+	atomic.AddUint64(&g.Stats.RepliesToClient, 1)
 	g.charge(g.cfg.Costs.PacketOp)
 	_ = g.cfg.IO.WriteFromTo(from, to, wire)
 }

@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler returns an http.Handler exposing the registry:
+//
+//	/metrics     sorted expvar-style "name value" text
+//	/debug/vars  the same snapshot as one JSON object
+//
+// Mount it on a daemon's -metrics-addr listener.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+	return mux
+}
+
+// Serve listens on addr and serves the registry until the listener is
+// closed. It returns the bound listener (for its actual address and for
+// shutdown) and never blocks; the serve loop runs in a goroutine.
+func Serve(addr string, r *Registry) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
+}
+
+// DumpEvery writes the registry as text to w every interval until stop is
+// closed — the headless-run export path (point w at stderr). Each dump is
+// framed with a "-- metrics --" header line so interleaved logs stay
+// greppable.
+func DumpEvery(r *Registry, interval time.Duration, w io.Writer, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			fmt.Fprintln(w, "-- metrics --")
+			_ = r.WriteText(w)
+		case <-stop:
+			return
+		}
+	}
+}

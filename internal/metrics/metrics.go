@@ -1,0 +1,240 @@
+// Package metrics is the guard-wide observability substrate: a
+// dependency-free registry of atomic counters, gauges, and fixed-bucket
+// latency histograms with deterministic snapshot and export.
+//
+// The paper's entire evaluation (Tables I–III, Figures 5–7) is expressed in
+// measured rates — cookie issues and verifications, drops at each rate
+// limiter, offered load on the ANS, per-scheme latency — and operational
+// DNS-defense work (Rizvi et al.'s layered root defense, Wei & Heidemann's
+// spoof measurement) triggers every mitigation layer off live measurement.
+// This package gives every component one substrate for those numbers:
+//
+//   - Counter and Gauge are lock-free atomics usable from any goroutine,
+//     including the guard's capture and upstream loops under real clocks;
+//   - Histogram buckets latencies into log-spaced bins spanning the paper's
+//     µs-to-s range and reports quantiles by interpolation;
+//   - Registry names metrics, accepts read-only snapshot adapters for
+//     pre-existing stats structs (so their exported fields keep working),
+//     and exports everything as sorted expvar-style "name value" text or
+//     JSON — deterministic output for tests and diffable scrapes.
+//
+// Naming convention: lower_snake_case, prefixed by component
+// ("guard_remote_", "resolver_", "tcpproxy_", ...); histogram-derived
+// series append _count, _sum_ns, _p50_ns, _p90_ns, _p99_ns, and
+// _le_<bound> bucket lines. DESIGN.md §9 maps series to the paper's tables.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; share it by pointer (it must not be copied after first use).
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reports the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (e.g. live connections, table
+// sizes). The zero value is ready to use; share it by pointer.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the value by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value reports the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Sample is one exported series value at snapshot time.
+type Sample struct {
+	Name  string
+	Value float64
+}
+
+// metric is anything that can contribute samples to a snapshot.
+type metric interface {
+	sample(name string, emit func(Sample))
+}
+
+func (c *Counter) sample(name string, emit func(Sample)) {
+	emit(Sample{name, float64(c.Value())})
+}
+
+func (g *Gauge) sample(name string, emit func(Sample)) {
+	emit(Sample{name, float64(g.Value())})
+}
+
+// funcMetric adapts a read-only closure — the snapshot adapter used to
+// export pre-existing stats struct fields without migrating their type.
+type funcMetric func() float64
+
+func (f funcMetric) sample(name string, emit func(Sample)) {
+	emit(Sample{name, f()})
+}
+
+// Registry is a named set of metrics. All methods are safe for concurrent
+// use; getters create on first use and return the existing metric (of the
+// same kind) thereafter.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[string]metric)}
+}
+
+// Counter returns the counter registered under name, creating it if needed.
+// Panics if name is already registered as a different kind.
+func (r *Registry) Counter(name string) *Counter {
+	c, _ := lookupOrCreate(r, name, func() *Counter { return &Counter{} })
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	g, _ := lookupOrCreate(r, name, func() *Gauge { return &Gauge{} })
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the default log-spaced latency buckets (1 µs … ~17 s) if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	h, _ := lookupOrCreate(r, name, NewHistogram)
+	return h
+}
+
+// Func registers a read-only snapshot adapter under name: fn is called at
+// every snapshot. Use it to export fields of pre-existing stats structs
+// (loaded atomically by the caller) without changing their type.
+func (r *Registry) Func(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.m[name]; ok {
+		panic(fmt.Sprintf("metrics: %q already registered", name))
+	}
+	r.m[name] = funcMetric(fn)
+}
+
+// FuncUint is Func for the common case of a uint64 counter field.
+func (r *Registry) FuncUint(name string, fn func() uint64) {
+	r.Func(name, func() float64 { return float64(fn()) })
+}
+
+// lookupOrCreate returns the metric under name, creating it with mk when
+// absent. It panics when name holds a metric of a different concrete type.
+func lookupOrCreate[M metric](r *Registry, name string, mk func() M) (M, bool) {
+	r.mu.RLock()
+	existing, ok := r.m[name]
+	r.mu.RUnlock()
+	if !ok {
+		r.mu.Lock()
+		existing, ok = r.m[name]
+		if !ok {
+			m := mk()
+			r.m[name] = m
+			r.mu.Unlock()
+			return m, true
+		}
+		r.mu.Unlock()
+	}
+	m, ok := existing.(M)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %q already registered as %T", name, existing))
+	}
+	return m, false
+}
+
+// Snapshot returns every sample, sorted by name — deterministic for a given
+// set of metric values. Counters and gauges are read atomically; Func
+// adapters are invoked.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.m))
+	for name := range r.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	samples := make([]Sample, 0, len(names))
+	for _, name := range names {
+		r.m[name].sample(name, func(s Sample) { samples = append(samples, s) })
+	}
+	r.mu.RUnlock()
+	sort.Slice(samples, func(i, j int) bool { return samples[i].Name < samples[j].Name })
+	return samples
+}
+
+// Get returns the snapshot value of one series (histograms expand to their
+// derived series names) and whether it exists.
+func (r *Registry) Get(name string) (float64, bool) {
+	for _, s := range r.Snapshot() {
+		if s.Name == name {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// WriteText writes the snapshot as expvar-style "name value" lines, sorted
+// by name. Integral values print without a decimal point.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, s := range r.Snapshot() {
+		if _, err := fmt.Fprintf(w, "%s %s\n", s.Name, formatValue(s.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the snapshot as a single JSON object keyed by series
+// name (keys are emitted in sorted order by encoding/json).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	obj := make(map[string]float64)
+	for _, s := range r.Snapshot() {
+		obj[s.Name] = s.Value
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(obj)
+}
+
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Delta computes per-series differences between two snapshots taken from the
+// same registry (after minus before). Series absent from before are reported
+// at their after value; series absent from after are dropped.
+func Delta(before, after []Sample) []Sample {
+	prev := make(map[string]float64, len(before))
+	for _, s := range before {
+		prev[s.Name] = s.Value
+	}
+	out := make([]Sample, 0, len(after))
+	for _, s := range after {
+		out = append(out, Sample{s.Name, s.Value - prev[s.Name]})
+	}
+	return out
+}

@@ -15,6 +15,7 @@ import (
 	"net/netip"
 	"time"
 
+	"dnsguard/internal/metrics"
 	"dnsguard/internal/netapi"
 	"dnsguard/internal/vclock"
 )
@@ -67,6 +68,45 @@ type NetStats struct {
 	Reordered      uint64 // datagrams delayed past later traffic
 	Corrupted      uint64 // payloads bit-flipped (UDP) or CRC-dropped
 	PartitionDrops uint64 // dropped on a partitioned link
+}
+
+// MetricsInto registers network-wide counters as netsim_* series. The
+// simulator is cooperatively scheduled (one real goroutine at a time), so
+// plain reads are safe; snapshot between vclock runs, not during one.
+func (n *Network) MetricsInto(r *metrics.Registry) {
+	for name, f := range map[string]*uint64{
+		"netsim_sent":            &n.Stats.Sent,
+		"netsim_delivered":       &n.Stats.Delivered,
+		"netsim_lost":            &n.Stats.Lost,
+		"netsim_no_route":        &n.Stats.NoRoute,
+		"netsim_no_socket":       &n.Stats.NoSocket,
+		"netsim_duplicated":      &n.Stats.Duplicated,
+		"netsim_reordered":       &n.Stats.Reordered,
+		"netsim_corrupted":       &n.Stats.Corrupted,
+		"netsim_partition_drops": &n.Stats.PartitionDrops,
+	} {
+		f := f
+		r.FuncUint(name, func() uint64 { return *f })
+	}
+}
+
+// LinkMetricsInto registers the a→b direction's LinkStats under prefix
+// (e.g. "netsim_link_client_guard_"): <prefix>sent, <prefix>lost,
+// <prefix>duplicated, <prefix>reordered, <prefix>corrupted,
+// <prefix>partition_drops.
+func (n *Network) LinkMetricsInto(r *metrics.Registry, a, b *Host, prefix string) {
+	ls := n.linkStatsFor(a, b)
+	for name, f := range map[string]*uint64{
+		prefix + "sent":            &ls.Sent,
+		prefix + "lost":            &ls.Lost,
+		prefix + "duplicated":      &ls.Duplicated,
+		prefix + "reordered":       &ls.Reordered,
+		prefix + "corrupted":       &ls.Corrupted,
+		prefix + "partition_drops": &ls.PartitionDrops,
+	} {
+		f := f
+		r.FuncUint(name, func() uint64 { return *f })
+	}
 }
 
 // New creates an empty network on sched with a default one-way link latency.

@@ -87,12 +87,16 @@ func NewRateEstimator(n int, length time.Duration) *RateEstimator {
 	}
 }
 
-// Observe records one event at now.
+// Observe records one event at now. Timestamps that regress behind the
+// current bucket (NTP step, captured packets delivered out of order) are
+// folded into the current bucket: advancing on a stale slot would stamp a
+// fresh bucket with an old time and corrupt the window's rate for a full
+// rotation.
 func (e *RateEstimator) Observe(now time.Duration) {
 	slot := now / e.bucketLen
 	cur := e.times[e.idx]
 	switch {
-	case slot == cur:
+	case slot <= cur:
 		e.counts[e.idx]++
 	default:
 		e.idx = (e.idx + 1) % len(e.counts)

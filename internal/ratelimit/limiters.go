@@ -2,7 +2,10 @@ package ratelimit
 
 import (
 	"net/netip"
+	"sync/atomic"
 	"time"
+
+	"dnsguard/internal/metrics"
 )
 
 // lruBuckets is a bounded map of per-source token buckets with
@@ -127,22 +130,33 @@ func NewLimiter1(cfg Limiter1Config, now time.Duration) *Limiter1 {
 func (l *Limiter1) AllowResponse(src netip.Addr, now time.Duration) bool {
 	l.top.Observe(src)
 	if !l.perSrc.get(src, now).Allow(now) {
-		l.denied++
+		atomic.AddUint64(&l.denied, 1)
 		return false
 	}
 	if !l.global.Allow(now) {
-		l.denied++
+		atomic.AddUint64(&l.denied, 1)
 		return false
 	}
-	l.allowed++
+	atomic.AddUint64(&l.allowed, 1)
 	return true
 }
 
 // TopRequesters returns the current heaviest cookie requesters.
 func (l *Limiter1) TopRequesters(n int) []netip.Addr { return l.top.Top(n) }
 
-// Stats reports allowed and denied response counts.
-func (l *Limiter1) Stats() (allowed, denied uint64) { return l.allowed, l.denied }
+// Stats reports allowed and denied response counts. Safe to call from a
+// metrics scraper concurrent with AllowResponse.
+func (l *Limiter1) Stats() (allowed, denied uint64) {
+	return atomic.LoadUint64(&l.allowed), atomic.LoadUint64(&l.denied)
+}
+
+// MetricsInto registers the limiter's counters under prefix (e.g.
+// "guard_rl1_"): <prefix>allowed, <prefix>denied, <prefix>topk_evictions.
+func (l *Limiter1) MetricsInto(r *metrics.Registry, prefix string) {
+	r.FuncUint(prefix+"allowed", func() uint64 { return atomic.LoadUint64(&l.allowed) })
+	r.FuncUint(prefix+"denied", func() uint64 { return atomic.LoadUint64(&l.denied) })
+	r.FuncUint(prefix+"topk_evictions", l.top.Evictions)
+}
 
 // Limiter2Config parameterizes Limiter2.
 type Limiter2Config struct {
@@ -184,15 +198,25 @@ func NewLimiter2(cfg Limiter2Config, now time.Duration) *Limiter2 {
 // to the ANS at now.
 func (l *Limiter2) AllowRequest(src netip.Addr, now time.Duration) bool {
 	if !l.perSrc.get(src, now).Allow(now) {
-		l.denied++
+		atomic.AddUint64(&l.denied, 1)
 		return false
 	}
-	l.allowed++
+	atomic.AddUint64(&l.allowed, 1)
 	return true
 }
 
-// Stats reports allowed and denied request counts.
-func (l *Limiter2) Stats() (allowed, denied uint64) { return l.allowed, l.denied }
+// Stats reports allowed and denied request counts. Safe to call from a
+// metrics scraper concurrent with AllowRequest.
+func (l *Limiter2) Stats() (allowed, denied uint64) {
+	return atomic.LoadUint64(&l.allowed), atomic.LoadUint64(&l.denied)
+}
+
+// MetricsInto registers the limiter's counters under prefix (e.g.
+// "guard_rl2_"): <prefix>allowed, <prefix>denied.
+func (l *Limiter2) MetricsInto(r *metrics.Registry, prefix string) {
+	r.FuncUint(prefix+"allowed", func() uint64 { return atomic.LoadUint64(&l.allowed) })
+	r.FuncUint(prefix+"denied", func() uint64 { return atomic.LoadUint64(&l.denied) })
+}
 
 // Sources reports how many per-source buckets are live.
 func (l *Limiter2) Sources() int { return l.perSrc.len() }

@@ -266,3 +266,51 @@ func TestLRUEvictionResetsBudget(t *testing.T) {
 		t.Fatal("evicted source should restart with fresh burst")
 	}
 }
+
+func TestRateEstimatorOutOfOrderTimestamps(t *testing.T) {
+	e := NewRateEstimator(10, 100*time.Millisecond) // 1s window
+	var now time.Duration
+	// Steady 1000/s, but every 10th packet carries a timestamp 150ms in the
+	// past (more than a bucket behind), as happens when capture queues drain
+	// out of order or the clock is stepped. The regressed events must fold
+	// into the current bucket instead of stamping a fresh bucket with an old
+	// slot, which would corrupt the whole window.
+	for i := 0; i < 1000; i++ {
+		ts := now
+		if i%10 == 9 {
+			ts -= 150 * time.Millisecond
+		}
+		e.Observe(ts)
+		now += time.Millisecond
+	}
+	got := e.Rate(now)
+	if got < 800 || got > 1200 {
+		t.Fatalf("rate with out-of-order timestamps = %v, want ~1000", got)
+	}
+}
+
+func TestRateEstimatorRegressionDoesNotAdvanceWindow(t *testing.T) {
+	e := NewRateEstimator(4, 100*time.Millisecond)
+	e.Observe(time.Second)
+	// A far-past timestamp must not rotate the ring: before the fix this
+	// claimed a new bucket with slot 0 and the window double-counted time.
+	e.Observe(0)
+	e.Observe(time.Second)
+	// All three events live in the 1s bucket; the window is 400ms.
+	if got, want := e.Rate(time.Second), 3.0/0.4; got != want {
+		t.Fatalf("rate = %v, want %v", got, want)
+	}
+}
+
+func TestTopKEvictionsCounter(t *testing.T) {
+	tk := NewTopK[int](2)
+	tk.Observe(1)
+	tk.Observe(2)
+	if tk.Evictions() != 0 {
+		t.Fatalf("evictions before saturation = %d, want 0", tk.Evictions())
+	}
+	tk.Observe(3) // third distinct key with k=2: space-saving eviction
+	if tk.Evictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", tk.Evictions())
+	}
+}

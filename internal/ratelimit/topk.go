@@ -1,6 +1,9 @@
 package ratelimit
 
-import "container/heap"
+import (
+	"container/heap"
+	"sync/atomic"
+)
 
 // TopK is a space-saving heavy-hitter sketch (Metwally et al.) over a stream
 // of keys. It tracks at most k counters; when a new key arrives with all
@@ -8,9 +11,10 @@ import "container/heap"
 // are overestimates bounded by the evicted minimum. The guard's
 // Rate-Limiter1 uses it to identify the top cookie requesters (§III-F).
 type TopK[K comparable] struct {
-	k       int
-	entries map[K]*tkEntry[K]
-	heap    tkHeap[K]
+	k         int
+	entries   map[K]*tkEntry[K]
+	heap      tkHeap[K]
+	evictions uint64
 }
 
 type tkEntry[K comparable] struct {
@@ -56,6 +60,7 @@ func (t *TopK[K]) Observe(key K) {
 		return
 	}
 	// Evict the minimum and inherit its count (space-saving step).
+	atomic.AddUint64(&t.evictions, 1)
 	min := t.heap[0]
 	delete(t.entries, min.key)
 	min.key = key
@@ -109,3 +114,9 @@ func (t *TopK[K]) Top(n int) []K {
 
 // Len reports the number of occupied counters.
 func (t *TopK[K]) Len() int { return len(t.heap) }
+
+// Evictions reports how many space-saving evictions have occurred — a
+// saturation signal: nonzero means the sketch saw more distinct keys than
+// it has counters and estimates carry inherited error. Safe to call from a
+// metrics scraper concurrent with Observe.
+func (t *TopK[K]) Evictions() uint64 { return atomic.LoadUint64(&t.evictions) }

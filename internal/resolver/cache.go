@@ -10,6 +10,7 @@ package resolver
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"dnsguard/internal/dnswire"
@@ -29,11 +30,11 @@ type cacheEntry struct {
 }
 
 // Cache is a TTL-based DNS cache on a monotonic clock supplied by the
-// caller. It is not safe for concurrent use from real goroutines; the
-// simulator is cooperatively scheduled and the real LRS daemon serializes
-// through one proc per request with its own cache instance or a mutex at a
-// higher level.
+// caller. All methods are safe for concurrent use: the real LRS daemon
+// resolves each query on its own goroutine against one shared cache.
+// Set MinTTL/MaxTTL before the cache is shared.
 type Cache struct {
+	mu      sync.Mutex
 	entries map[cacheKey]cacheEntry
 	max     int
 	// MinTTL clamps the minimum time entries stay cached.
@@ -71,15 +72,19 @@ func (c *Cache) Put(now time.Duration, name dnswire.Name, rtype dnswire.Type, rr
 		}
 	}
 	ttl := time.Duration(minTTL) * time.Second
+	// TTL 0 means "do not cache" (Figure 5 semantics) and must be honoured
+	// before the MinTTL floor — clamping first would cache the uncacheable.
+	if ttl <= 0 {
+		return
+	}
 	if ttl < c.MinTTL {
 		ttl = c.MinTTL
 	}
 	if ttl > c.MaxTTL {
 		ttl = c.MaxTTL
 	}
-	if ttl <= 0 {
-		return
-	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.evictIfFull(now)
 	c.entries[cacheKey{name, rtype}] = cacheEntry{
 		rrs:      append([]dnswire.RR(nil), rrs...),
@@ -96,6 +101,8 @@ func (c *Cache) PutNegative(now time.Duration, name dnswire.Name, rtype dnswire.
 	if ttl > c.MaxTTL {
 		ttl = c.MaxTTL
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.evictIfFull(now)
 	c.entries[cacheKey{name, rtype}] = cacheEntry{
 		negative: true,
@@ -108,6 +115,8 @@ func (c *Cache) PutNegative(now time.Duration, name dnswire.Name, rtype dnswire.
 // Get returns the cached rrset with TTLs aged by the time in cache. negative
 // reports a cached negative result (rrs nil, rcode meaningful).
 func (c *Cache) Get(now time.Duration, name dnswire.Name, rtype dnswire.Type) (rrs []dnswire.RR, rcode dnswire.RCode, negative, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	e, exists := c.entries[cacheKey{name, rtype}]
 	if !exists || now >= e.expires {
 		if exists {
@@ -140,13 +149,25 @@ func (c *Cache) Has(now time.Duration, name dnswire.Name, rtype dnswire.Type) bo
 }
 
 // Flush removes everything.
-func (c *Cache) Flush() { c.entries = make(map[cacheKey]cacheEntry) }
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[cacheKey]cacheEntry)
+}
 
 // Len reports live entry count (including expired not yet reaped).
-func (c *Cache) Len() int { return len(c.entries) }
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
 
 // Stats reports hit and miss counts.
-func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
 
 func (c *Cache) evictIfFull(now time.Duration) {
 	if len(c.entries) < c.max {

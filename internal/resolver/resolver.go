@@ -5,9 +5,12 @@ import (
 	"fmt"
 	"math/rand"
 	"net/netip"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dnsguard/internal/dnswire"
+	"dnsguard/internal/metrics"
 	"dnsguard/internal/netapi"
 )
 
@@ -88,7 +91,9 @@ func (c *Config) fillDefaults() {
 	}
 }
 
-// Stats counts resolver activity.
+// Stats counts resolver activity. Fields are written atomically (the real
+// LRS resolves concurrent queries against one Resolver); read them with
+// atomic.LoadUint64 when the resolver may still be running.
 type Stats struct {
 	Queries      uint64 // client questions asked of this resolver
 	Upstream     uint64 // queries sent to authoritative servers
@@ -100,6 +105,24 @@ type Stats struct {
 	CacheAnswers uint64 // questions answered fully from cache
 }
 
+// MetricsInto registers every counter as a resolver_* series reading the
+// live fields.
+func (s *Stats) MetricsInto(r *metrics.Registry) {
+	for name, f := range map[string]*uint64{
+		"resolver_queries":       &s.Queries,
+		"resolver_upstream":      &s.Upstream,
+		"resolver_retries":       &s.Retries,
+		"resolver_timeouts":      &s.Timeouts,
+		"resolver_tcp_fallbacks": &s.TCPFallbacks,
+		"resolver_tcp_retries":   &s.TCPRetries,
+		"resolver_backoffs":      &s.Backoffs,
+		"resolver_cache_answers": &s.CacheAnswers,
+	} {
+		f := f
+		r.FuncUint(name, func() uint64 { return atomic.LoadUint64(f) })
+	}
+}
+
 // Result is the outcome of one resolution.
 type Result struct {
 	Answers  []dnswire.RR
@@ -109,14 +132,40 @@ type Result struct {
 	CacheHit bool
 }
 
-// Resolver is an iterative (recursive-serving) DNS resolver.
+// Resolver is an iterative (recursive-serving) DNS resolver. It is safe for
+// concurrent Resolve calls: the cache locks internally, the rng is guarded,
+// and stats are atomic.
 type Resolver struct {
 	cfg   Config
 	cache *Cache
+
+	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	// Stats is updated during operation.
+	// Stats is updated during operation (atomically; see Stats).
 	Stats Stats
+}
+
+// MetricsInto registers the resolver's counters and cache hit/miss series
+// (resolver_*) on r.
+func (r *Resolver) MetricsInto(reg *metrics.Registry) {
+	r.Stats.MetricsInto(reg)
+	reg.FuncUint("resolver_cache_hits", func() uint64 { h, _ := r.cache.Stats(); return h })
+	reg.FuncUint("resolver_cache_misses", func() uint64 { _, m := r.cache.Stats(); return m })
+}
+
+// randUint32 draws from the seeded rng under its lock.
+func (r *Resolver) randUint32() uint32 {
+	r.rngMu.Lock()
+	defer r.rngMu.Unlock()
+	return r.rng.Uint32()
+}
+
+// randInt63n draws from the seeded rng under its lock.
+func (r *Resolver) randInt63n(n int64) int64 {
+	r.rngMu.Lock()
+	defer r.rngMu.Unlock()
+	return r.rng.Int63n(n)
 }
 
 // New builds a resolver.
@@ -143,19 +192,22 @@ func (r *Resolver) FlushCache() { r.cache.Flush() }
 
 // Resolve answers (qname, qtype) by walking the delegation hierarchy.
 func (r *Resolver) Resolve(qname dnswire.Name, qtype dnswire.Type) (Result, error) {
-	r.Stats.Queries++
+	atomic.AddUint64(&r.Stats.Queries, 1)
 	start := r.cfg.Env.Now()
-	before := r.Stats.Upstream
+	before := atomic.LoadUint64(&r.Stats.Upstream)
 	rrs, rcode, err := r.resolve(qname, qtype, 0)
 	res := Result{
-		Answers:  rrs,
-		RCode:    rcode,
-		Latency:  r.cfg.Env.Now() - start,
-		Upstream: int(r.Stats.Upstream - before),
+		Answers: rrs,
+		RCode:   rcode,
+		Latency: r.cfg.Env.Now() - start,
+		// With concurrent resolutions this delta can include other queries'
+		// upstream traffic; it is exact when queries are serialized (the
+		// simulator and the experiments).
+		Upstream: int(atomic.LoadUint64(&r.Stats.Upstream) - before),
 	}
 	res.CacheHit = res.Upstream == 0 && err == nil
 	if res.CacheHit {
-		r.Stats.CacheAnswers++
+		atomic.AddUint64(&r.Stats.CacheAnswers, 1)
 	}
 	return res, err
 }
@@ -343,11 +395,11 @@ func (r *Resolver) querySet(servers []serverRef, qname dnswire.Name, qtype dnswi
 	attempts := r.cfg.Retries + 1
 	for a := 0; a < attempts; a++ {
 		if a > 0 && backoff > 0 {
-			d := backoff/2 + time.Duration(r.rng.Int63n(int64(backoff/2)+1))
+			d := backoff/2 + time.Duration(r.randInt63n(int64(backoff/2)+1))
 			if deadline > 0 && r.now()+d >= deadline {
 				break
 			}
-			r.Stats.Backoffs++
+			atomic.AddUint64(&r.Stats.Backoffs, 1)
 			r.cfg.Env.Sleep(d)
 			if backoff *= 2; backoff > r.cfg.MaxBackoff {
 				backoff = r.cfg.MaxBackoff
@@ -371,7 +423,7 @@ func (r *Resolver) querySet(servers []serverRef, qname dnswire.Name, qtype dnswi
 			if err != nil {
 				lastErr = err
 				if a > 0 {
-					r.Stats.Retries++
+					atomic.AddUint64(&r.Stats.Retries, 1)
 				}
 				continue
 			}
@@ -407,7 +459,7 @@ func (r *Resolver) querySetTCP(servers []serverRef, qname dnswire.Name, qtype dn
 		if !ok {
 			return nil, lastErr
 		}
-		r.Stats.TCPRetries++
+		atomic.AddUint64(&r.Stats.TCPRetries, 1)
 		resp, err := r.exchangeTCP(ref.addr, qname, qtype, timeout)
 		if err != nil {
 			lastErr = err
@@ -460,14 +512,14 @@ func (r *Resolver) exchange(server netip.AddrPort, qname dnswire.Name, qtype dns
 	}
 	defer conn.Close()
 
-	id := uint16(r.rng.Uint32())
+	id := uint16(r.randUint32())
 	q := dnswire.NewQuery(id, qname, qtype)
 	q.Flags.RD = false // iterative
 	wire, err := q.PackUDP(dnswire.MaxUDPSize)
 	if err != nil {
 		return nil, err
 	}
-	r.Stats.Upstream++
+	atomic.AddUint64(&r.Stats.Upstream, 1)
 	if err := conn.WriteTo(wire, server); err != nil {
 		return nil, err
 	}
@@ -475,13 +527,13 @@ func (r *Resolver) exchange(server netip.AddrPort, qname dnswire.Name, qtype dns
 	for {
 		remain := deadline - r.now()
 		if remain <= 0 {
-			r.Stats.Timeouts++
+			atomic.AddUint64(&r.Stats.Timeouts, 1)
 			return nil, ErrTimeout
 		}
 		payload, _, err := conn.ReadFrom(remain)
 		if err != nil {
 			if errors.Is(err, netapi.ErrTimeout) {
-				r.Stats.Timeouts++
+				atomic.AddUint64(&r.Stats.Timeouts, 1)
 				return nil, ErrTimeout
 			}
 			return nil, err
@@ -494,7 +546,7 @@ func (r *Resolver) exchange(server netip.AddrPort, qname dnswire.Name, qtype dns
 			continue
 		}
 		if resp.Flags.TC {
-			r.Stats.TCPFallbacks++
+			atomic.AddUint64(&r.Stats.TCPFallbacks, 1)
 			return r.exchangeTCP(server, qname, qtype, timeout)
 		}
 		return resp, nil
@@ -508,7 +560,7 @@ func (r *Resolver) exchangeTCP(server netip.AddrPort, qname dnswire.Name, qtype 
 		return nil, fmt.Errorf("resolver: TCP fallback dial: %w", err)
 	}
 	defer conn.Close()
-	id := uint16(r.rng.Uint32())
+	id := uint16(r.randUint32())
 	q := dnswire.NewQuery(id, qname, qtype)
 	q.Flags.RD = false
 	wire, err := q.Pack()
@@ -519,7 +571,7 @@ func (r *Resolver) exchangeTCP(server netip.AddrPort, qname dnswire.Name, qtype 
 	if err != nil {
 		return nil, err
 	}
-	r.Stats.Upstream++
+	atomic.AddUint64(&r.Stats.Upstream, 1)
 	if _, err := conn.Write(frame); err != nil {
 		return nil, err
 	}
@@ -529,13 +581,13 @@ func (r *Resolver) exchangeTCP(server netip.AddrPort, qname dnswire.Name, qtype 
 	for {
 		remain := deadline - r.now()
 		if remain <= 0 {
-			r.Stats.Timeouts++
+			atomic.AddUint64(&r.Stats.Timeouts, 1)
 			return nil, ErrTimeout
 		}
 		n, err := conn.Read(buf, remain)
 		if err != nil {
 			if errors.Is(err, netapi.ErrTimeout) {
-				r.Stats.Timeouts++
+				atomic.AddUint64(&r.Stats.Timeouts, 1)
 				return nil, ErrTimeout
 			}
 			return nil, err

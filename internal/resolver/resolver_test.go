@@ -474,3 +474,23 @@ func TestCacheEvictionBound(t *testing.T) {
 		t.Fatalf("len = %d, want <= 64", c.Len())
 	}
 }
+
+func TestCacheZeroTTLNotStoredDespiteMinTTL(t *testing.T) {
+	// Figure 5 semantics: a zero TTL means "do not cache", full stop. The
+	// MinTTL floor must not resurrect the rrset — before the fix, MinTTL > 0
+	// clamped first and a TTL-0 record was cached for MinTTL.
+	c := NewCache(100)
+	c.MinTTL = 30 * time.Second
+	name := dnswire.MustName("uncacheable.example")
+	rr := dnswire.NewRR(name, 0, &dnswire.AData{Addr: netip.MustParseAddr("1.1.1.1")})
+	c.Put(0, name, dnswire.TypeA, []dnswire.RR{rr})
+	if _, _, _, ok := c.Get(0, name, dnswire.TypeA); ok {
+		t.Fatal("TTL-0 record cached because of MinTTL clamp")
+	}
+	// MinTTL still applies to nonzero TTLs.
+	rr = dnswire.NewRR(name, 1, &dnswire.AData{Addr: netip.MustParseAddr("1.1.1.1")})
+	c.Put(0, name, dnswire.TypeA, []dnswire.RR{rr})
+	if _, _, _, ok := c.Get(20*time.Second, name, dnswire.TypeA); !ok {
+		t.Fatal("TTL-1 record not floored to MinTTL")
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"sync/atomic"
 	"time"
 
 	"dnsguard/internal/dnswire"
+	"dnsguard/internal/metrics"
 	"dnsguard/internal/netapi"
 )
 
@@ -34,12 +36,27 @@ type Server struct {
 	Stats ServerStats
 }
 
-// ServerStats counts LRS front-end activity.
+// ServerStats counts LRS front-end activity. Fields are written atomically
+// (the serve loop and per-query procs run concurrently under real clocks).
 type ServerStats struct {
 	Queries  uint64
 	Refused  uint64
 	Answered uint64
 	Failed   uint64
+}
+
+// MetricsInto registers every counter as an lrs_* series reading the live
+// fields.
+func (s *ServerStats) MetricsInto(r *metrics.Registry) {
+	for name, f := range map[string]*uint64{
+		"lrs_queries":  &s.Queries,
+		"lrs_refused":  &s.Refused,
+		"lrs_answered": &s.Answered,
+		"lrs_failed":   &s.Failed,
+	} {
+		f := f
+		r.FuncUint(name, func() uint64 { return atomic.LoadUint64(f) })
+	}
 }
 
 // NewServer validates cfg and creates an LRS server.
@@ -94,13 +111,13 @@ func (s *Server) serve() {
 		if err != nil {
 			return
 		}
-		s.Stats.Queries++
+		atomic.AddUint64(&s.Stats.Queries, 1)
 		q, err := dnswire.Unpack(payload)
 		if err != nil || q.Flags.QR || len(q.Questions) == 0 {
 			continue
 		}
 		if !s.allowed(src.Addr()) {
-			s.Stats.Refused++
+			atomic.AddUint64(&s.Stats.Refused, 1)
 			resp := q.Response()
 			resp.Flags.RCode = dnswire.RCodeRefused
 			if wire, err := resp.PackUDP(dnswire.MaxUDPSize); err == nil {
@@ -120,12 +137,12 @@ func (s *Server) answer(q *dnswire.Message, src netip.AddrPort) {
 	resp := q.Response()
 	resp.Flags.RA = true
 	if err != nil {
-		s.Stats.Failed++
+		atomic.AddUint64(&s.Stats.Failed, 1)
 		resp.Flags.RCode = dnswire.RCodeServFail
 	} else {
 		resp.Flags.RCode = res.RCode
 		resp.Answers = res.Answers
-		s.Stats.Answered++
+		atomic.AddUint64(&s.Stats.Answered, 1)
 	}
 	if wire, err := resp.PackUDP(dnswire.MaxUDPSize); err == nil {
 		_ = s.udp.WriteTo(wire, src)

@@ -15,9 +15,11 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"sync/atomic"
 	"time"
 
 	"dnsguard/internal/dnswire"
+	"dnsguard/internal/metrics"
 	"dnsguard/internal/netapi"
 	"dnsguard/internal/ratelimit"
 )
@@ -87,7 +89,8 @@ func (c *Config) fillDefaults() error {
 	return nil
 }
 
-// Stats counts proxy activity.
+// Stats counts proxy activity. Fields are written atomically (the accept
+// loop and per-connection procs run concurrently under real clocks).
 type Stats struct {
 	Accepted      uint64
 	RateRejected  uint64 // closed immediately by per-client token bucket
@@ -98,16 +101,40 @@ type Stats struct {
 	UpstreamDrops uint64 // ANS did not answer in time
 }
 
+// MetricsInto registers every counter as a tcpproxy_* series reading the
+// live fields.
+func (s *Stats) MetricsInto(r *metrics.Registry) {
+	for name, f := range map[string]*uint64{
+		"tcpproxy_accepted":       &s.Accepted,
+		"tcpproxy_rate_rejected":  &s.RateRejected,
+		"tcpproxy_full_rejected":  &s.FullRejected,
+		"tcpproxy_requests":       &s.Requests,
+		"tcpproxy_responses":      &s.Responses,
+		"tcpproxy_duration_kills": &s.DurationKills,
+		"tcpproxy_upstream_drops": &s.UpstreamDrops,
+	} {
+		f := f
+		r.FuncUint(name, func() uint64 { return atomic.LoadUint64(f) })
+	}
+}
+
 // Proxy is a running TCP→UDP DNS proxy.
 type Proxy struct {
 	cfg      Config
 	listener netapi.Listener
 	buckets  *clientBuckets
-	live     int
+	live     atomic.Int64 // mutated by acceptLoop and every conn proc
 	closed   bool
 
-	// Stats is updated as the proxy runs.
+	// Stats is updated as the proxy runs (atomically; see Stats).
 	Stats Stats
+}
+
+// MetricsInto registers the proxy's counters and a live-connection gauge
+// (tcpproxy_*) on r.
+func (p *Proxy) MetricsInto(r *metrics.Registry) {
+	p.Stats.MetricsInto(r)
+	r.Func("tcpproxy_live", func() float64 { return float64(p.live.Load()) })
 }
 
 // clientBuckets is a small bounded map of per-client token buckets.
@@ -163,7 +190,7 @@ func (p *Proxy) Close() {
 
 // Live reports currently proxied connections (drives the connection-table
 // cost factor in experiments).
-func (p *Proxy) Live() int { return p.live }
+func (p *Proxy) Live() int { return int(p.live.Load()) }
 
 func (p *Proxy) acceptLoop() {
 	for {
@@ -173,19 +200,19 @@ func (p *Proxy) acceptLoop() {
 		}
 		now := p.cfg.Env.Now()
 		if !p.buckets.allow(conn.RemoteAddr().Addr(), now) {
-			p.Stats.RateRejected++
+			atomic.AddUint64(&p.Stats.RateRejected, 1)
 			_ = conn.Close()
 			continue
 		}
-		if p.live >= p.cfg.MaxConcurrent {
-			p.Stats.FullRejected++
+		if p.live.Load() >= int64(p.cfg.MaxConcurrent) {
+			atomic.AddUint64(&p.Stats.FullRejected, 1)
 			_ = conn.Close()
 			continue
 		}
-		p.Stats.Accepted++
-		p.live++
+		atomic.AddUint64(&p.Stats.Accepted, 1)
+		p.live.Add(1)
 		p.cfg.Env.Go("tcpproxy-conn", func() {
-			defer func() { p.live-- }()
+			defer p.live.Add(-1)
 			p.serve(conn)
 		})
 	}
@@ -201,13 +228,13 @@ func (p *Proxy) serve(conn netapi.Conn) {
 	for {
 		remain := p.cfg.MaxDuration - (p.cfg.Env.Now() - opened)
 		if remain <= 0 {
-			p.Stats.DurationKills++
+			atomic.AddUint64(&p.Stats.DurationKills, 1)
 			return
 		}
 		n, err := conn.Read(buf, remain)
 		if err != nil {
 			if errors.Is(err, netapi.ErrTimeout) {
-				p.Stats.DurationKills++
+				atomic.AddUint64(&p.Stats.DurationKills, 1)
 			}
 			return
 		}
@@ -234,9 +261,9 @@ func (p *Proxy) relay(conn netapi.Conn, frame []byte) bool {
 	if err != nil || req.Flags.QR {
 		return false
 	}
-	p.Stats.Requests++
+	atomic.AddUint64(&p.Stats.Requests, 1)
 	if p.cfg.CPU != nil && p.cfg.CostPerRequest != nil {
-		p.cfg.CPU.Work(p.cfg.CostPerRequest(p.live))
+		p.cfg.CPU.Work(p.cfg.CostPerRequest(int(p.live.Load())))
 	}
 	udp, err := p.cfg.Env.ListenUDP(netip.AddrPort{})
 	if err != nil {
@@ -250,12 +277,12 @@ func (p *Proxy) relay(conn netapi.Conn, frame []byte) bool {
 	for {
 		remain := deadline - p.cfg.Env.Now()
 		if remain <= 0 {
-			p.Stats.UpstreamDrops++
+			atomic.AddUint64(&p.Stats.UpstreamDrops, 1)
 			return false
 		}
 		payload, _, err := udp.ReadFrom(remain)
 		if err != nil {
-			p.Stats.UpstreamDrops++
+			atomic.AddUint64(&p.Stats.UpstreamDrops, 1)
 			return false
 		}
 		resp, err := dnswire.Unpack(payload)
@@ -269,7 +296,7 @@ func (p *Proxy) relay(conn netapi.Conn, frame []byte) bool {
 		if _, err := conn.Write(out); err != nil {
 			return false
 		}
-		p.Stats.Responses++
+		atomic.AddUint64(&p.Stats.Responses, 1)
 		return true
 	}
 }

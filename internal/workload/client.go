@@ -9,6 +9,7 @@ import (
 	"dnsguard/internal/cookie"
 	"dnsguard/internal/dnswire"
 	"dnsguard/internal/guard"
+	"dnsguard/internal/metrics"
 	"dnsguard/internal/netapi"
 )
 
@@ -96,6 +97,10 @@ type ClientConfig struct {
 	// Requests bounds total iterations; 0 means run until the simulation
 	// horizon.
 	Requests int
+	// Latency, when non-nil, records each successful request's latency;
+	// experiments share one histogram across a client fleet to report
+	// percentiles next to throughput.
+	Latency *metrics.Histogram
 }
 
 // ClientStats counts client progress.
@@ -177,6 +182,9 @@ func (c *Client) run() {
 		switch {
 		case err == nil:
 			c.LastLatency = c.cfg.Env.Now() - iterStart
+			if c.cfg.Latency != nil {
+				c.cfg.Latency.Observe(c.LastLatency)
+			}
 		case errors.Is(err, netapi.ErrTimeout):
 			if c.cfg.StallOnTimeout > 0 {
 				c.cfg.Env.Sleep(c.cfg.StallOnTimeout)
