@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test check vet race fuzz-smoke metrics-smoke testdata
+.PHONY: all build test check vet race fuzz-smoke metrics-smoke bench-smoke testdata
 
 all: build
 
@@ -35,7 +35,7 @@ metrics-smoke:
 	$(GO) build -o /tmp/dnsguard-smoke-guardd ./cmd/dnsguardd; \
 	/tmp/dnsguard-smoke-ansd -zone testdata/foo.com.zone -listen 127.0.0.1:15353 & ANS=$$!; \
 	/tmp/dnsguard-smoke-guardd -listen 127.0.0.1:15355 -ans 127.0.0.1:15353 -zone foo.com \
-		-metrics-addr 127.0.0.1:19090 -stats 0 & GUARD=$$!; \
+		-shards 2 -metrics-addr 127.0.0.1:19090 -stats 0 & GUARD=$$!; \
 	trap 'kill $$ANS $$GUARD 2>/dev/null' EXIT; \
 	for i in $$(seq 1 50); do \
 		curl -sf http://127.0.0.1:19090/metrics >/tmp/dnsguard-smoke-metrics.txt 2>/dev/null && break; \
@@ -43,12 +43,23 @@ metrics-smoke:
 	done; \
 	curl -sf http://127.0.0.1:19090/debug/vars >/dev/null; \
 	for series in guard_remote_received guard_remote_cookie_valid guard_remote_upstream_spoofed \
-		guard_rl1_allowed tcpproxy_accepted guard_remote_pending; do \
+		guard_rl1_allowed tcpproxy_accepted guard_remote_pending \
+		guard_engine_shards guard_engine_handled guard_engine_shed_new \
+		guard_engine_queue_depth guard_engine_shard1_handled; do \
 		grep -q "^$$series " /tmp/dnsguard-smoke-metrics.txt || { echo "missing $$series"; exit 1; }; \
 	done; \
+	grep -q "^guard_engine_shards 2$$" /tmp/dnsguard-smoke-metrics.txt \
+		|| { echo "guard_engine_shards != 2"; exit 1; }; \
 	echo "metrics-smoke: ok ($$(wc -l < /tmp/dnsguard-smoke-metrics.txt) series)"
 
-check: vet race fuzz-smoke metrics-smoke
+# One short pass over the real-time engine benchmark (1 shard, clean load)
+# and one scaled-down Table III regeneration: catches dataplane or harness
+# rot without the full sweep's runtime.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='^BenchmarkEngineThroughput$$/shards=1/spoof=0$$' -benchtime=1x -short .
+	$(GO) test -run='^$$' -bench='^BenchmarkTableIII_NSName$$' -benchtime=1x .
+
+check: vet race fuzz-smoke metrics-smoke bench-smoke
 
 # Regenerate the wire-capture fuzz seeds under internal/dnswire/testdata/.
 testdata:

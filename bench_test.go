@@ -9,6 +9,7 @@
 package dnsguard
 
 import (
+	"fmt"
 	"net/netip"
 	"testing"
 	"time"
@@ -156,6 +157,47 @@ func BenchmarkFigure7b_ProxyUnderFlood(b *testing.B) {
 		b.ReportMetric(points[0].Throughput, "req/s@0")
 		b.ReportMetric(points[1].Throughput, "req/s@250K")
 		break
+	}
+}
+
+// --- Engine throughput: sharded dataplane scaling ---------------------------
+// Unlike the table benchmarks (virtual clock), this drives the real engine
+// with real goroutines and loopback UDP upstream; ns/op is wall clock. On a
+// single-core host the shard sweep measures overhead, not speedup — run on a
+// multi-core machine to see scaling (EXPERIMENTS.md).
+
+func benchEngineThroughput(b *testing.B, shards int, spoof float64) {
+	b.Helper()
+	packets := 12000
+	if testing.Short() {
+		packets = 4000
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.EngineThroughput(experiments.EngineThroughputOptions{
+			Shards:        shards,
+			SpoofFraction: spoof,
+			Packets:       packets,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.QPS, "qps")
+		b.ReportMetric(float64(res.P50.Nanoseconds())/1e6, "p50_ms")
+		b.ReportMetric(float64(res.P99.Nanoseconds())/1e6, "p99_ms")
+		b.ReportMetric(float64(res.ShedNew), "shed_new")
+		b.ReportMetric(float64(res.ShedOld), "shed_old")
+		b.ReportMetric(float64(res.FastPathHits), "fastpath_hits")
+		b.ReportMetric(res.AllocsPerPacket, "allocs/packet")
+		break
+	}
+}
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, spoof := range []float64{0, 0.5} {
+			name := fmt.Sprintf("shards=%d/spoof=%v", shards, spoof)
+			b.Run(name, func(b *testing.B) { benchEngineThroughput(b, shards, spoof) })
+		}
 	}
 }
 

@@ -6,14 +6,20 @@
 //
 //	benchtab                  # everything (several minutes)
 //	benchtab -run tableII     # one experiment: tableI, tableII, tableIII,
-//	                          # fig5, fig6, fig7a, fig7b
+//	                          # fig5, fig6, fig7a, fig7b, engine
 //	benchtab -quick           # abbreviated sweeps (~1 minute)
+//
+// The engine experiment (sharded-dataplane throughput on real loopback UDP)
+// also writes machine-readable results to BENCH_engine.json in the working
+// directory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -28,7 +34,7 @@ func main() {
 }
 
 func run() error {
-	runSel := flag.String("run", "all", "experiment to run: all, tableI, tableII, tableIII, fig5, fig6, fig7a, fig7b")
+	runSel := flag.String("run", "all", "experiment to run: all, tableI, tableII, tableIII, fig5, fig6, fig7a, fig7b, engine")
 	quick := flag.Bool("quick", false, "abbreviated parameter sweeps")
 	flag.Parse()
 
@@ -123,6 +129,41 @@ func run() error {
 		}
 		experiments.WriteFigure7b(out, points)
 		fmt.Fprintf(out, "(measured in %v)\n", time.Since(start).Round(time.Millisecond))
+	}
+	if want("engine") {
+		experiments.Rule(out, "Engine — sharded dataplane throughput (real time, real UDP upstream)")
+		shardSweep := []int{1, 2, 4, 8}
+		packets := 24000
+		if *quick {
+			shardSweep = []int{1, 4}
+			packets = 6000
+		}
+		start := time.Now()
+		var rows []experiments.EngineThroughputResult
+		for _, shards := range shardSweep {
+			for _, spoof := range []float64{0, 0.5} {
+				res, err := experiments.EngineThroughput(experiments.EngineThroughputOptions{
+					Shards:        shards,
+					SpoofFraction: spoof,
+					Packets:       packets,
+				})
+				if err != nil {
+					return fmt.Errorf("engine (shards=%d spoof=%v): %w", shards, spoof, err)
+				}
+				rows = append(rows, res)
+			}
+		}
+		experiments.WriteEngineBench(out, rows)
+		fmt.Fprintf(out, "(measured in %v on GOMAXPROCS=%d; shard scaling needs >1 core)\n",
+			time.Since(start).Round(time.Millisecond), runtime.GOMAXPROCS(0))
+		blob, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return fmt.Errorf("engine: marshal: %w", err)
+		}
+		if err := os.WriteFile("BENCH_engine.json", append(blob, '\n'), 0o644); err != nil {
+			return fmt.Errorf("engine: %w", err)
+		}
+		fmt.Fprintln(out, "wrote BENCH_engine.json")
 	}
 	return nil
 }

@@ -11,6 +11,10 @@
 //
 //	dnsguardd -listen 127.0.0.1:5355 -ans 127.0.0.1:5353 -zone foo.com \
 //	          -scheme dns -threshold 0
+//
+// With -shards N > 1 the guard runs N dataplane workers, each fed by its own
+// SO_REUSEPORT socket on the public address (kernel-hashed per flow; falls
+// back to a shared socket where SO_REUSEPORT is unavailable).
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 
 	"dnsguard"
 	"dnsguard/internal/guard"
+	"dnsguard/internal/netapi"
 )
 
 func main() {
@@ -42,6 +47,9 @@ func run() error {
 	withProxy := flag.Bool("proxy", true, "run the TCP proxy for redirected/truncated requesters")
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats reporting interval (0 = off)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this address (empty = off)")
+	shards := flag.Int("shards", 1, "dataplane worker shards (each with its own SO_REUSEPORT socket)")
+	queueDepth := flag.Int("queue-depth", 0, "per-shard ingress queue depth (0 = default)")
+	fastPathTTL := flag.Duration("fastpath-ttl", 0, "verified-source fast-path cache TTL (0 = default, negative = off)")
 	flag.Parse()
 
 	if *zoneName == "" {
@@ -69,10 +77,17 @@ func run() error {
 		return fmt.Errorf("unknown -scheme %q", *schemeName)
 	}
 
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", *shards)
+	}
 	env := dnsguard.NewEnv()
-	sock, err := env.ListenUDP(pub)
+	conns, err := env.(netapi.UDPReuseEnv).ListenUDPReuse(pub, *shards)
 	if err != nil {
 		return fmt.Errorf("binding %v: %w", pub, err)
+	}
+	ios := make([]guard.PacketIO, len(conns))
+	for i, c := range conns {
+		ios[i] = guard.SocketIO{Conn: c}
 	}
 	auth, err := dnsguard.NewAuthenticator()
 	if err != nil {
@@ -80,8 +95,11 @@ func run() error {
 	}
 	g, err := dnsguard.NewRemoteGuard(dnsguard.RemoteGuardConfig{
 		Env:                 env,
-		IO:                  guard.SocketIO{Conn: sock},
-		PublicAddr:          sock.LocalAddr(),
+		IOs:                 ios,
+		Shards:              *shards,
+		QueueDepth:          *queueDepth,
+		FastPathTTL:         *fastPathTTL,
+		PublicAddr:          conns[0].LocalAddr(),
 		ANSAddr:             ans,
 		Zone:                apex,
 		Fallback:            scheme,
@@ -94,14 +112,14 @@ func run() error {
 	if err := g.Start(); err != nil {
 		return err
 	}
-	fmt.Printf("dnsguardd: guarding zone %s on %v → ANS %v (scheme %v, threshold %.0f)\n",
-		apex, sock.LocalAddr(), ans, scheme, *threshold)
+	fmt.Printf("dnsguardd: guarding zone %s on %v → ANS %v (scheme %v, threshold %.0f, shards %d)\n",
+		apex, conns[0].LocalAddr(), ans, scheme, *threshold, *shards)
 
 	var proxy *dnsguard.TCPProxy
 	if *withProxy {
 		proxy, err = dnsguard.NewTCPProxy(dnsguard.TCPProxyConfig{
 			Env:     env,
-			Listen:  sock.LocalAddr(),
+			Listen:  conns[0].LocalAddr(),
 			ANSAddr: ans,
 			RTT:     50 * time.Millisecond,
 		})
@@ -111,7 +129,7 @@ func run() error {
 		if err := proxy.Start(); err != nil {
 			return fmt.Errorf("starting TCP proxy: %w", err)
 		}
-		fmt.Printf("dnsguardd: TCP proxy on %v\n", sock.LocalAddr())
+		fmt.Printf("dnsguardd: TCP proxy on %v\n", conns[0].LocalAddr())
 	}
 
 	reg := dnsguard.NewMetrics()

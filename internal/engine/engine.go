@@ -1,0 +1,387 @@
+// Package engine is the guard's dataplane: a sharded, multi-worker packet
+// pipeline between capture interfaces and a protocol handler.
+//
+// The paper's premise (§IV, Figure 6) is that the guard must keep absorbing
+// line-rate floods while the ANS behind it collapses; operational follow-ups
+// (Rizvi et al.'s layered root defense, Wei & Heidemann's spoof studies)
+// absorb anycast-scale floods by partitioning per-source state and giving
+// recently-vetted sources a cheap admission path. The engine provides both:
+//
+//   - N worker shards selected by a hash of the source address, so all
+//     per-source guard state (pending-NAT table, cookie verifier, rate
+//     limiters) is owned by exactly one worker and the hot path takes no
+//     cross-shard locks;
+//   - bounded per-shard ingress queues with explicit backpressure: traffic
+//     from unverified sources is tail-dropped when a queue fills
+//     (drop-newest — a spoofed flood sheds itself), while traffic from
+//     recently-verified sources evicts the oldest queued packet instead
+//     (drop-oldest — legitimate retries supersede their own stale
+//     predecessors), each policy with its own counter;
+//   - a TTL'd, capacity-bounded verified-source cache mapping a source
+//     address to the credential it last verified, so handlers can replace
+//     the full MD5 verification with a byte compare for warm sources (the
+//     handler still compares the presented credential — a spoofed address
+//     alone gains nothing);
+//   - multi-socket ingest: one reader per PacketIO, so environments with
+//     netapi.UDPReuseEnv can run a reader per kernel receive queue.
+//
+// With Shards == 1 and a single IO the engine collapses to an inline loop —
+// one proc, no queue hop — preserving the exact event ordering of the
+// pre-engine guard so deterministic simulations reproduce byte-for-byte.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"hash/maphash"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnsguard/internal/metrics"
+	"dnsguard/internal/netapi"
+)
+
+// Packet is a raw datagram as the dataplane sees it: a middlebox knows both
+// addresses.
+type Packet struct {
+	Src     netip.AddrPort
+	Dst     netip.AddrPort
+	Payload []byte
+}
+
+// PacketIO is a capture interface: read intercepted datagrams, write
+// datagrams with arbitrary (owned) source addresses. netsim taps and realnet
+// sockets both adapt to it.
+type PacketIO interface {
+	// Read blocks until a packet arrives, the timeout elapses, or the
+	// interface closes.
+	Read(timeout time.Duration) (Packet, error)
+	// WriteFromTo emits a datagram with an explicit source.
+	WriteFromTo(src, dst netip.AddrPort, payload []byte) error
+	Close() error
+}
+
+// Handler consumes packets on one shard. HandlePacket is called from that
+// shard's worker only, so a handler may keep per-shard state without locks.
+type Handler interface {
+	HandlePacket(pkt Packet)
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Env supplies clock, procs, and (optionally) netapi.QueueEnv.
+	Env netapi.Env
+	// IOs are the capture interfaces; one reader proc runs per entry.
+	IOs []PacketIO
+	// NewHandler constructs the handler for shard i (called once per shard
+	// before Start returns).
+	NewHandler func(shard int) Handler
+	// Shards is the worker count. 0 and 1 mean one shard; with a single IO
+	// that runs inline (no queue hop).
+	Shards int
+	// QueueDepth bounds each shard's ingress queue. 0 means 512.
+	QueueDepth int
+	// FastPathTTL enables the verified-source cache and bounds how long an
+	// entry stays valid. 0 disables the cache (MarkVerified is a no-op and
+	// VerifiedCred always misses).
+	FastPathTTL time.Duration
+	// FastPathSources bounds the cache per shard. 0 means 4096.
+	FastPathSources int
+	// Name prefixes proc names ("<name>-capture", "<name>-worker-3").
+	// Empty means "engine". The single-IO single-shard reader is named
+	// "<name>-capture" to match the pre-engine guard's proc name exactly.
+	Name string
+	// Observer, when non-nil, is called in worker context (inline: reader
+	// context) right before the handler sees each packet. Test hook for
+	// affinity assertions; keep it cheap.
+	Observer func(shard int, pkt Packet)
+}
+
+func (c *Config) fillDefaults() error {
+	switch {
+	case c.Env == nil:
+		return errors.New("engine: Config.Env is required")
+	case len(c.IOs) == 0:
+		return errors.New("engine: Config.IOs is required")
+	case c.NewHandler == nil:
+		return errors.New("engine: Config.NewHandler is required")
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 512
+	}
+	if c.FastPathSources <= 0 {
+		c.FastPathSources = 4096
+	}
+	if c.Name == "" {
+		c.Name = "engine"
+	}
+	return nil
+}
+
+// ShardStats counts one shard's dataplane activity. Fields are written
+// atomically (readers and the shard worker race under real clocks).
+type ShardStats struct {
+	Enqueued uint64 // packets accepted onto the shard queue
+	ShedNew  uint64 // unverified packets tail-dropped at a full queue
+	ShedOld  uint64 // stale packets evicted to admit verified traffic
+	Handled  uint64 // packets the shard handler consumed
+}
+
+// qitem is one queued packet plus its admission classification and enqueue
+// time (for the per-shard wait histogram). Items are pooled: boxing a
+// pointer into the queue's `any` slot costs no allocation steady-state.
+type qitem struct {
+	pkt      Packet
+	enqueued time.Duration
+}
+
+var qitemPool = sync.Pool{New: func() any { return new(qitem) }}
+
+// Engine is the running dataplane. Create with New, then Start.
+type Engine struct {
+	cfg      Config
+	handlers []Handler
+	queues   []netapi.Queue
+	stats    []ShardStats
+	waits    []*metrics.Histogram
+	verified []verifiedShard
+	seed     maphash.Seed
+	inline   bool
+	closed   atomic.Bool
+
+	// FastPath counts verified-source cache activity (engine-wide, atomic).
+	FastPath FastPathStats
+}
+
+// FastPathStats counts verified-source cache activity. Fields are written
+// atomically.
+type FastPathStats struct {
+	Hits      uint64 // VerifiedCred returned a live credential
+	Misses    uint64 // no entry, expired entry, or cache disabled
+	Inserts   uint64
+	Evictions uint64 // capacity-bound evictions (TTL expiry not counted)
+}
+
+// New validates cfg, constructs the per-shard handlers, and returns the
+// engine (not yet started).
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:      cfg,
+		handlers: make([]Handler, cfg.Shards),
+		stats:    make([]ShardStats, cfg.Shards),
+		waits:    make([]*metrics.Histogram, cfg.Shards),
+		verified: make([]verifiedShard, cfg.Shards),
+		seed:     maphash.MakeSeed(),
+		inline:   cfg.Shards == 1 && len(cfg.IOs) == 1,
+	}
+	for i := range e.handlers {
+		e.handlers[i] = cfg.NewHandler(i)
+		e.waits[i] = metrics.NewHistogram()
+		e.verified[i].init(cfg.FastPathSources)
+	}
+	if !e.inline {
+		newQueue := netapi.NewChanQueue
+		if qe, ok := cfg.Env.(netapi.QueueEnv); ok {
+			newQueue = qe.NewQueue
+		}
+		e.queues = make([]netapi.Queue, cfg.Shards)
+		for i := range e.queues {
+			e.queues[i] = newQueue(cfg.QueueDepth)
+		}
+	}
+	return e, nil
+}
+
+// Shards reports the configured shard count.
+func (e *Engine) Shards() int { return e.cfg.Shards }
+
+// Handler returns shard i's handler (the value cfg.NewHandler returned).
+func (e *Engine) Handler(i int) Handler { return e.handlers[i] }
+
+// ShardOf maps a source address to its owning shard. Affinity is the
+// correctness contract: every packet from one source is handled by one
+// shard, so per-source guard state never crosses workers.
+func (e *Engine) ShardOf(src netip.Addr) int {
+	if e.cfg.Shards == 1 {
+		return 0
+	}
+	a16 := src.As16()
+	var h maphash.Hash
+	h.SetSeed(e.seed)
+	h.Write(a16[:])
+	return int(h.Sum64() % uint64(e.cfg.Shards))
+}
+
+// Start spawns the reader and worker procs. With one shard and one IO the
+// reader invokes the handler inline — no queue hop, preserving the exact
+// proc and event ordering of a direct capture loop.
+func (e *Engine) Start() {
+	if e.inline {
+		e.cfg.Env.Go(e.cfg.Name+"-capture", func() { e.runInline() })
+		return
+	}
+	// Workers first, then readers: under the simulator this spawn order is
+	// deterministic, and workers must exist before a reader can enqueue.
+	for i := range e.queues {
+		i := i
+		e.cfg.Env.Go(fmt.Sprintf("%s-worker-%d", e.cfg.Name, i), func() { e.runWorker(i) })
+	}
+	for i, io := range e.cfg.IOs {
+		io := io
+		name := fmt.Sprintf("%s-reader-%d", e.cfg.Name, i)
+		if len(e.cfg.IOs) == 1 {
+			name = e.cfg.Name + "-capture"
+		}
+		e.cfg.Env.Go(name, func() { e.runReader(io) })
+	}
+}
+
+// runInline is the Shards=1 fast path: the pre-engine capture loop.
+func (e *Engine) runInline() {
+	io := e.cfg.IOs[0]
+	h := e.handlers[0]
+	st := &e.stats[0]
+	for {
+		pkt, err := io.Read(netapi.NoTimeout)
+		if err != nil {
+			return
+		}
+		atomic.AddUint64(&st.Handled, 1)
+		if e.cfg.Observer != nil {
+			e.cfg.Observer(0, pkt)
+		}
+		h.HandlePacket(pkt)
+	}
+}
+
+// runReader pulls from one capture interface and dispatches by source shard,
+// applying the admission policy: verified sources evict the oldest queued
+// packet when the shard is saturated, unverified sources are tail-dropped.
+func (e *Engine) runReader(io PacketIO) {
+	for {
+		pkt, err := io.Read(netapi.NoTimeout)
+		if err != nil {
+			return
+		}
+		shard := e.ShardOf(pkt.Src.Addr())
+		st := &e.stats[shard]
+		qi := qitemPool.Get().(*qitem)
+		qi.pkt, qi.enqueued = pkt, e.cfg.Env.Now()
+		if e.verified[shard].has(pkt.Src.Addr(), qi.enqueued) {
+			if ev, did := e.queues[shard].PutEvict(qi); did {
+				atomic.AddUint64(&st.ShedOld, 1)
+				qitemPool.Put(ev.(*qitem))
+			}
+			atomic.AddUint64(&st.Enqueued, 1)
+		} else if e.queues[shard].Put(qi) {
+			atomic.AddUint64(&st.Enqueued, 1)
+		} else {
+			atomic.AddUint64(&st.ShedNew, 1)
+			qitemPool.Put(qi)
+		}
+	}
+}
+
+// runWorker drains shard i's queue into its handler.
+func (e *Engine) runWorker(i int) {
+	h := e.handlers[i]
+	st := &e.stats[i]
+	q := e.queues[i]
+	for {
+		v, err := q.Get(netapi.NoTimeout)
+		if err != nil {
+			return
+		}
+		qi := v.(*qitem)
+		pkt := qi.pkt
+		e.waits[i].Observe(e.cfg.Env.Now() - qi.enqueued)
+		qitemPool.Put(qi)
+		atomic.AddUint64(&st.Handled, 1)
+		if e.cfg.Observer != nil {
+			e.cfg.Observer(i, pkt)
+		}
+		h.HandlePacket(pkt)
+	}
+}
+
+// Close stops the dataplane: capture interfaces close (readers exit) and
+// queues close (workers exit after draining).
+func (e *Engine) Close() {
+	if !e.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, io := range e.cfg.IOs {
+		io.Close()
+	}
+	for _, q := range e.queues {
+		q.Close()
+	}
+}
+
+// Stats returns an atomically-read copy of shard i's counters.
+func (e *Engine) Stats(i int) ShardStats {
+	return metrics.SnapshotUint64(&e.stats[i])
+}
+
+// QueueDepth reports the current backlog of shard i (0 in inline mode).
+func (e *Engine) QueueDepth(i int) int {
+	if e.queues == nil {
+		return 0
+	}
+	return e.queues[i].Len()
+}
+
+// WaitHistogram returns shard i's queue-wait histogram (empty in inline
+// mode, which has no queue).
+func (e *Engine) WaitHistogram(i int) *metrics.Histogram { return e.waits[i] }
+
+// MetricsInto registers the engine's series on r under prefix (e.g.
+// "guard_engine_"): aggregate enqueued/shed/handled/queue_depth counters,
+// verified-source cache counters, and per-shard shard<i>_* series including
+// the queue-wait histogram.
+func (e *Engine) MetricsInto(r *metrics.Registry, prefix string) {
+	r.FuncUint(prefix+"shards", func() uint64 { return uint64(e.cfg.Shards) })
+	sum := func(field func(*ShardStats) *uint64) func() uint64 {
+		return func() uint64 {
+			var t uint64
+			for i := range e.stats {
+				t += atomic.LoadUint64(field(&e.stats[i]))
+			}
+			return t
+		}
+	}
+	r.FuncUint(prefix+"enqueued", sum(func(s *ShardStats) *uint64 { return &s.Enqueued }))
+	r.FuncUint(prefix+"shed_new", sum(func(s *ShardStats) *uint64 { return &s.ShedNew }))
+	r.FuncUint(prefix+"shed_old", sum(func(s *ShardStats) *uint64 { return &s.ShedOld }))
+	r.FuncUint(prefix+"handled", sum(func(s *ShardStats) *uint64 { return &s.Handled }))
+	r.Func(prefix+"queue_depth", func() float64 {
+		var t int
+		for i := range e.stats {
+			t += e.QueueDepth(i)
+		}
+		return float64(t)
+	})
+	metrics.RegisterUint64Fields(r, prefix+"fast_path_", &e.FastPath)
+	for i := range e.stats {
+		i := i
+		p := fmt.Sprintf("%sshard%d_", prefix, i)
+		metrics.RegisterUint64Fields(r, p, &e.stats[i])
+		r.Func(p+"queue_depth", func() float64 { return float64(e.QueueDepth(i)) })
+		r.RegisterHistogram(p+"wait", e.waits[i])
+	}
+	r.Func(prefix+"fast_path_sources", func() float64 {
+		var t int
+		for i := range e.verified {
+			t += e.verified[i].size()
+		}
+		return float64(t)
+	})
+}

@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The verified-source cache is the engine's admission fast path. It is NOT a
+// grant of trust by address — a source address is exactly what an attacker
+// forges. Each entry maps a source to the *credential* (fabricated NS label,
+// cookie bytes, fabricated IP) that source last proved knowledge of, and
+// VerifiedCred hands that credential back to the handler, which must still
+// compare it against what the packet presents. The saving is replacing an
+// MD5 computation with a byte compare; the security property (§III-D: a
+// cookie is bound to the requester's address) is unchanged. This mirrors the
+// paper's per-source cookie table, but bounded: TTL'd entries and a FIFO
+// capacity bound per shard keep a spoofed flood from growing it without
+// limit — an unverifiable source never gets an entry at all, because only
+// completed verifications insert.
+//
+// The cache is sharded alongside the workers; each shard's table is guarded
+// by its own mutex because two parties touch it: the owning worker (marks
+// and lookups) and the readers (queue-admission classification).
+type verifiedShard struct {
+	mu    sync.Mutex
+	cap   int
+	m     map[netip.Addr]verifiedEntry
+	order []netip.Addr // insertion order for FIFO capacity eviction
+}
+
+type verifiedEntry struct {
+	cred    string
+	expires time.Duration
+}
+
+func (v *verifiedShard) init(capacity int) {
+	v.cap = capacity
+	v.m = make(map[netip.Addr]verifiedEntry)
+}
+
+// MarkVerified records that src just proved knowledge of cred. A no-op when
+// the fast path is disabled.
+func (e *Engine) MarkVerified(src netip.Addr, cred string) {
+	if e.cfg.FastPathTTL <= 0 {
+		return
+	}
+	now := e.cfg.Env.Now()
+	v := &e.verified[e.ShardOf(src)]
+	v.mu.Lock()
+	_, existed := v.m[src]
+	v.m[src] = verifiedEntry{cred: cred, expires: now + e.cfg.FastPathTTL}
+	if !existed {
+		v.order = append(v.order, src)
+		evictions := v.enforceCap(now)
+		v.mu.Unlock()
+		atomic.AddUint64(&e.FastPath.Inserts, 1)
+		atomic.AddUint64(&e.FastPath.Evictions, evictions)
+		return
+	}
+	v.mu.Unlock()
+}
+
+// enforceCap evicts oldest-inserted entries until the shard is within its
+// capacity, skipping order entries whose map slot was already replaced or
+// expired. Called with v.mu held; returns capacity evictions (expired
+// entries cleaned up along the way are not "evictions" — they were dead).
+func (v *verifiedShard) enforceCap(now time.Duration) uint64 {
+	var evicted uint64
+	for len(v.m) > v.cap && len(v.order) > 0 {
+		src := v.order[0]
+		v.order = v.order[1:]
+		ent, ok := v.m[src]
+		if !ok {
+			continue
+		}
+		delete(v.m, src)
+		if ent.expires > now {
+			evicted++
+		}
+	}
+	return evicted
+}
+
+// VerifiedCred returns the credential src last verified, if the entry is
+// still live. Handlers call this on the hot path; hit/miss counters feed the
+// fast-path ratio.
+func (e *Engine) VerifiedCred(src netip.Addr) (string, bool) {
+	if e.cfg.FastPathTTL <= 0 {
+		return "", false
+	}
+	now := e.cfg.Env.Now()
+	v := &e.verified[e.ShardOf(src)]
+	v.mu.Lock()
+	ent, ok := v.m[src]
+	if ok && ent.expires <= now {
+		delete(v.m, src)
+		ok = false
+	}
+	v.mu.Unlock()
+	if !ok {
+		atomic.AddUint64(&e.FastPath.Misses, 1)
+		return "", false
+	}
+	atomic.AddUint64(&e.FastPath.Hits, 1)
+	return ent.cred, true
+}
+
+// has is the queue-admission classification: does src currently hold a live
+// verified entry? Called by readers; does not touch hit/miss counters.
+func (v *verifiedShard) has(src netip.Addr, now time.Duration) bool {
+	v.mu.Lock()
+	ent, ok := v.m[src]
+	v.mu.Unlock()
+	return ok && ent.expires > now
+}
+
+// size reports the shard's live entry count (including not-yet-swept expired
+// entries; they disappear on next touch).
+func (v *verifiedShard) size() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.m)
+}

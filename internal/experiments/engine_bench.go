@@ -1,0 +1,358 @@
+// Engine throughput rig: drives the sharded guard dataplane with real
+// goroutines and real loopback UDP on the upstream path, measuring how qps
+// scales with shard count under clean and spoofed load. Unlike the paper
+// tables (virtual clock, calibrated 2006 CPU costs), this measures the
+// implementation itself on the host's cores — the number the ROADMAP's
+// "as fast as the hardware allows" goal tracks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnsguard/internal/cookie"
+	"dnsguard/internal/dnswire"
+	"dnsguard/internal/guard"
+	"dnsguard/internal/metrics"
+	"dnsguard/internal/netapi"
+	"dnsguard/internal/ratelimit"
+	"dnsguard/internal/realnet"
+)
+
+// EngineThroughputOptions parameterizes one EngineThroughput run. Zero
+// values take defaults.
+type EngineThroughputOptions struct {
+	// Shards is the dataplane worker count (default 1).
+	Shards int
+	// SpoofFraction in [0, 1) of the load that carries forged cookies from
+	// spoofed sources (default 0).
+	SpoofFraction float64
+	// Packets is the total datagram count driven through the guard
+	// (default 24000; keep ≤ 60000 so per-run transaction IDs stay unique).
+	Packets int
+	// Sources is the number of distinct legitimate requesters (default 64).
+	Sources int
+	// QueueDepth bounds each shard's ingress queue (default 1024).
+	QueueDepth int
+	// FastPathTTL enables the verified-source cache (default 1 minute;
+	// negative disables).
+	FastPathTTL time.Duration
+	// Debug, when non-nil, receives rig diagnostics.
+	Debug func(format string, args ...any)
+}
+
+func (o *EngineThroughputOptions) fillDefaults() {
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.Packets <= 0 {
+		o.Packets = 24000
+	}
+	if o.Sources <= 0 {
+		o.Sources = 64
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 1024
+	}
+	if o.FastPathTTL == 0 {
+		o.FastPathTTL = time.Minute
+	}
+}
+
+// EngineThroughputResult is one measured configuration; benchtab serializes
+// a slice of these as BENCH_engine.json.
+type EngineThroughputResult struct {
+	Shards          int           `json:"shards"`
+	SpoofFraction   float64       `json:"spoof_fraction"`
+	Packets         int           `json:"packets"`
+	Completed       uint64        `json:"completed"`
+	QPS             float64       `json:"qps"`
+	P50             time.Duration `json:"p50_ns"`
+	P99             time.Duration `json:"p99_ns"`
+	ShedNew         uint64        `json:"shed_new"`
+	ShedOld         uint64        `json:"shed_old"`
+	FastPathHits    uint64        `json:"fast_path_hits"`
+	CookieInvalid   uint64        `json:"cookie_invalid"`
+	AllocsPerPacket float64       `json:"allocs_per_packet"`
+	Elapsed         time.Duration `json:"elapsed_ns"`
+}
+
+// WriteEngineBench prints a shard-scaling sweep in benchtab's tabular style.
+func WriteEngineBench(w io.Writer, rows []EngineThroughputResult) {
+	fmt.Fprintf(w, "%6s %6s %9s %9s %9s %9s %9s %9s %10s\n",
+		"shards", "spoof", "qps", "p50_ms", "p99_ms", "shed_new", "shed_old", "fastpath", "allocs/pkt")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6d %6.2f %9.0f %9.3f %9.3f %9d %9d %9d %10.1f\n",
+			r.Shards, r.SpoofFraction, r.QPS,
+			float64(r.P50.Nanoseconds())/1e6, float64(r.P99.Nanoseconds())/1e6,
+			r.ShedNew, r.ShedOld, r.FastPathHits, r.AllocsPerPacket)
+	}
+}
+
+// feedIO is a synthetic PacketIO: Read hands out a pre-built packet list
+// (stamping each packet's pipeline-entry time), WriteFromTo is the guard's
+// reply path and completes the latency measurement.
+type feedIO struct {
+	mu      sync.Mutex
+	packets []feedPkt
+	next    int
+	rig     *engineRig
+	done    chan struct{}
+	once    sync.Once
+}
+
+type feedPkt struct {
+	pkt   guard.Packet
+	valid bool // carries a genuine cookie, so a reply is expected
+}
+
+// maxInFlight bounds the rig's outstanding verifiable queries. UDP has no
+// flow control: an unthrottled feed overruns the loopback socket buffers on
+// the guard→ANS path and the run measures kernel drops, not the dataplane.
+// The bound must hold at the feed (queue backlog releases in bursts), and
+// must stay under a default receive buffer's worth of small datagrams.
+const maxInFlight = 192
+
+func (f *feedIO) Read(timeout time.Duration) (guard.Packet, error) {
+	f.mu.Lock()
+	if f.next < len(f.packets) {
+		p := f.packets[f.next]
+		f.next++
+		f.mu.Unlock()
+		if p.valid {
+			for f.rig.validOut.Load()-f.rig.completed.Load() >= maxInFlight {
+				time.Sleep(50 * time.Microsecond)
+			}
+			f.rig.validOut.Add(1)
+		}
+		f.rig.stamp(p.pkt)
+		return p.pkt, nil
+	}
+	f.mu.Unlock()
+	<-f.done
+	return guard.Packet{}, netapi.ErrClosed
+}
+
+func (f *feedIO) WriteFromTo(src, dst netip.AddrPort, payload []byte) error {
+	f.rig.complete(dst, payload)
+	return nil
+}
+
+func (f *feedIO) Close() error {
+	f.once.Do(func() { close(f.done) })
+	return nil
+}
+
+type engineRig struct {
+	mu        sync.Mutex
+	sent      map[replyKey]time.Time
+	hist      *metrics.Histogram
+	validOut  atomic.Uint64 // verifiable queries admitted to the pipeline
+	completed atomic.Uint64
+	lastReply atomic.Int64 // UnixNano of the latest reply
+}
+
+type replyKey struct {
+	client netip.AddrPort
+	id     uint16
+}
+
+func (r *engineRig) stamp(p guard.Packet) {
+	if len(p.Payload) < 2 {
+		return
+	}
+	id := uint16(p.Payload[0])<<8 | uint16(p.Payload[1])
+	r.mu.Lock()
+	r.sent[replyKey{p.Src, id}] = time.Now()
+	r.mu.Unlock()
+}
+
+func (r *engineRig) complete(dst netip.AddrPort, payload []byte) {
+	if len(payload) < 2 {
+		return
+	}
+	id := uint16(payload[0])<<8 | uint16(payload[1])
+	key := replyKey{dst, id}
+	r.mu.Lock()
+	start, ok := r.sent[key]
+	if ok {
+		delete(r.sent, key)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return
+	}
+	r.hist.Observe(time.Since(start))
+	r.completed.Add(1)
+	r.lastReply.Store(time.Now().UnixNano())
+}
+
+// EngineThroughput runs one shard/spoof configuration: an echo ANS on real
+// loopback UDP behind the guard, synthetic capture interfaces in front (one
+// per shard), a mix of valid NS-cookie queries from opts.Sources requesters
+// and — per SpoofFraction — forged-cookie queries from spoofed sources.
+// Returns completed-query throughput, end-to-end latency percentiles, shed
+// and fast-path counters, and the read-path allocation rate.
+func EngineThroughput(opts EngineThroughputOptions) (EngineThroughputResult, error) {
+	opts.fillDefaults()
+	env := realnet.New()
+
+	// Echo ANS: flip QR, return the datagram. The question echo satisfies
+	// the guard's upstream anti-spoof check; the answerless response takes
+	// the guard's ServFail fabrication path, which is the full reply
+	// pipeline as far as throughput is concerned.
+	ansConn, err := env.ListenUDP(netip.MustParseAddrPort("127.0.0.1:0"))
+	if err != nil {
+		return EngineThroughputResult{}, err
+	}
+	defer ansConn.Close()
+	go func() {
+		for {
+			b, src, err := ansConn.ReadFrom(netapi.NoTimeout)
+			if err != nil {
+				return
+			}
+			if len(b) > 2 {
+				b[2] |= 0x80 // QR: query -> response
+				_ = ansConn.WriteTo(b, src)
+			}
+		}
+	}()
+
+	var key [cookie.KeySize]byte
+	for i := range key {
+		key[i] = byte(i * 7)
+	}
+	auth := cookie.NewAuthenticatorWithKey(key)
+	nc := cookie.NSCodec{}
+	public := netip.MustParseAddrPort("192.0.2.1:53")
+	child := dnswire.MustName("www.foo.com")
+
+	rig := &engineRig{sent: make(map[replyKey]time.Time), hist: metrics.NewHistogram()}
+	ios := make([]*feedIO, opts.Shards)
+	for i := range ios {
+		ios[i] = &feedIO{rig: rig, done: make(chan struct{})}
+	}
+
+	// Pre-build the traffic so packet construction is outside the measured
+	// (and allocation-counted) window. Valid sources repeat, so the fast
+	// path warms; spoofed sources are all distinct, as a real flood's are.
+	spoofEvery := 0
+	if opts.SpoofFraction > 0 {
+		spoofEvery = int(1 / opts.SpoofFraction)
+	}
+	victim := netip.MustParseAddr("203.0.113.250")
+	for seq := 0; seq < opts.Packets; seq++ {
+		var src netip.AddrPort
+		var minted netip.Addr
+		if spoofEvery > 0 && seq%spoofEvery == 0 {
+			// Forged: cookie minted for the victim, sent from elsewhere.
+			src = netip.AddrPortFrom(netip.AddrFrom4([4]byte{198, 51, byte(seq >> 8), byte(seq)}), 4000)
+			minted = victim
+		} else {
+			i := seq % opts.Sources
+			src = netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, 66, byte(i >> 8), byte(i)}), uint16(3000+i))
+			minted = src.Addr()
+		}
+		fab, err := guard.FabricateNSName(nc, auth.Mint(minted), child)
+		if err != nil {
+			return EngineThroughputResult{}, err
+		}
+		wire, err := dnswire.NewQuery(uint16(seq), fab, dnswire.TypeA).PackUDP(512)
+		if err != nil {
+			return EngineThroughputResult{}, err
+		}
+		f := ios[seq%len(ios)]
+		f.packets = append(f.packets, feedPkt{
+			pkt:   guard.Packet{Src: src, Dst: public, Payload: wire},
+			valid: minted == src.Addr(),
+		})
+	}
+
+	gios := make([]guard.PacketIO, len(ios))
+	for i, f := range ios {
+		gios[i] = f
+	}
+	g, err := guard.NewRemote(guard.RemoteConfig{
+		Env:         env,
+		IOs:         gios,
+		Shards:      opts.Shards,
+		QueueDepth:  opts.QueueDepth,
+		FastPathTTL: opts.FastPathTTL,
+		PublicAddr:  public,
+		ANSAddr:     ansConn.LocalAddr(),
+		Zone:        dnswire.MustName("foo.com"),
+		Fallback:    guard.SchemeDNS,
+		Auth:        auth,
+		// Rate limits out of the way: this rig measures the dataplane, not
+		// the policy layer.
+		RL1: ratelimit.Limiter1Config{PerSourceRate: 1e9, PerSourceBurst: 1e9, GlobalRate: 1e9, GlobalBurst: 1e9, TrackedSources: 4096},
+		RL2: ratelimit.Limiter2Config{PerSourceRate: 1e9, PerSourceBurst: 1e9, TrackedSources: 8192},
+		// Long enough that nothing expires mid-run.
+		PendingTimeout: time.Minute,
+	})
+	if err != nil {
+		return EngineThroughputResult{}, err
+	}
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	rig.lastReply.Store(start.UnixNano())
+	if err := g.Start(); err != nil {
+		return EngineThroughputResult{}, err
+	}
+
+	// The run is over when replies stop arriving (spoofed and shed packets
+	// never complete, so "all done" is a stall, not a count).
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+		last := time.Unix(0, rig.lastReply.Load())
+		if time.Since(last) > 300*time.Millisecond {
+			break
+		}
+	}
+	elapsed := time.Unix(0, rig.lastReply.Load()).Sub(start)
+	runtime.ReadMemStats(&m1)
+	if opts.Debug != nil {
+		st := g.Stats.Load()
+		opts.Debug("stats=%+v pending=%d", st, g.PendingEntries())
+		for i := 0; i < g.Engine().Shards(); i++ {
+			opts.Debug("shard %d: %+v depth=%d", i, g.Engine().Stats(i), g.Engine().QueueDepth(i))
+		}
+	}
+	g.Close()
+
+	res := EngineThroughputResult{
+		Shards:        opts.Shards,
+		SpoofFraction: opts.SpoofFraction,
+		Packets:       opts.Packets,
+		Completed:     rig.completed.Load(),
+		P50:           rig.hist.Quantile(0.50),
+		P99:           rig.hist.Quantile(0.99),
+		Elapsed:       elapsed,
+	}
+	if elapsed > 0 {
+		res.QPS = float64(res.Completed) / elapsed.Seconds()
+	}
+	eng := g.Engine()
+	for i := 0; i < eng.Shards(); i++ {
+		st := eng.Stats(i)
+		res.ShedNew += st.ShedNew
+		res.ShedOld += st.ShedOld
+	}
+	res.FastPathHits = g.Stats.Load().FastPathHits
+	res.CookieInvalid = g.Stats.Load().CookieInvalid
+	res.AllocsPerPacket = float64(m1.Mallocs-m0.Mallocs) / float64(opts.Packets)
+	if res.Completed == 0 {
+		return res, fmt.Errorf("engine throughput: no queries completed (shards=%d)", opts.Shards)
+	}
+	return res, nil
+}

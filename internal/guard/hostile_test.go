@@ -145,8 +145,8 @@ func TestGuardPendingTableBounded(t *testing.T) {
 		}
 		f.sched.Sleep(time.Second)
 	})
-	if len(f.guard.pending) > 4096 {
-		t.Errorf("pending table = %d entries, want bounded at 4096", len(f.guard.pending))
+	if n := f.guard.PendingEntries(); n > 4096 {
+		t.Errorf("pending table = %d entries, want bounded at 4096", n)
 	}
 	if f.guard.Stats.PendingDropped == 0 {
 		t.Error("pending-table pressure never caused drops/reaping")

@@ -1,0 +1,42 @@
+package guard
+
+// idPool hands out unused DNS transaction IDs in O(1). The pre-engine guard
+// probed `nextID++` until it found a free slot — amortized fine when the
+// pending table was sparse, but a table sitting near its bound (a flood that
+// never completes) made every allocation walk the occupied range. The pool
+// replaces the probe with a free list: an ID is minted once from a
+// monotonically-growing high-water mark and thereafter recycled through
+// `free` as its pending entry is consumed. Since the table is bounded at
+// maxPending, the mark never grows past maxPending+1 — ID exhaustion is
+// structurally impossible.
+//
+// ID 0 is never issued (it reads as "unset" in too many places to risk).
+// Allocation order is deterministic for a deterministic caller, but the
+// values differ from the old probe's: nothing branches on ID values, only on
+// uniqueness.
+type idPool struct {
+	free   []uint16 // released IDs ready for reuse (LIFO)
+	next   uint16   // high-water mark: IDs 1..next have been minted
+	probes uint64   // allocation steps taken; regression guard for O(1)
+}
+
+// get returns an unused ID. The caller owns it until release. Exactly one
+// probe per call — the property idpool_test locks in.
+func (p *idPool) get() (uint16, bool) {
+	p.probes++
+	if n := len(p.free); n > 0 {
+		id := p.free[n-1]
+		p.free = p.free[:n-1]
+		return id, true
+	}
+	if p.next == 65535 {
+		return 0, false
+	}
+	p.next++
+	return p.next, true
+}
+
+// release returns an ID to the pool. Releasing an ID that is still mapped in
+// the pending table (or double-releasing) would alias two in-flight queries;
+// callers release exactly where they delete the table entry.
+func (p *idPool) release(id uint16) { p.free = append(p.free, id) }

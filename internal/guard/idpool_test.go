@@ -1,0 +1,90 @@
+package guard
+
+import "testing"
+
+func TestIDPoolUniqueAndRecycled(t *testing.T) {
+	var p idPool
+	seen := make(map[uint16]bool)
+	for i := 0; i < 1000; i++ {
+		id, ok := p.get()
+		if !ok {
+			t.Fatalf("get %d failed", i)
+		}
+		if id == 0 {
+			t.Fatal("issued ID 0")
+		}
+		if seen[id] {
+			t.Fatalf("ID %d issued twice while outstanding", id)
+		}
+		seen[id] = true
+	}
+	// Release half; the next allocations must come from the free list, not
+	// grow the high-water mark.
+	for id := uint16(1); id <= 500; id++ {
+		p.release(id)
+		delete(seen, id)
+	}
+	mark := p.next
+	for i := 0; i < 500; i++ {
+		id, ok := p.get()
+		if !ok {
+			t.Fatalf("recycled get %d failed", i)
+		}
+		if seen[id] {
+			t.Fatalf("recycled ID %d collides with outstanding", id)
+		}
+		seen[id] = true
+	}
+	if p.next != mark {
+		t.Fatalf("high-water mark grew %d -> %d despite free IDs", mark, p.next)
+	}
+}
+
+func TestIDPoolExhaustion(t *testing.T) {
+	var p idPool
+	for i := 0; i < 65535; i++ {
+		if _, ok := p.get(); !ok {
+			t.Fatalf("get %d failed before exhaustion", i)
+		}
+	}
+	if _, ok := p.get(); ok {
+		t.Fatal("issued a 65536th ID")
+	}
+	p.release(7)
+	if id, ok := p.get(); !ok || id != 7 {
+		t.Fatalf("post-exhaustion recycle = (%d, %v), want (7, true)", id, ok)
+	}
+}
+
+// TestAllocIDBoundedWorkAtHighOccupancy is the regression guard for the old
+// linear probe: with the NAT table at 90% occupancy, each allocation must
+// still cost exactly one probe. (The probe-counting field exists for this
+// test; the old allocID walked occupied IDs, degrading toward O(table) as
+// the table filled.)
+func TestAllocIDBoundedWorkAtHighOccupancy(t *testing.T) {
+	s := &remoteShard{pending: make(map[uint16]*pendEntry)}
+	fill := maxPending * 9 / 10
+	for i := 0; i < fill; i++ {
+		id, ok := s.allocID()
+		if !ok {
+			t.Fatalf("fill alloc %d failed", i)
+		}
+		s.pending[id] = &pendEntry{}
+	}
+
+	before := s.ids.probes
+	const allocs = 256
+	for i := 0; i < allocs; i++ {
+		id, ok := s.allocID()
+		if !ok {
+			t.Fatalf("alloc %d at 90%% fill failed", i)
+		}
+		if _, clash := s.pending[id]; clash {
+			t.Fatalf("alloc %d returned in-use ID %d", i, id)
+		}
+		s.pending[id] = &pendEntry{}
+	}
+	if got := s.ids.probes - before; got != allocs {
+		t.Fatalf("%d allocations cost %d probes, want exactly %d (O(1) contract)", allocs, got, allocs)
+	}
+}

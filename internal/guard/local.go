@@ -94,21 +94,7 @@ type LocalStats struct {
 // MetricsInto registers every counter as a guard_local_* series reading the
 // live fields.
 func (s *LocalStats) MetricsInto(r *metrics.Registry) {
-	for name, f := range map[string]*uint64{
-		"guard_local_intercepted":     &s.Intercepted,
-		"guard_local_stamped":         &s.Stamped,
-		"guard_local_passed_through":  &s.PassedThrough,
-		"guard_local_exchanges":       &s.Exchanges,
-		"guard_local_cookies_learned": &s.CookiesLearned,
-		"guard_local_late_cookies":    &s.LateCookies,
-		"guard_local_exchange_strays": &s.ExchangeStrays,
-		"guard_local_legacy_servers":  &s.LegacyServers,
-		"guard_local_held_overflow":   &s.HeldOverflow,
-		"guard_local_delivered":       &s.Delivered,
-	} {
-		f := f
-		r.FuncUint(name, func() uint64 { return atomic.LoadUint64(f) })
-	}
+	metrics.RegisterUint64Fields(r, "guard_local_", s)
 }
 
 type learnedCookie struct {

@@ -11,6 +11,7 @@ import (
 	"dnsguard/internal/cookie"
 	"dnsguard/internal/cpumodel"
 	"dnsguard/internal/dnswire"
+	"dnsguard/internal/engine"
 	"dnsguard/internal/metrics"
 	"dnsguard/internal/netapi"
 	"dnsguard/internal/ratelimit"
@@ -52,7 +53,35 @@ type RemoteConfig struct {
 	// Env supplies clock and sockets.
 	Env netapi.Env
 	// IO is the packet-capture interface for the protected address space.
+	// Shorthand for a one-entry IOs; exactly one of IO / IOs is required.
 	IO PacketIO
+	// IOs are multiple capture interfaces (e.g. SO_REUSEPORT siblings from
+	// netapi.UDPReuseEnv); the engine runs one reader per entry. Replies
+	// always leave through IOs[0].
+	IOs []PacketIO
+	// Shards is the dataplane worker count; every per-source structure
+	// (pending NAT table, rate limiters, verifier) is owned by the shard
+	// the source address hashes to. 0 and 1 mean one shard, which runs the
+	// pre-engine inline pipeline and reproduces it exactly.
+	Shards int
+	// QueueDepth bounds each shard's ingress queue (multi-shard only).
+	// 0 means the engine default.
+	QueueDepth int
+	// FastPathTTL enables the verified-source cache: a source that just
+	// passed a cookie check is remembered with its credential for this
+	// long, replacing the next MD5 verification with a byte compare. The
+	// presented credential is still compared — a spoofed address alone
+	// gains nothing. 0 disables the cache (the deterministic-reproduction
+	// configuration). Keep it at or below the key-rotation grace period:
+	// a cached credential is honored until its TTL even across a Rotate.
+	FastPathTTL time.Duration
+	// FastPathSources bounds the verified-source cache per shard.
+	// 0 means the engine default.
+	FastPathSources int
+	// Observer, when non-nil, is called in worker context with the owning
+	// shard right before each packet is handled. Diagnostic hook; tests
+	// use it to assert per-source shard affinity.
+	Observer func(shard int, pkt Packet)
 	// PublicAddr is the ANS's advertised address, which the guard
 	// intercepts and answers from.
 	PublicAddr netip.AddrPort
@@ -79,7 +108,9 @@ type RemoteConfig struct {
 	// 0 means one week (§III-E).
 	NSTTL uint32
 	// RL1 configures Rate-Limiter1 (cookie responses). Zero-value fields
-	// take defaults.
+	// take defaults. Each shard runs its own limiter over the sources it
+	// owns, so per-source limits are exact and global budgets are split
+	// per shard.
 	RL1 ratelimit.Limiter1Config
 	// RL2 configures Rate-Limiter2 (verified requests).
 	RL2 ratelimit.Limiter2Config
@@ -107,12 +138,21 @@ func (c *RemoteConfig) fillDefaults() error {
 	switch {
 	case c.Env == nil:
 		return errors.New("guard: RemoteConfig.Env is required")
-	case c.IO == nil:
-		return errors.New("guard: RemoteConfig.IO is required")
+	case c.IO == nil && len(c.IOs) == 0:
+		return errors.New("guard: RemoteConfig.IO (or IOs) is required")
 	case c.Auth == nil:
 		return errors.New("guard: RemoteConfig.Auth is required")
 	case !c.PublicAddr.IsValid() || !c.ANSAddr.IsValid():
 		return errors.New("guard: PublicAddr and ANSAddr are required")
+	}
+	if len(c.IOs) == 0 {
+		c.IOs = []PacketIO{c.IO}
+	}
+	if c.IO == nil {
+		c.IO = c.IOs[0]
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
 	}
 	if c.Fallback == 0 {
 		c.Fallback = SchemeDNS
@@ -136,8 +176,8 @@ func (c *RemoteConfig) fillDefaults() error {
 }
 
 // RemoteStats counts guard activity; the experiment harness reads these.
-// Fields are written with atomic operations (the capture and upstream loops
-// run concurrently under real clocks); read individual fields with
+// Fields are written with atomic operations (shard workers and the upstream
+// loops run concurrently under real clocks); read individual fields with
 // atomic.LoadUint64, or take a consistent-enough copy via Load.
 type RemoteStats struct {
 	Received        uint64 // packets read from the capture interface
@@ -148,6 +188,7 @@ type RemoteStats struct {
 	CookieValid     uint64 // requests whose cookie verified
 	CookieInvalid   uint64 // spoofed requests dropped
 	RL2Dropped      uint64 // verified requests over the nominal rate
+	FastPathHits    uint64 // verifications short-circuited by the source cache
 	ForwardedToANS  uint64
 	AnswerCacheHits uint64
 	RepliesToClient uint64
@@ -162,50 +203,13 @@ type RemoteStats struct {
 // individually exact; the set is not a single consistent cut, which is fine
 // for monitoring and for quiesced test assertions.
 func (s *RemoteStats) Load() RemoteStats {
-	return RemoteStats{
-		Received:        atomic.LoadUint64(&s.Received),
-		Passthrough:     atomic.LoadUint64(&s.Passthrough),
-		Malformed:       atomic.LoadUint64(&s.Malformed),
-		NewcomerGrants:  atomic.LoadUint64(&s.NewcomerGrants),
-		RL1Dropped:      atomic.LoadUint64(&s.RL1Dropped),
-		CookieValid:     atomic.LoadUint64(&s.CookieValid),
-		CookieInvalid:   atomic.LoadUint64(&s.CookieInvalid),
-		RL2Dropped:      atomic.LoadUint64(&s.RL2Dropped),
-		ForwardedToANS:  atomic.LoadUint64(&s.ForwardedToANS),
-		AnswerCacheHits: atomic.LoadUint64(&s.AnswerCacheHits),
-		RepliesToClient: atomic.LoadUint64(&s.RepliesToClient),
-		TCRedirects:     atomic.LoadUint64(&s.TCRedirects),
-		PendingDropped:  atomic.LoadUint64(&s.PendingDropped),
-		UpstreamStrays:  atomic.LoadUint64(&s.UpstreamStrays),
-		UpstreamSpoofed: atomic.LoadUint64(&s.UpstreamSpoofed),
-		KeyRotations:    atomic.LoadUint64(&s.KeyRotations),
-	}
+	return metrics.SnapshotUint64(s)
 }
 
 // MetricsInto registers every counter as a guard_remote_* series reading
 // the live fields, so exports track the struct without copying it.
 func (s *RemoteStats) MetricsInto(r *metrics.Registry) {
-	for name, f := range map[string]*uint64{
-		"guard_remote_received":          &s.Received,
-		"guard_remote_passthrough":       &s.Passthrough,
-		"guard_remote_malformed":         &s.Malformed,
-		"guard_remote_newcomer_grants":   &s.NewcomerGrants,
-		"guard_remote_rl1_dropped":       &s.RL1Dropped,
-		"guard_remote_cookie_valid":      &s.CookieValid,
-		"guard_remote_cookie_invalid":    &s.CookieInvalid,
-		"guard_remote_rl2_dropped":       &s.RL2Dropped,
-		"guard_remote_forwarded_to_ans":  &s.ForwardedToANS,
-		"guard_remote_answer_cache_hits": &s.AnswerCacheHits,
-		"guard_remote_replies_to_client": &s.RepliesToClient,
-		"guard_remote_tc_redirects":      &s.TCRedirects,
-		"guard_remote_pending_dropped":   &s.PendingDropped,
-		"guard_remote_upstream_strays":   &s.UpstreamStrays,
-		"guard_remote_upstream_spoofed":  &s.UpstreamSpoofed,
-		"guard_remote_key_rotations":     &s.KeyRotations,
-	} {
-		f := f
-		r.FuncUint(name, func() uint64 { return atomic.LoadUint64(f) })
-	}
+	metrics.RegisterUint64Fields(r, "guard_remote_", s)
 }
 
 type pendKind int
@@ -227,41 +231,75 @@ type pendEntry struct {
 	expires   time.Duration
 }
 
-// Remote is the ANS-side DNS guard.
+// Remote is the ANS-side DNS guard. Its packet pipeline runs on an
+// internal/engine dataplane: source addresses hash to shards, and each shard
+// owns every per-source structure (rate limiters, pending NAT table,
+// transaction-ID pool, upstream socket), so the hot path takes no cross-shard
+// locks. With Shards == 1 the engine runs inline and the guard behaves —
+// event for event — like the original single-loop implementation.
 type Remote struct {
-	cfg      RemoteConfig
-	nsc      cookie.NSCodec
-	ipc      cookie.IPCodec
-	rl1      *ratelimit.Limiter1
-	rl2      *ratelimit.Limiter2
-	rate     *ratelimit.RateEstimator
-	active   bool
-	upstream netapi.UDPConn
-	closed   atomic.Bool
+	cfg    RemoteConfig
+	nsc    cookie.NSCodec
+	ipc    cookie.IPCodec
+	eng    *engine.Engine
+	shards []*remoteShard
+	rate   *ratelimit.RateEstimator
+	rateMu sync.Mutex // serializes the rate estimator across shard workers
+	active atomic.Bool
+	closed atomic.Bool
 
-	// mu guards the NAT table, shared between the capture loop (register)
-	// and the upstream loop (consume) — concurrent goroutines under real
-	// clocks. The answer cache locks internally.
-	mu      sync.Mutex
-	pending map[uint16]*pendEntry
-	nextID  uint16
+	// answers is the shared non-referral answer cache (locks internally).
 	answers *resolver.Cache
 
 	// Stats is updated as the guard runs (atomically; see RemoteStats).
 	Stats RemoteStats
 }
 
-// MetricsInto registers the guard's counters, rate-limiter counters, and a
-// live NAT-table-size gauge on r (guard_remote_* series).
+// remoteShard is the engine handler for one shard: the slice of guard state
+// owned by the sources that hash there. Everything except pending/ids is
+// touched only by the shard's worker; the NAT table is shared with the
+// shard's upstream loop, hence mu.
+type remoteShard struct {
+	g        *Remote
+	id       int
+	rl1      *ratelimit.Limiter1
+	rl2      *ratelimit.Limiter2
+	upstream netapi.UDPConn
+
+	mu      sync.Mutex
+	pending map[uint16]*pendEntry
+	ids     idPool
+}
+
+// MetricsInto registers the guard's counters, rate-limiter counters, a live
+// NAT-table-size gauge, and the dataplane's guard_engine_* series on r. The
+// guard_rl1_* / guard_rl2_* names are stable across shard counts: with one
+// shard they read the limiter directly, otherwise they sum across shards.
 func (g *Remote) MetricsInto(r *metrics.Registry) {
 	g.Stats.MetricsInto(r)
-	g.rl1.MetricsInto(r, "guard_rl1_")
-	g.rl2.MetricsInto(r, "guard_rl2_")
+	if len(g.shards) == 1 {
+		g.shards[0].rl1.MetricsInto(r, "guard_rl1_")
+		g.shards[0].rl2.MetricsInto(r, "guard_rl2_")
+	} else {
+		sum := func(f func(*remoteShard) uint64) func() uint64 {
+			return func() uint64 {
+				var t uint64
+				for _, s := range g.shards {
+					t += f(s)
+				}
+				return t
+			}
+		}
+		r.FuncUint("guard_rl1_allowed", sum(func(s *remoteShard) uint64 { a, _ := s.rl1.Stats(); return a }))
+		r.FuncUint("guard_rl1_denied", sum(func(s *remoteShard) uint64 { _, d := s.rl1.Stats(); return d }))
+		r.FuncUint("guard_rl1_topk_evictions", sum(func(s *remoteShard) uint64 { return s.rl1.TopKEvictions() }))
+		r.FuncUint("guard_rl2_allowed", sum(func(s *remoteShard) uint64 { a, _ := s.rl2.Stats(); return a }))
+		r.FuncUint("guard_rl2_denied", sum(func(s *remoteShard) uint64 { _, d := s.rl2.Stats(); return d }))
+	}
 	r.Func("guard_remote_pending", func() float64 {
-		g.mu.Lock()
-		defer g.mu.Unlock()
-		return float64(len(g.pending))
+		return float64(g.PendingEntries())
 	})
+	g.eng.MetricsInto(r, "guard_engine_")
 }
 
 // NewRemote validates cfg and creates the guard (not yet started).
@@ -274,39 +312,89 @@ func NewRemote(cfg RemoteConfig) (*Remote, error) {
 		cfg:     cfg,
 		nsc:     cookie.NSCodec{Prefix: cfg.NSPrefix},
 		ipc:     cookie.IPCodec{Subnet: cfg.Subnet},
-		rl1:     ratelimit.NewLimiter1(cfg.RL1, now),
-		rl2:     ratelimit.NewLimiter2(cfg.RL2, now),
 		rate:    ratelimit.NewRateEstimator(10, 100*time.Millisecond),
-		pending: make(map[uint16]*pendEntry),
 		answers: resolver.NewCache(4096),
 	}
+	g.shards = make([]*remoteShard, cfg.Shards)
+	eng, err := engine.New(engine.Config{
+		Env:             cfg.Env,
+		IOs:             cfg.IOs,
+		Shards:          cfg.Shards,
+		QueueDepth:      cfg.QueueDepth,
+		FastPathTTL:     cfg.FastPathTTL,
+		FastPathSources: cfg.FastPathSources,
+		Name:            "guard",
+		Observer:        cfg.Observer,
+		NewHandler: func(i int) engine.Handler {
+			s := &remoteShard{
+				g:       g,
+				id:      i,
+				rl1:     ratelimit.NewLimiter1(cfg.RL1, now),
+				rl2:     ratelimit.NewLimiter2(cfg.RL2, now),
+				pending: make(map[uint16]*pendEntry),
+			}
+			g.shards[i] = s
+			return s
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("guard: %w", err)
+	}
+	g.eng = eng
 	return g, nil
 }
 
-// Start opens the upstream socket and spawns the guard's procs.
+// Start opens the per-shard upstream sockets and spawns the dataplane.
+// With one shard the spawn sequence is exactly the historical one —
+// upstream bind, "guard-capture", "guard-upstream", "guard-rotate" — so
+// deterministic simulations replay unchanged.
 func (g *Remote) Start() error {
-	up, err := g.cfg.Env.ListenUDP(netip.AddrPort{})
-	if err != nil {
-		return fmt.Errorf("guard: binding upstream socket: %w", err)
+	for _, s := range g.shards {
+		up, err := g.cfg.Env.ListenUDP(netip.AddrPort{})
+		if err != nil {
+			return fmt.Errorf("guard: binding upstream socket: %w", err)
+		}
+		s.upstream = up
 	}
-	g.upstream = up
-	g.cfg.Env.Go("guard-capture", g.captureLoop)
-	g.cfg.Env.Go("guard-upstream", g.upstreamLoop)
+	g.eng.Start()
+	for _, s := range g.shards {
+		s := s
+		name := "guard-upstream"
+		if len(g.shards) > 1 {
+			name = fmt.Sprintf("guard-upstream-%d", s.id)
+		}
+		g.cfg.Env.Go(name, s.upstreamLoop)
+	}
 	if g.cfg.KeyRotation > 0 {
 		g.cfg.Env.Go("guard-rotate", g.rotateLoop)
 	}
 	return nil
 }
 
-// UpstreamAddr reports the local address of the guard's upstream socket
+// UpstreamAddr reports the local address of shard 0's upstream socket
 // (valid after Start). Tests use it to aim spoofed datagrams at the
 // ANS-facing path.
 func (g *Remote) UpstreamAddr() netip.AddrPort {
-	if g.upstream == nil {
+	if g.shards[0].upstream == nil {
 		return netip.AddrPort{}
 	}
-	return g.upstream.LocalAddr()
+	return g.shards[0].upstream.LocalAddr()
 }
+
+// PendingEntries reports the NAT-table population summed across shards.
+func (g *Remote) PendingEntries() int {
+	total := 0
+	for _, s := range g.shards {
+		s.mu.Lock()
+		total += len(s.pending)
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Engine exposes the dataplane (shard mapping, backpressure stats, the
+// verified-source cache). Read-only use.
+func (g *Remote) Engine() *engine.Engine { return g.eng }
 
 // rotateLoop changes the cookie key every KeyRotation period. Cookies from
 // the previous generation stay valid for one more period (the generation
@@ -329,14 +417,16 @@ func (g *Remote) Close() {
 	if g.closed.Swap(true) {
 		return
 	}
-	_ = g.cfg.IO.Close()
-	if g.upstream != nil {
-		_ = g.upstream.Close()
+	g.eng.Close()
+	for _, s := range g.shards {
+		if s.upstream != nil {
+			_ = s.upstream.Close()
+		}
 	}
 }
 
 // Active reports whether spoof detection is currently engaged.
-func (g *Remote) Active() bool { return g.cfg.ActivationThreshold == 0 || g.active }
+func (g *Remote) Active() bool { return g.cfg.ActivationThreshold == 0 || g.active.Load() }
 
 // preempter is optionally implemented by CPU models that distinguish
 // interrupt-priority packet work from ordinary jobs (netsim.CPU does).
@@ -359,41 +449,40 @@ func (g *Remote) charge(d time.Duration) {
 
 func (g *Remote) now() time.Duration { return g.cfg.Env.Now() }
 
-// captureLoop is the main packet pipeline (Figure 4).
-func (g *Remote) captureLoop() {
-	for {
-		pkt, err := g.cfg.IO.Read(netapi.NoTimeout)
-		if err != nil {
-			return
-		}
-		atomic.AddUint64(&g.Stats.Received, 1)
-		g.charge(g.cfg.Costs.PacketOp)
-		g.updateActivation()
-		g.handle(pkt)
-	}
+// HandlePacket runs the Figure 4 pipeline for one intercepted datagram; the
+// engine calls it on the worker owning pkt.Src's shard.
+func (s *remoteShard) HandlePacket(pkt Packet) {
+	g := s.g
+	atomic.AddUint64(&g.Stats.Received, 1)
+	g.charge(g.cfg.Costs.PacketOp)
+	g.updateActivation()
+	s.handle(pkt)
 }
 
 func (g *Remote) updateActivation() {
 	if g.cfg.ActivationThreshold <= 0 {
 		return
 	}
+	g.rateMu.Lock()
+	defer g.rateMu.Unlock()
 	now := g.now()
 	g.rate.Observe(now)
 	r := g.rate.Rate(now)
 	switch {
-	case !g.active && r > g.cfg.ActivationThreshold:
-		g.active = true
-	case g.active && r < 0.8*g.cfg.ActivationThreshold:
-		g.active = false
+	case !g.active.Load() && r > g.cfg.ActivationThreshold:
+		g.active.Store(true)
+	case g.active.Load() && r < 0.8*g.cfg.ActivationThreshold:
+		g.active.Store(false)
 	}
 }
 
-func (g *Remote) handle(pkt Packet) {
+func (s *remoteShard) handle(pkt Packet) {
+	g := s.g
 	if pkt.Dst.Port() != g.cfg.PublicAddr.Port() {
 		return // not DNS traffic for the protected service
 	}
 	if !g.Active() {
-		g.passthrough(pkt)
+		s.passthrough(pkt)
 		return
 	}
 	msg, err := dnswire.Unpack(pkt.Payload)
@@ -403,31 +492,32 @@ func (g *Remote) handle(pkt Packet) {
 	}
 	// Scheme 1b: queries addressed to a cookie IP inside the guard subnet.
 	if g.cfg.Subnet.IsValid() && pkt.Dst.Addr() != g.cfg.PublicAddr.Addr() && g.cfg.Subnet.Contains(pkt.Dst.Addr()) {
-		g.handleIPCookie(pkt, msg)
+		s.handleIPCookie(pkt, msg)
 		return
 	}
 	// Modified-DNS scheme: explicit cookie extension.
 	if c, _, _, ok := FindCookie(msg); ok {
-		g.handleModified(pkt, msg, c)
+		s.handleModified(pkt, msg, c)
 		return
 	}
 	// DNS-based scheme: cookie embedded in the query name.
 	if label, child, ok := ParseFabricatedName(g.nsc, msg.Question().Name); ok {
-		g.handleNSCookie(pkt, msg, label, child)
+		s.handleNSCookie(pkt, msg, label, child)
 		return
 	}
-	g.handleNewcomer(pkt, msg)
+	s.handleNewcomer(pkt, msg)
 }
 
 // passthrough relays traffic unmodified while spoof detection is inactive.
-func (g *Remote) passthrough(pkt Packet) {
+func (s *remoteShard) passthrough(pkt Packet) {
+	g := s.g
 	msg, err := dnswire.Unpack(pkt.Payload)
 	if err != nil || msg.Flags.QR {
 		atomic.AddUint64(&g.Stats.Malformed, 1)
 		return
 	}
 	atomic.AddUint64(&g.Stats.Passthrough, 1)
-	g.forwardMsg(msg, &pendEntry{
+	s.forwardMsg(msg, &pendEntry{
 		kind:      pendPassthrough,
 		clientSrc: pkt.Src,
 		replyFrom: pkt.Dst,
@@ -436,8 +526,9 @@ func (g *Remote) passthrough(pkt Packet) {
 }
 
 // handleNewcomer boots a cookie-less requester per the fallback scheme.
-func (g *Remote) handleNewcomer(pkt Packet, msg *dnswire.Message) {
-	if !g.rl1.AllowResponse(pkt.Src.Addr(), g.now()) {
+func (s *remoteShard) handleNewcomer(pkt Packet, msg *dnswire.Message) {
+	g := s.g
+	if !s.rl1.AllowResponse(pkt.Src.Addr(), g.now()) {
 		atomic.AddUint64(&g.Stats.RL1Dropped, 1)
 		return
 	}
@@ -492,16 +583,33 @@ func (g *Remote) isTCPClient(src netip.Addr) bool {
 	return false
 }
 
+// fastPath consults the verified-source cache: true when src recently
+// verified exactly cred, in which case the MD5 check may be skipped. The
+// credential compare is the security boundary — the cache never turns a
+// bare source address into trust.
+func (g *Remote) fastPath(src netip.Addr, cred string) bool {
+	got, ok := g.eng.VerifiedCred(src)
+	if !ok || got != cred {
+		return false
+	}
+	atomic.AddUint64(&g.Stats.FastPathHits, 1)
+	return true
+}
+
 // handleNSCookie processes a query for a fabricated name (message 3):
 // verify, restore, forward (message 4).
-func (g *Remote) handleNSCookie(pkt Packet, msg *dnswire.Message, label string, child dnswire.Name) {
-	g.charge(g.cfg.Costs.CookieCheck)
-	if !g.nsc.VerifyLabel(g.cfg.Auth, pkt.Src.Addr(), label) {
-		atomic.AddUint64(&g.Stats.CookieInvalid, 1)
-		return
+func (s *remoteShard) handleNSCookie(pkt Packet, msg *dnswire.Message, label string, child dnswire.Name) {
+	g := s.g
+	if cred := "ns:" + label; !g.fastPath(pkt.Src.Addr(), cred) {
+		g.charge(g.cfg.Costs.CookieCheck)
+		if !g.nsc.VerifyLabel(g.cfg.Auth, pkt.Src.Addr(), label) {
+			atomic.AddUint64(&g.Stats.CookieInvalid, 1)
+			return
+		}
+		g.eng.MarkVerified(pkt.Src.Addr(), cred)
 	}
 	atomic.AddUint64(&g.Stats.CookieValid, 1)
-	if !g.rl2.AllowRequest(pkt.Src.Addr(), g.now()) {
+	if !s.rl2.AllowRequest(pkt.Src.Addr(), g.now()) {
 		atomic.AddUint64(&g.Stats.RL2Dropped, 1)
 		return
 	}
@@ -509,7 +617,7 @@ func (g *Remote) handleNSCookie(pkt Packet, msg *dnswire.Message, label string, 
 	q := msg.Question()
 	fwd := dnswire.NewQuery(0, child, q.Type)
 	fwd.Flags.RD = false
-	g.forwardMsg(fwd, &pendEntry{
+	s.forwardMsg(fwd, &pendEntry{
 		kind:      pendChild,
 		clientSrc: pkt.Src,
 		replyFrom: pkt.Dst,
@@ -521,14 +629,19 @@ func (g *Remote) handleNSCookie(pkt Packet, msg *dnswire.Message, label string, 
 
 // handleIPCookie processes a query addressed to a cookie address
 // (message 7): the destination IP is the credential.
-func (g *Remote) handleIPCookie(pkt Packet, msg *dnswire.Message) {
-	g.charge(g.cfg.Costs.CookieCheck)
-	if !g.ipc.Verify(g.cfg.Auth, pkt.Src.Addr(), pkt.Dst.Addr()) {
-		atomic.AddUint64(&g.Stats.CookieInvalid, 1)
-		return
+func (s *remoteShard) handleIPCookie(pkt Packet, msg *dnswire.Message) {
+	g := s.g
+	dst16 := pkt.Dst.Addr().As16()
+	if cred := "ip:" + string(dst16[:]); !g.fastPath(pkt.Src.Addr(), cred) {
+		g.charge(g.cfg.Costs.CookieCheck)
+		if !g.ipc.Verify(g.cfg.Auth, pkt.Src.Addr(), pkt.Dst.Addr()) {
+			atomic.AddUint64(&g.Stats.CookieInvalid, 1)
+			return
+		}
+		g.eng.MarkVerified(pkt.Src.Addr(), cred)
 	}
 	atomic.AddUint64(&g.Stats.CookieValid, 1)
-	if !g.rl2.AllowRequest(pkt.Src.Addr(), g.now()) {
+	if !s.rl2.AllowRequest(pkt.Src.Addr(), g.now()) {
 		atomic.AddUint64(&g.Stats.RL2Dropped, 1)
 		return
 	}
@@ -544,7 +657,7 @@ func (g *Remote) handleIPCookie(pkt Packet, msg *dnswire.Message) {
 	}
 	fwd := dnswire.NewQuery(0, q.Name, q.Type)
 	fwd.Flags.RD = false
-	g.forwardMsg(fwd, &pendEntry{
+	s.forwardMsg(fwd, &pendEntry{
 		kind:      pendDirect,
 		clientSrc: pkt.Src,
 		replyFrom: pkt.Dst,
@@ -554,10 +667,11 @@ func (g *Remote) handleIPCookie(pkt Packet, msg *dnswire.Message) {
 }
 
 // handleModified processes the explicit cookie extension (Figure 3).
-func (g *Remote) handleModified(pkt Packet, msg *dnswire.Message, c cookie.Cookie) {
+func (s *remoteShard) handleModified(pkt Packet, msg *dnswire.Message, c cookie.Cookie) {
+	g := s.g
 	if c.IsZero() {
 		// Message 2: cookie request. Answer through Rate-Limiter1.
-		if !g.rl1.AllowResponse(pkt.Src.Addr(), g.now()) {
+		if !s.rl1.AllowResponse(pkt.Src.Addr(), g.now()) {
 			atomic.AddUint64(&g.Stats.RL1Dropped, 1)
 			return
 		}
@@ -568,13 +682,16 @@ func (g *Remote) handleModified(pkt Packet, msg *dnswire.Message, c cookie.Cooki
 		g.reply(pkt.Dst, pkt.Src, resp)
 		return
 	}
-	g.charge(g.cfg.Costs.CookieCheck)
-	if !g.cfg.Auth.Verify(pkt.Src.Addr(), c) {
-		atomic.AddUint64(&g.Stats.CookieInvalid, 1)
-		return
+	if cred := "ck:" + string(c[:]); !g.fastPath(pkt.Src.Addr(), cred) {
+		g.charge(g.cfg.Costs.CookieCheck)
+		if !g.cfg.Auth.Verify(pkt.Src.Addr(), c) {
+			atomic.AddUint64(&g.Stats.CookieInvalid, 1)
+			return
+		}
+		g.eng.MarkVerified(pkt.Src.Addr(), cred)
 	}
 	atomic.AddUint64(&g.Stats.CookieValid, 1)
-	if !g.rl2.AllowRequest(pkt.Src.Addr(), g.now()) {
+	if !s.rl2.AllowRequest(pkt.Src.Addr(), g.now()) {
 		atomic.AddUint64(&g.Stats.RL2Dropped, 1)
 		return
 	}
@@ -582,7 +699,7 @@ func (g *Remote) handleModified(pkt Packet, msg *dnswire.Message, c cookie.Cooki
 	fwd := *msg
 	fwd.Additional = append([]dnswire.RR(nil), msg.Additional...)
 	_, _ = StripCookie(&fwd)
-	g.forwardMsg(&fwd, &pendEntry{
+	s.forwardMsg(&fwd, &pendEntry{
 		kind:      pendDirect,
 		clientSrc: pkt.Src,
 		replyFrom: pkt.Dst,
@@ -593,66 +710,70 @@ func (g *Remote) handleModified(pkt Packet, msg *dnswire.Message, c cookie.Cooki
 
 // forwardMsg sends msg to the ANS under a fresh transaction ID and registers
 // the pending entry for the response.
-func (g *Remote) forwardMsg(msg *dnswire.Message, entry *pendEntry) {
+func (s *remoteShard) forwardMsg(msg *dnswire.Message, entry *pendEntry) {
+	g := s.g
 	if len(msg.Questions) > 0 {
 		entry.fwdQ = msg.Questions[0]
 	}
 	entry.expires = g.now() + g.cfg.PendingTimeout
-	g.mu.Lock()
-	id, ok := g.allocID()
+	s.mu.Lock()
+	id, ok := s.allocID()
 	if !ok {
-		g.mu.Unlock()
+		s.mu.Unlock()
 		atomic.AddUint64(&g.Stats.PendingDropped, 1)
 		return
 	}
-	g.pending[id] = entry
-	g.mu.Unlock()
+	s.pending[id] = entry
+	s.mu.Unlock()
 	out := *msg
 	out.ID = id
 	wire, err := out.PackUDP(dnswire.MaxUDPSize)
 	if err != nil {
-		g.mu.Lock()
-		delete(g.pending, id)
-		g.mu.Unlock()
+		s.mu.Lock()
+		delete(s.pending, id)
+		s.ids.release(id)
+		s.mu.Unlock()
 		return
 	}
 	atomic.AddUint64(&g.Stats.ForwardedToANS, 1)
 	g.charge(g.cfg.Costs.PacketOp)
-	_ = g.upstream.WriteTo(wire, g.cfg.ANSAddr)
+	_ = s.upstream.WriteTo(wire, g.cfg.ANSAddr)
 }
 
-// allocID picks an unused transaction ID; the caller must hold g.mu.
-func (g *Remote) allocID() (uint16, bool) {
-	if len(g.pending) >= 4096 {
-		// Reap expired entries before refusing.
-		now := g.now()
-		for id, e := range g.pending {
+// allocID picks an unused transaction ID in O(1) via the shard's ID pool;
+// the caller must hold s.mu. When the NAT table is at capacity it first
+// reaps expired entries, refusing only if the table is genuinely full of
+// live queries.
+func (s *remoteShard) allocID() (uint16, bool) {
+	if len(s.pending) >= maxPending {
+		now := s.g.now()
+		for id, e := range s.pending {
 			if now >= e.expires {
-				delete(g.pending, id)
-				atomic.AddUint64(&g.Stats.PendingDropped, 1)
+				delete(s.pending, id)
+				s.ids.release(id)
+				atomic.AddUint64(&s.g.Stats.PendingDropped, 1)
 			}
 		}
-		if len(g.pending) >= 4096 {
+		if len(s.pending) >= maxPending {
 			return 0, false
 		}
 	}
-	for i := 0; i < 65536; i++ {
-		g.nextID++
-		if _, used := g.pending[g.nextID]; !used {
-			return g.nextID, true
-		}
-	}
-	return 0, false
+	return s.ids.get()
 }
 
-// upstreamLoop receives ANS responses and transforms them per the pending
-// entry's kind. A datagram is consumed only when it (a) comes from the
-// configured ANS address, and (b) echoes the question the guard forwarded —
-// ID alone is 16 bits of entropy, trivially sweepable by an off-path
-// attacker who learns the upstream port.
-func (g *Remote) upstreamLoop() {
+// maxPending bounds each shard's NAT table (the pre-engine global bound,
+// now per shard).
+const maxPending = 4096
+
+// upstreamLoop receives ANS responses for one shard and transforms them per
+// the pending entry's kind. A datagram is consumed only when it (a) comes
+// from the configured ANS address, and (b) echoes the question the guard
+// forwarded — ID alone is 16 bits of entropy, trivially sweepable by an
+// off-path attacker who learns the upstream port.
+func (s *remoteShard) upstreamLoop() {
+	g := s.g
 	for {
-		payload, src, err := g.upstream.ReadFrom(netapi.NoTimeout)
+		payload, src, err := s.upstream.ReadFrom(netapi.NoTimeout)
 		if err != nil {
 			return
 		}
@@ -666,10 +787,10 @@ func (g *Remote) upstreamLoop() {
 		if err != nil || !resp.Flags.QR {
 			continue
 		}
-		g.mu.Lock()
-		entry, ok := g.pending[resp.ID]
+		s.mu.Lock()
+		entry, ok := s.pending[resp.ID]
 		if !ok {
-			g.mu.Unlock()
+			s.mu.Unlock()
 			// Duplicated or long-delayed ANS response whose entry was
 			// already consumed — the network, not the ANS, misbehaving.
 			atomic.AddUint64(&g.Stats.UpstreamStrays, 1)
@@ -678,31 +799,32 @@ func (g *Remote) upstreamLoop() {
 		if len(resp.Questions) == 0 || resp.Questions[0] != entry.fwdQ {
 			// Right ID, wrong question: spoofed (or corrupted) response.
 			// Keep the entry so the genuine answer can still land.
-			g.mu.Unlock()
+			s.mu.Unlock()
 			atomic.AddUint64(&g.Stats.UpstreamSpoofed, 1)
 			continue
 		}
-		if g.now() >= entry.expires {
-			delete(g.pending, resp.ID)
-			g.mu.Unlock()
+		expired := g.now() >= entry.expires
+		delete(s.pending, resp.ID)
+		s.ids.release(resp.ID)
+		s.mu.Unlock()
+		if expired {
 			atomic.AddUint64(&g.Stats.PendingDropped, 1)
 			continue
 		}
-		delete(g.pending, resp.ID)
-		g.mu.Unlock()
 		switch entry.kind {
 		case pendPassthrough, pendDirect:
 			resp.ID = entry.origID
 			g.reply(entry.replyFrom, entry.clientSrc, resp)
 		case pendChild:
-			g.answerChild(entry, resp)
+			s.answerChild(entry, resp)
 		}
 	}
 }
 
 // answerChild turns the ANS's answer for the restored child query (message
 // 5) into the response for the fabricated name (message 6).
-func (g *Remote) answerChild(entry *pendEntry, resp *dnswire.Message) {
+func (s *remoteShard) answerChild(entry *pendEntry, resp *dnswire.Message) {
+	g := s.g
 	out := &dnswire.Message{
 		ID:        entry.origID,
 		Flags:     dnswire.Flags{QR: true, AA: true},

@@ -17,32 +17,20 @@
 package guard
 
 import (
-	"net/netip"
-	"time"
-
 	"dnsguard/internal/cookie"
 	"dnsguard/internal/dnswire"
+	"dnsguard/internal/engine"
 )
 
 // Packet is a raw datagram as the guard sees it: a firewall knows both
-// addresses.
-type Packet struct {
-	Src     netip.AddrPort
-	Dst     netip.AddrPort
-	Payload []byte
-}
+// addresses. It is the engine's packet type; the guard rides the
+// internal/engine dataplane.
+type Packet = engine.Packet
 
 // PacketIO is the guard's capture interface: read intercepted datagrams,
 // write datagrams with arbitrary (owned) source addresses. netsim taps and
 // realnet sockets both adapt to it.
-type PacketIO interface {
-	// Read blocks until a packet arrives, the timeout elapses, or the
-	// interface closes.
-	Read(timeout time.Duration) (Packet, error)
-	// WriteFromTo emits a datagram with an explicit source.
-	WriteFromTo(src, dst netip.AddrPort, payload []byte) error
-	Close() error
-}
+type PacketIO = engine.PacketIO
 
 // Modified-DNS cookie extension (Figure 3b): a TXT record at the root name
 // in the additional section whose first character-string is the 16-byte

@@ -124,6 +124,19 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// RegisterHistogram attaches a caller-owned histogram under name, so
+// components that pre-create histograms (one per engine shard) can expose
+// them without routing construction through the registry. Panics if name is
+// already registered.
+func (r *Registry) RegisterHistogram(name string, h *Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.m[name]; ok {
+		panic(fmt.Sprintf("metrics: %q already registered", name))
+	}
+	r.m[name] = h
+}
+
 // Func registers a read-only snapshot adapter under name: fn is called at
 // every snapshot. Use it to export fields of pre-existing stats structs
 // (loaded atomically by the caller) without changing their type.

@@ -46,6 +46,44 @@ type Env interface {
 	ListenTCP(addr netip.AddrPort) (Listener, error)
 }
 
+// Queue is a bounded FIFO mailbox whose Get blocks the calling proc in an
+// env-appropriate way. Under the simulator, procs may only block through
+// vclock primitives — a Go channel receive inside a netsim proc deadlocks the
+// scheduler — so any component that needs an inter-proc queue (the engine's
+// per-shard ingress queues) must obtain one from the Env instead of using
+// channels directly.
+type Queue interface {
+	// Put appends v, waking one blocked Get. Reports false when the queue
+	// is full (tail drop / drop-newest) or closed.
+	Put(v any) bool
+	// PutEvict appends v; when full it evicts the oldest buffered item
+	// instead of dropping v (drop-oldest). Reports the evicted item.
+	PutEvict(v any) (evicted any, didEvict bool)
+	// Get removes the oldest item, blocking per netapi timeout rules
+	// (NoTimeout blocks; zero polls; ErrTimeout/ErrClosed on failure).
+	Get(timeout time.Duration) (any, error)
+	// Len reports the number of buffered items.
+	Len() int
+	Close()
+}
+
+// QueueEnv is an optional Env capability: construction of scheduler-aware
+// bounded queues. Both realnet and netsim implement it; code that requires it
+// type-asserts and may fall back to direct dispatch when absent.
+type QueueEnv interface {
+	NewQueue(capacity int) Queue
+}
+
+// UDPReuseEnv is an optional Env capability: bind n datagram endpoints to the
+// same address so one reader can run per engine shard. realnet implements it
+// with SO_REUSEPORT where available (fallback: one socket shared by n
+// handles — concurrent ReadFrom on a UDP socket is safe); netsim implements a
+// fan-out shim over the host's single receive queue. All returned conns
+// report the same LocalAddr; closing each handle once releases the binding.
+type UDPReuseEnv interface {
+	ListenUDPReuse(addr netip.AddrPort, n int) ([]UDPConn, error)
+}
+
 // UDPConn is a datagram endpoint.
 type UDPConn interface {
 	// ReadFrom blocks until a datagram arrives, the timeout elapses

@@ -185,10 +185,11 @@ func (n *Network) applyFaults(proto uint8, src, target *Host, payload any) (any,
 	return payload, extra, dupDelay, true
 }
 
-// corruptBytes flips 1–4 random bits in a copy of b.
+// corruptBytes flips 1–4 random bits in a copy of b; b itself is recycled
+// (the caller abandons it for the damaged copy).
 func (n *Network) corruptBytes(b []byte) []byte {
-	out := make([]byte, len(b))
-	copy(out, b)
+	out := cloneBytes(b)
+	recycleBytes(b)
 	flips := 1 + n.sched.Rand().Intn(4)
 	for i := 0; i < flips; i++ {
 		out[n.sched.Rand().Intn(len(out))] ^= byte(1) << n.sched.Rand().Intn(8)

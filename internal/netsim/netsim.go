@@ -13,6 +13,7 @@ package netsim
 import (
 	"fmt"
 	"net/netip"
+	"sync"
 	"time"
 
 	"dnsguard/internal/metrics"
@@ -74,20 +75,7 @@ type NetStats struct {
 // simulator is cooperatively scheduled (one real goroutine at a time), so
 // plain reads are safe; snapshot between vclock runs, not during one.
 func (n *Network) MetricsInto(r *metrics.Registry) {
-	for name, f := range map[string]*uint64{
-		"netsim_sent":            &n.Stats.Sent,
-		"netsim_delivered":       &n.Stats.Delivered,
-		"netsim_lost":            &n.Stats.Lost,
-		"netsim_no_route":        &n.Stats.NoRoute,
-		"netsim_no_socket":       &n.Stats.NoSocket,
-		"netsim_duplicated":      &n.Stats.Duplicated,
-		"netsim_reordered":       &n.Stats.Reordered,
-		"netsim_corrupted":       &n.Stats.Corrupted,
-		"netsim_partition_drops": &n.Stats.PartitionDrops,
-	} {
-		f := f
-		r.FuncUint(name, func() uint64 { return *f })
-	}
+	metrics.RegisterUint64Fields(r, "netsim_", &n.Stats)
 }
 
 // LinkMetricsInto registers the a→b direction's LinkStats under prefix
@@ -95,18 +83,7 @@ func (n *Network) MetricsInto(r *metrics.Registry) {
 // <prefix>duplicated, <prefix>reordered, <prefix>corrupted,
 // <prefix>partition_drops.
 func (n *Network) LinkMetricsInto(r *metrics.Registry, a, b *Host, prefix string) {
-	ls := n.linkStatsFor(a, b)
-	for name, f := range map[string]*uint64{
-		prefix + "sent":            &ls.Sent,
-		prefix + "lost":            &ls.Lost,
-		prefix + "duplicated":      &ls.Duplicated,
-		prefix + "reordered":       &ls.Reordered,
-		prefix + "corrupted":       &ls.Corrupted,
-		prefix + "partition_drops": &ls.PartitionDrops,
-	} {
-		f := f
-		r.FuncUint(name, func() uint64 { return *f })
-	}
+	metrics.RegisterUint64Fields(r, prefix, n.linkStatsFor(a, b))
 }
 
 // New creates an empty network on sched with a default one-way link latency.
@@ -230,6 +207,7 @@ func (n *Network) send(proto uint8, srcHost *Host, src, dst netip.AddrPort, payl
 	}
 	payload, extra, dupDelay, deliver := n.applyFaults(proto, srcHost, target, payload)
 	if !deliver {
+		recyclePayload(payload)
 		return nil // silently lost, like the real network
 	}
 	lat := n.latencyBetween(srcHost, target)
@@ -440,6 +418,7 @@ func (h *Host) deliver(proto uint8, src, dst netip.AddrPort, payload any) {
 		h.net.Stats.Delivered++
 		if !c.q.Put(pkt) {
 			h.Stats.RecvDropped++
+			recycleBytes(b)
 		}
 		return
 	}
@@ -447,11 +426,13 @@ func (h *Host) deliver(proto uint8, src, dst netip.AddrPort, payload any) {
 		h.net.Stats.Delivered++
 		if !h.tap.q.Put(pkt) {
 			h.Stats.RecvDropped++
+			recycleBytes(b)
 		}
 		return
 	}
 	h.Stats.NoSocket++
 	h.net.Stats.NoSocket++
+	recycleBytes(b)
 }
 
 // UDPConn is a simulated datagram socket.
@@ -566,11 +547,43 @@ func mapQueueErr(err error) error {
 	}
 }
 
+// payloadPool recycles in-flight datagram buffers. Delivered payloads are
+// caller-owned (netapi.UDPConn.ReadFrom contract) and never return here; only
+// payloads the network itself drops — queue overflow, loss, partitions, no
+// socket — are recycled. Under the spoofed floods the guard is built for,
+// drops are the common case, so this removes the per-drop allocation.
+var payloadPool sync.Pool
+
+const payloadPoolCap = 2048 // covers DNS-over-UDP; larger payloads bypass
+
 func cloneBytes(b []byte) []byte {
 	if b == nil {
 		return nil
 	}
-	out := make([]byte, len(b))
+	var out []byte
+	if v := payloadPool.Get(); v != nil {
+		if buf := v.([]byte); cap(buf) >= len(b) {
+			out = buf[:len(b)]
+		}
+	}
+	if out == nil {
+		out = make([]byte, len(b), max(len(b), payloadPoolCap))
+	}
 	copy(out, b)
 	return out
+}
+
+// recycleBytes returns a dropped payload's buffer to the pool. Callers must
+// hold the only reference (true for every clone the network made itself).
+func recycleBytes(b []byte) {
+	if cap(b) >= payloadPoolCap {
+		payloadPool.Put(b[:0])
+	}
+}
+
+// recyclePayload is recycleBytes for the transport-agnostic payload slot.
+func recyclePayload(payload any) {
+	if b, ok := payload.([]byte); ok {
+		recycleBytes(b)
+	}
 }

@@ -150,6 +150,11 @@ func (l *Limiter1) Stats() (allowed, denied uint64) {
 	return atomic.LoadUint64(&l.allowed), atomic.LoadUint64(&l.denied)
 }
 
+// TopKEvictions reports the top-k sketch's eviction count; callers that
+// aggregate several limiters (one per dataplane shard) sum these under a
+// single series.
+func (l *Limiter1) TopKEvictions() uint64 { return l.top.Evictions() }
+
 // MetricsInto registers the limiter's counters under prefix (e.g.
 // "guard_rl1_"): <prefix>allowed, <prefix>denied, <prefix>topk_evictions.
 func (l *Limiter1) MetricsInto(r *metrics.Registry, prefix string) {

@@ -15,6 +15,7 @@ import (
 	"net"
 	"net/netip"
 	"os"
+	"sync"
 	"time"
 
 	"dnsguard/internal/netapi"
@@ -79,6 +80,17 @@ type udpConn struct {
 
 var _ netapi.UDPConn = (*udpConn)(nil)
 
+// readBufPool recycles the max-datagram scratch buffers ReadFrom reads into.
+// The caller-owned return slice is still an exact-size copy (the netapi
+// contract), but the 64 KiB scratch — previously a fresh allocation per
+// datagram — is reused across reads and across sockets.
+var readBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 65536)
+		return &b
+	},
+}
+
 func (c *udpConn) ReadFrom(timeout time.Duration) ([]byte, netip.AddrPort, error) {
 	if timeout >= 0 {
 		if err := c.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
@@ -87,13 +99,15 @@ func (c *udpConn) ReadFrom(timeout time.Duration) ([]byte, netip.AddrPort, error
 	} else if err := c.conn.SetReadDeadline(time.Time{}); err != nil {
 		return nil, netip.AddrPort{}, mapErr(err)
 	}
-	buf := make([]byte, 65536)
-	n, src, err := c.conn.ReadFromUDPAddrPort(buf)
+	bufp := readBufPool.Get().(*[]byte)
+	n, src, err := c.conn.ReadFromUDPAddrPort(*bufp)
 	if err != nil {
+		readBufPool.Put(bufp)
 		return nil, netip.AddrPort{}, mapErr(err)
 	}
 	out := make([]byte, n)
-	copy(out, buf[:n])
+	copy(out, (*bufp)[:n])
+	readBufPool.Put(bufp)
 	return out, unmap(src), nil
 }
 

@@ -1,0 +1,16 @@
+//go:build !linux || mips || mipsle || mips64 || mips64le
+
+package realnet
+
+import (
+	"fmt"
+	"net/netip"
+
+	"dnsguard/internal/netapi"
+)
+
+// listenReusePort is unavailable without SO_REUSEPORT; ListenUDPReuse falls
+// back to one socket shared by n handles.
+func listenReusePort(addr netip.AddrPort, n int) ([]netapi.UDPConn, error) {
+	return nil, fmt.Errorf("realnet: SO_REUSEPORT unsupported on this platform: %w", netapi.ErrAddrInUse)
+}
