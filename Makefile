@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test check vet race fuzz-smoke metrics-smoke bench-smoke testdata
+.PHONY: all build test check vet race fuzz-smoke metrics-smoke bench-smoke crash-restart-smoke testdata
 
 all: build
 
@@ -59,7 +59,39 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench='^BenchmarkEngineThroughput$$/shards=1/spoof=0$$' -benchtime=1x -short .
 	$(GO) test -run='^$$' -bench='^BenchmarkTableIII_NSName$$' -benchtime=1x .
 
-check: vet race fuzz-smoke metrics-smoke bench-smoke
+# Crash-restart smoke: boot a guarded ANS with a persisted keyring, obtain a
+# cookie, SIGKILL the guard, restart it on the same -state-file, and prove
+# the pre-crash cookie still verifies (guard_remote_cookie_valid = 1 on the
+# restarted process). The end-to-end check behind DESIGN.md Â§11.
+crash-restart-smoke:
+	@set -e; \
+	rm -f /tmp/dnsguard-smoke-keyring /tmp/dnsguard-smoke-cookie; \
+	$(GO) build -o /tmp/dnsguard-smoke-ansd ./cmd/ansd; \
+	$(GO) build -o /tmp/dnsguard-smoke-guardd ./cmd/dnsguardd; \
+	$(GO) build -o /tmp/dnsguard-smoke-dnsq ./cmd/dnsq; \
+	/tmp/dnsguard-smoke-ansd -zone testdata/foo.com.zone -listen 127.0.0.1:16353 & ANS=$$!; \
+	trap 'kill $$ANS $$GUARD 2>/dev/null' EXIT; \
+	/tmp/dnsguard-smoke-guardd -listen 127.0.0.1:16355 -ans 127.0.0.1:16353 -zone foo.com \
+		-state-file /tmp/dnsguard-smoke-keyring -stats 0 & GUARD=$$!; \
+	ok=; for i in $$(seq 1 50); do \
+		/tmp/dnsguard-smoke-dnsq -server 127.0.0.1:16355 -timeout 200ms \
+			-cookie-file /tmp/dnsguard-smoke-cookie www.foo.com A >/dev/null 2>&1 \
+			&& { ok=1; break; }; sleep 0.1; \
+	done; test -n "$$ok" || { echo "pre-crash query never succeeded"; exit 1; }; \
+	test -s /tmp/dnsguard-smoke-cookie || { echo "no cookie cached"; exit 1; }; \
+	kill -9 $$GUARD; wait $$GUARD 2>/dev/null || true; \
+	/tmp/dnsguard-smoke-guardd -listen 127.0.0.1:16355 -ans 127.0.0.1:16353 -zone foo.com \
+		-state-file /tmp/dnsguard-smoke-keyring -metrics-addr 127.0.0.1:19091 -stats 0 & GUARD=$$!; \
+	ok=; for i in $$(seq 1 50); do \
+		/tmp/dnsguard-smoke-dnsq -server 127.0.0.1:16355 -timeout 200ms \
+			-cookie-file /tmp/dnsguard-smoke-cookie www.foo.com A >/dev/null 2>&1 \
+			&& { ok=1; break; }; sleep 0.1; \
+	done; test -n "$$ok" || { echo "post-restart query never succeeded"; exit 1; }; \
+	curl -sf http://127.0.0.1:19091/metrics | grep -q "^guard_remote_cookie_valid [1-9]" \
+		|| { echo "pre-crash cookie did not verify after restart"; exit 1; }; \
+	echo "crash-restart-smoke: ok"
+
+check: vet race fuzz-smoke metrics-smoke bench-smoke crash-restart-smoke
 
 # Regenerate the wire-capture fuzz seeds under internal/dnswire/testdata/.
 testdata:

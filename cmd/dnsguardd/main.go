@@ -12,6 +12,13 @@
 //	dnsguardd -listen 127.0.0.1:5355 -ans 127.0.0.1:5353 -zone foo.com \
 //	          -scheme dns -threshold 0
 //
+// Survivability flags: -state-file persists the epoch'd cookie keyring so a
+// restarted guard keeps honoring pre-restart cookies; -key-rotate sets the
+// rotation period (persisted rotations keep the previous epoch valid);
+// -ans-fallback lists secondary ANS addresses for breaker-driven failover;
+// -overload-policy picks fail-open or fail-closed when a shard trips or
+// every upstream is dark.
+//
 // With -shards N > 1 the guard runs N dataplane workers, each fed by its own
 // SO_REUSEPORT socket on the public address (kernel-hashed per flow; falls
 // back to a shared socket where SO_REUSEPORT is unavailable).
@@ -23,6 +30,7 @@ import (
 	"net/netip"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -50,6 +58,10 @@ func run() error {
 	shards := flag.Int("shards", 1, "dataplane worker shards (each with its own SO_REUSEPORT socket)")
 	queueDepth := flag.Int("queue-depth", 0, "per-shard ingress queue depth (0 = default)")
 	fastPathTTL := flag.Duration("fastpath-ttl", 0, "verified-source fast-path cache TTL (0 = default, negative = off)")
+	stateFile := flag.String("state-file", "", "persist the cookie keyring here; a restart with the same file keeps pre-restart cookies valid")
+	keyRotate := flag.Duration("key-rotate", 0, "cookie key rotation period (0 = never); rotations are persisted to -state-file")
+	ansFallback := flag.String("ans-fallback", "", "comma-separated secondary ANS addresses, tried in order when the primary's breaker opens")
+	overload := flag.String("overload-policy", "drop", "when a shard trips or every upstream is down: drop (fail-closed) or pass (fail-open)")
 	flag.Parse()
 
 	if *zoneName == "" {
@@ -80,6 +92,24 @@ func run() error {
 	if *shards < 1 {
 		return fmt.Errorf("-shards must be >= 1, got %d", *shards)
 	}
+	var failOpen bool
+	switch *overload {
+	case "drop":
+	case "pass":
+		failOpen = true
+	default:
+		return fmt.Errorf("unknown -overload-policy %q (want drop or pass)", *overload)
+	}
+	var fallbacks []netip.AddrPort
+	if *ansFallback != "" {
+		for _, s := range strings.Split(*ansFallback, ",") {
+			ap, err := netip.ParseAddrPort(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("parsing -ans-fallback %q: %w", s, err)
+			}
+			fallbacks = append(fallbacks, ap)
+		}
+	}
 	env := dnsguard.NewEnv()
 	conns, err := env.(netapi.UDPReuseEnv).ListenUDPReuse(pub, *shards)
 	if err != nil {
@@ -89,9 +119,22 @@ func run() error {
 	for i, c := range conns {
 		ios[i] = guard.SocketIO{Conn: c}
 	}
-	auth, err := dnsguard.NewAuthenticator()
-	if err != nil {
-		return err
+	var auth *dnsguard.Authenticator
+	if *stateFile != "" {
+		auth, err = dnsguard.OpenKeyring(*stateFile)
+		if err != nil {
+			return fmt.Errorf("opening -state-file: %w", err)
+		}
+		fmt.Printf("dnsguardd: keyring %s (epoch %d)\n", *stateFile, auth.Epoch())
+	} else {
+		auth, err = dnsguard.NewAuthenticator()
+		if err != nil {
+			return err
+		}
+	}
+	trip := dnsguard.TripDrop
+	if failOpen {
+		trip = dnsguard.TripPass
 	}
 	g, err := dnsguard.NewRemoteGuard(dnsguard.RemoteGuardConfig{
 		Env:                 env,
@@ -101,9 +144,13 @@ func run() error {
 		FastPathTTL:         *fastPathTTL,
 		PublicAddr:          conns[0].LocalAddr(),
 		ANSAddr:             ans,
+		ANSFallbacks:        fallbacks,
+		Health:              dnsguard.GuardHealthConfig{FailOpen: failOpen},
+		Supervision:         dnsguard.SupervisorConfig{Enabled: true, Trip: trip},
 		Zone:                apex,
 		Fallback:            scheme,
 		Auth:                auth,
+		KeyRotation:         *keyRotate,
 		ActivationThreshold: *threshold,
 	})
 	if err != nil {
@@ -172,7 +219,9 @@ func run() error {
 		proxy.Close()
 	}
 	s := g.Stats.Load()
-	fmt.Printf("dnsguardd: final stats: recv=%d valid=%d invalid=%d dropped(rl1=%d rl2=%d) spoofed=%d\n",
-		s.Received, s.CookieValid, s.CookieInvalid, s.RL1Dropped, s.RL2Dropped, s.UpstreamSpoofed)
+	sup := g.Engine().Supervision()
+	fmt.Printf("dnsguardd: final stats: recv=%d valid=%d invalid=%d dropped(rl1=%d rl2=%d) spoofed=%d restarts=%d breaker(open=%d close=%d)\n",
+		s.Received, s.CookieValid, s.CookieInvalid, s.RL1Dropped, s.RL2Dropped, s.UpstreamSpoofed,
+		sup.ShardRestarts, s.BreakerOpens, s.BreakerCloses)
 	return nil
 }

@@ -6,9 +6,15 @@
 //
 //	dnsq -server 127.0.0.1:5353 www.foo.com A
 //	dnsq -server 127.0.0.1:5355 -cookie www.foo.com A
+//	dnsq -server 127.0.0.1:5355 -cookie-file /tmp/ck www.foo.com A
+//
+// -cookie-file caches the obtained cookie across invocations (obtaining one
+// on first use), which is how the crash-restart smoke test proves a cookie
+// minted before a guard restart still verifies after it.
 package main
 
 import (
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -34,6 +40,7 @@ func main() {
 func run() error {
 	server := flag.String("server", "127.0.0.1:53", "DNS server address")
 	useCookie := flag.Bool("cookie", false, "perform the modified-DNS cookie exchange first")
+	cookieFile := flag.String("cookie-file", "", "present the cookie cached in this file, refreshing it after each exchange (implies -cookie when the file is absent)")
 	timeout := flag.Duration("timeout", 3*time.Second, "response timeout")
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -63,7 +70,17 @@ func run() error {
 	defer conn.Close()
 
 	var ck cookie.Cookie
-	if *useCookie {
+	if *cookieFile != "" {
+		if cached, err := loadCookie(*cookieFile); err == nil {
+			ck = cached
+			fmt.Printf(";; presenting cached cookie %x… from %s\n", ck[:4], *cookieFile)
+		} else if !os.IsNotExist(err) {
+			return fmt.Errorf("reading -cookie-file: %w", err)
+		} else {
+			*useCookie = true
+		}
+	}
+	if *useCookie && ck.IsZero() {
 		req := dnswire.NewQuery(uint16(rand.Int()), qname, qtype)
 		guard.AttachCookie(req, cookie.Cookie{}, 0)
 		resp, err := exchange(env, conn, target, req, *timeout)
@@ -95,6 +112,18 @@ func run() error {
 		resp, err = exchangeTCP(env, target, q, *timeout)
 		if err != nil {
 			return fmt.Errorf("TCP retry: %w", err)
+		}
+	}
+	if *cookieFile != "" {
+		// The server may have rotated keys and re-stamped the response;
+		// cache whichever cookie is freshest for the next invocation.
+		if got, _, _, ok := guard.FindCookie(resp); ok {
+			ck = got
+		}
+		if !ck.IsZero() {
+			if err := saveCookie(*cookieFile, ck); err != nil {
+				return fmt.Errorf("writing -cookie-file: %w", err)
+			}
 		}
 	}
 	fmt.Printf(";; ->>HEADER<<- rcode: %v, aa: %v, ra: %v, time: %v\n",
@@ -164,6 +193,30 @@ func exchangeTCP(env dnsguard.Env, to netip.AddrPort, q *dnswire.Message, timeou
 			return dnswire.Unpack(msg)
 		}
 	}
+}
+
+// loadCookie reads a hex-encoded cookie cached by a previous -cookie-file
+// run. The file is the client half of the guard's restart story: the cookie
+// stays valid for its full TTL even across guard restarts when the guard
+// persists its keyring (-state-file on dnsguardd).
+func loadCookie(path string) (cookie.Cookie, error) {
+	var ck cookie.Cookie
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return ck, err
+	}
+	n, err := hex.Decode(ck[:], []byte(strings.TrimSpace(string(b))))
+	if err != nil {
+		return ck, fmt.Errorf("%s: %w", path, err)
+	}
+	if n != len(ck) {
+		return ck, fmt.Errorf("%s: cookie is %d bytes, want %d", path, n, len(ck))
+	}
+	return ck, nil
+}
+
+func saveCookie(path string, ck cookie.Cookie) error {
+	return os.WriteFile(path, []byte(hex.EncodeToString(ck[:])+"\n"), 0o600)
 }
 
 func printSection(title string, rrs []dnswire.RR) {

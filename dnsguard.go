@@ -39,6 +39,7 @@ import (
 	"dnsguard/internal/cookie"
 	"dnsguard/internal/cpumodel"
 	"dnsguard/internal/dnswire"
+	"dnsguard/internal/engine"
 	"dnsguard/internal/guard"
 	"dnsguard/internal/metrics"
 	"dnsguard/internal/netapi"
@@ -186,6 +187,13 @@ type Authenticator = cookie.Authenticator
 // NewAuthenticator creates an authenticator with a fresh random key.
 func NewAuthenticator() (*Authenticator, error) { return cookie.NewAuthenticator() }
 
+// OpenKeyring loads the epoch'd cookie keyring persisted at path, or creates
+// a fresh one there if the file does not exist, and binds the authenticator
+// so every later Rotate is persisted atomically. A guard restarted with the
+// same state file keeps verifying every cookie the LRS population cached
+// before the restart (DESIGN.md §11).
+func OpenKeyring(path string) (*Authenticator, error) { return cookie.OpenKeyring(path) }
+
 // Scheme selects how the guard bootstraps cookie-less requesters.
 type Scheme = guard.Scheme
 
@@ -199,6 +207,23 @@ const (
 
 // RemoteGuardConfig configures the ANS-side guard.
 type RemoteGuardConfig = guard.RemoteConfig
+
+// GuardHealthConfig configures upstream ANS health tracking and failover
+// (per-shard circuit breakers over the ordered upstream list).
+type GuardHealthConfig = guard.HealthConfig
+
+// SupervisorConfig configures dataplane shard supervision: panic quarantine,
+// per-shard restart, and the trip policy when a shard exhausts its restart
+// budget.
+type SupervisorConfig = engine.SupervisorConfig
+
+// Trip policies for a shard that exhausts its restart budget.
+const (
+	// TripDrop sheds the tripped shard's traffic (fail-closed).
+	TripDrop = engine.TripDrop
+	// TripPass relays the tripped shard's traffic unfiltered (fail-open).
+	TripPass = engine.TripPass
+)
 
 // RemoteGuard is the ANS-side DNS guard: the cookie checker, both rate
 // limiters, and all three spoof-detection schemes (Figure 4).

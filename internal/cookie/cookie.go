@@ -17,16 +17,26 @@
 // guard overwrites bit 0 with its current generation parity and accepts
 // cookies from the current and previous generation, so each verification
 // still costs exactly one MD5 (§III-E).
+//
+// Keys live in an epoch'd keyring (current + previous epoch). Verification
+// tries the current epoch and then the previous one — the parity bit proves
+// at most one of the two can match, so the cost stays one MD5 — and every
+// cookie comparison is constant-time (crypto/subtle), closing the byte-wise
+// early-exit timing side channel. The keyring can be persisted to a state
+// file (see keystate.go) so a guard restart does not silently invalidate
+// every cookie the LRS population has cached.
 package cookie
 
 import (
 	"crypto/md5"
 	"crypto/rand"
+	"crypto/subtle"
 	"encoding/hex"
 	"errors"
 	"fmt"
 	"net/netip"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -46,12 +56,16 @@ const nsHexLen = 8
 // Cookie is the 16-byte spoof-detection credential.
 type Cookie [Size]byte
 
-// Authenticator computes and verifies cookies for one guard. It holds the
-// current and previous keys so rotation never invalidates live cookies
-// within one TTL window.
+// Authenticator computes and verifies cookies for one guard. It holds an
+// epoch'd keyring — the current and previous epoch's keys — so rotation (or
+// a restart that restores the ring from a state file) never invalidates live
+// cookies within one TTL window. All methods are safe for concurrent use by
+// the guard's shard workers and the rotation proc.
 type Authenticator struct {
-	keys [2][KeySize]byte // keys[gen&1] is the key for that generation parity
-	gen  uint8            // current generation
+	mu    sync.RWMutex
+	keys  [2][KeySize]byte // keys[epoch&1] is the key for that epoch parity
+	epoch uint64           // current key epoch; epoch-1 is still accepted
+	bound string           // state file auto-written on Rotate ("" = none)
 }
 
 // NewAuthenticator creates an authenticator with a fresh random key.
@@ -60,7 +74,7 @@ func NewAuthenticator() (*Authenticator, error) {
 	if _, err := rand.Read(a.keys[0][:]); err != nil {
 		return nil, fmt.Errorf("cookie: generating key: %w", err)
 	}
-	// Until the first rotation both slots hold the same key so generation
+	// Until the first rotation both slots hold the same key so epoch
 	// parity never rejects a fresh cookie.
 	a.keys[1] = a.keys[0]
 	return a, nil
@@ -75,32 +89,62 @@ func NewAuthenticatorWithKey(key [KeySize]byte) *Authenticator {
 	return a
 }
 
-// Generation returns the current key generation.
-func (a *Authenticator) Generation() uint8 { return a.gen }
+// Generation returns the current key epoch truncated to its historical
+// uint8 form (the parity bit is what the wire format carries).
+func (a *Authenticator) Generation() uint8 { return uint8(a.Epoch()) }
 
-// Rotate installs a new random key as the next generation. Cookies minted by
-// the previous generation remain verifiable until the following rotation,
-// implementing the paper's week-over-week schedule.
+// Epoch returns the current key epoch. Epochs only grow — across rotations
+// and, when the keyring is persisted, across restarts.
+func (a *Authenticator) Epoch() uint64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.epoch
+}
+
+// Rotate installs a new random key as the next epoch. Cookies minted by the
+// previous epoch remain verifiable until the following rotation,
+// implementing the paper's week-over-week schedule. When the authenticator
+// is bound to a state file (BindStateFile) the new ring is persisted before
+// Rotate returns; a persistence failure rolls the rotation back so the disk
+// ring never lags the live one.
 func (a *Authenticator) Rotate() error {
 	var key [KeySize]byte
 	if _, err := rand.Read(key[:]); err != nil {
 		return fmt.Errorf("cookie: rotating key: %w", err)
 	}
-	a.gen++
-	a.keys[a.gen&1] = key
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	prev := a.keys[(a.epoch+1)&1]
+	a.epoch++
+	a.keys[a.epoch&1] = key
+	if a.bound != "" {
+		if err := writeKeyState(a.bound, a.stateLocked()); err != nil {
+			a.epoch--
+			a.keys[(a.epoch+1)&1] = prev
+			return fmt.Errorf("cookie: persisting rotation: %w", err)
+		}
+	}
 	return nil
 }
 
 // RotateWithKey is Rotate with a caller-supplied key, for deterministic
 // tests.
 func (a *Authenticator) RotateWithKey(key [KeySize]byte) {
-	a.gen++
-	a.keys[a.gen&1] = key
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.epoch++
+	a.keys[a.epoch&1] = key
 }
 
-func (a *Authenticator) compute(gen uint8, src netip.Addr) Cookie {
+// snapshot returns the current epoch and both keys under one read lock.
+func (a *Authenticator) snapshot() (epoch uint64, keys [2][KeySize]byte) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.epoch, a.keys
+}
+
+func computeWith(key [KeySize]byte, epoch uint64, src netip.Addr) Cookie {
 	h := md5.New()
-	key := a.keys[gen&1]
 	h.Write(key[:])
 	if src.Is4() || src.Is4In6() {
 		b := src.As4()
@@ -111,25 +155,32 @@ func (a *Authenticator) compute(gen uint8, src netip.Addr) Cookie {
 	}
 	var c Cookie
 	copy(c[:], h.Sum(nil))
-	// Overwrite the first bit with the generation parity (§III-E).
-	c[0] = c[0]&0x7F | gen&1<<7
+	// Overwrite the first bit with the epoch parity (§III-E).
+	c[0] = c[0]&0x7F | uint8(epoch&1)<<7
 	return c
 }
 
-// Mint returns the cookie for src under the current generation.
+// Mint returns the cookie for src under the current epoch.
 func (a *Authenticator) Mint(src netip.Addr) Cookie {
-	return a.compute(a.gen, src)
+	epoch, keys := a.snapshot()
+	return computeWith(keys[epoch&1], epoch, src)
 }
 
 // Verify reports whether c is a valid cookie for src under the current or
-// previous key generation. Exactly one MD5 is computed: the cookie's
-// generation bit selects the key.
+// previous key epoch. Verification tries the current epoch first, then the
+// previous; the parity bit carried in the cookie means at most one of the
+// two can match, so exactly one MD5 is computed. The comparison is
+// constant-time.
 func (a *Authenticator) Verify(src netip.Addr, c Cookie) bool {
-	gen := a.gen
-	if c[0]>>7 != gen&1 {
-		gen-- // previous generation
+	epoch, keys := a.snapshot()
+	for _, e := range [2]uint64{epoch, epoch - 1} {
+		if c[0]>>7 != uint8(e&1) {
+			continue // parity proves this epoch cannot have minted c
+		}
+		want := computeWith(keys[e&1], e, src)
+		return subtle.ConstantTimeCompare(want[:], c[:]) == 1
 	}
-	return a.compute(gen, src) == c
+	return false
 }
 
 // IsZero reports whether c is the all-zero cookie, which the modified-DNS
@@ -188,18 +239,22 @@ func (nc NSCodec) IsCookieLabel(label string) bool {
 }
 
 // VerifyLabel checks that label carries the first 4 bytes of the cookie the
-// authenticator would mint for src, under current or previous generation.
+// authenticator would mint for src, under the current or previous epoch.
+// The prefix comparison is constant-time.
 func (nc NSCodec) VerifyLabel(a *Authenticator, src netip.Addr, label string) bool {
 	got, err := nc.DecodeLabel(label)
 	if err != nil {
 		return false
 	}
-	gen := a.gen
-	if got[0]>>7 != gen&1 {
-		gen--
+	epoch, keys := a.snapshot()
+	for _, e := range [2]uint64{epoch, epoch - 1} {
+		if got[0]>>7 != uint8(e&1) {
+			continue // parity proves this epoch cannot have minted the label
+		}
+		want := computeWith(keys[e&1], e, src)
+		return subtle.ConstantTimeCompare(want[:4], got[:4]) == 1
 	}
-	want := a.compute(gen, src)
-	return [4]byte(got[:4]) == [4]byte(want[:4])
+	return false
 }
 
 // IP encoding ----------------------------------------------------------------
@@ -238,15 +293,22 @@ func (ic IPCodec) Encode(c Cookie) (netip.Addr, error) {
 	return netip.AddrFrom4([4]byte{byte(host >> 24), byte(host >> 16), byte(host >> 8), byte(host)}), nil
 }
 
-// Verify reports whether addr is the cookie address for src.
+// Verify reports whether addr is the cookie address for src. Address
+// comparisons are constant-time.
 func (ic IPCodec) Verify(a *Authenticator, src netip.Addr, addr netip.Addr) bool {
 	if !ic.Subnet.Contains(addr) {
 		return false
 	}
-	// Try both generations: the address carries no generation bit.
-	for _, gen := range []uint8{a.gen, a.gen - 1} {
-		want, err := ic.Encode(a.compute(gen, src))
-		if err == nil && want == addr {
+	got := addr.As16()
+	epoch, keys := a.snapshot()
+	// Try both epochs: the address carries no epoch parity bit.
+	for _, e := range [2]uint64{epoch, epoch - 1} {
+		want, err := ic.Encode(computeWith(keys[e&1], e, src))
+		if err != nil {
+			continue
+		}
+		w := want.As16()
+		if subtle.ConstantTimeCompare(w[:], got[:]) == 1 {
 			return true
 		}
 	}

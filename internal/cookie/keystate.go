@@ -1,0 +1,182 @@
+package cookie
+
+// Keyring persistence. A guard restart that loses key76 silently invalidates
+// every cookie the LRS population has cached — and those cached credentials
+// live for up to a week (DefaultTTL), so the paper's "almost always a cache
+// hit" property turns into a thundering herd of re-bootstraps the moment the
+// guard comes back. Persisting the epoch'd keyring lets a restarted guard
+// keep verifying cookies minted before the crash.
+//
+// The state file is a small versioned text format:
+//
+//	dnsguard-keyring v1
+//	epoch <decimal>
+//	key-even <152 hex chars>
+//	key-odd  <152 hex chars>
+//
+// key-even/key-odd are the epoch-parity key slots (keys[epoch&1] is
+// current). The file is written atomically (tmp + rename) with 0600
+// permissions; it holds the guard's only secret.
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// keyStateMagic is the state file's first line.
+const keyStateMagic = "dnsguard-keyring v1"
+
+// KeyState is the serializable form of an Authenticator's keyring.
+type KeyState struct {
+	Epoch uint64
+	Keys  [2][KeySize]byte // indexed by epoch parity
+}
+
+// State returns a copy of the authenticator's current keyring.
+func (a *Authenticator) State() KeyState {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.stateLocked()
+}
+
+// stateLocked is State with a.mu already held.
+func (a *Authenticator) stateLocked() KeyState {
+	return KeyState{Epoch: a.epoch, Keys: a.keys}
+}
+
+// RestoreAuthenticator builds an authenticator from a previously captured
+// keyring state: cookies minted under st.Epoch and st.Epoch-1 verify.
+func RestoreAuthenticator(st KeyState) *Authenticator {
+	return &Authenticator{keys: st.Keys, epoch: st.Epoch}
+}
+
+// BindStateFile makes path the authenticator's persistent home: the current
+// ring is written immediately and every subsequent Rotate rewrites it before
+// returning. Binding an empty path detaches.
+func (a *Authenticator) BindStateFile(path string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.bound = path
+	if path == "" {
+		return nil
+	}
+	return writeKeyState(path, a.stateLocked())
+}
+
+// SaveStateFile writes the current keyring to path (atomic tmp + rename,
+// mode 0600) without binding.
+func (a *Authenticator) SaveStateFile(path string) error {
+	return writeKeyState(path, a.State())
+}
+
+// LoadAuthenticator reads a keyring state file written by SaveStateFile or
+// BindStateFile and restores the authenticator it describes.
+func LoadAuthenticator(path string) (*Authenticator, error) {
+	st, err := ReadKeyState(path)
+	if err != nil {
+		return nil, err
+	}
+	return RestoreAuthenticator(st), nil
+}
+
+// OpenKeyring is the load-or-create entry point daemons use: if path exists
+// its keyring is restored (cookies minted before the restart keep
+// verifying); otherwise a fresh authenticator is created and persisted.
+// Either way the authenticator is bound to path so rotations persist.
+func OpenKeyring(path string) (*Authenticator, error) {
+	if _, err := os.Stat(path); err == nil {
+		a, err := LoadAuthenticator(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := a.BindStateFile(path); err != nil {
+			return nil, err
+		}
+		return a, nil
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("cookie: keyring %s: %w", path, err)
+	}
+	a, err := NewAuthenticator()
+	if err != nil {
+		return nil, err
+	}
+	if err := a.BindStateFile(path); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// ReadKeyState parses a keyring state file.
+func ReadKeyState(path string) (KeyState, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return KeyState{}, fmt.Errorf("cookie: keyring %s: %w", path, err)
+	}
+	var st KeyState
+	lines := strings.Split(strings.TrimSpace(string(blob)), "\n")
+	if len(lines) != 4 || strings.TrimSpace(lines[0]) != keyStateMagic {
+		return KeyState{}, fmt.Errorf("cookie: keyring %s: not a %q file", path, keyStateMagic)
+	}
+	seen := map[string]bool{}
+	for _, line := range lines[1:] {
+		fields := strings.Fields(line)
+		if len(fields) != 2 || seen[fields[0]] {
+			return KeyState{}, fmt.Errorf("cookie: keyring %s: malformed line %q", path, line)
+		}
+		seen[fields[0]] = true
+		switch fields[0] {
+		case "epoch":
+			st.Epoch, err = strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				return KeyState{}, fmt.Errorf("cookie: keyring %s: epoch: %w", path, err)
+			}
+		case "key-even", "key-odd":
+			raw, err := hex.DecodeString(fields[1])
+			if err != nil || len(raw) != KeySize {
+				return KeyState{}, fmt.Errorf("cookie: keyring %s: %s is not %d hex bytes", path, fields[0], KeySize)
+			}
+			idx := 0
+			if fields[0] == "key-odd" {
+				idx = 1
+			}
+			copy(st.Keys[idx][:], raw)
+		default:
+			return KeyState{}, fmt.Errorf("cookie: keyring %s: unknown field %q", path, fields[0])
+		}
+	}
+	if !seen["epoch"] || !seen["key-even"] || !seen["key-odd"] {
+		return KeyState{}, fmt.Errorf("cookie: keyring %s: missing fields", path)
+	}
+	return st, nil
+}
+
+// writeKeyState atomically replaces path with st (tmp file + rename, 0600).
+func writeKeyState(path string, st KeyState) error {
+	var b strings.Builder
+	fmt.Fprintln(&b, keyStateMagic)
+	fmt.Fprintf(&b, "epoch %d\n", st.Epoch)
+	fmt.Fprintf(&b, "key-even %s\n", hex.EncodeToString(st.Keys[0][:]))
+	fmt.Fprintf(&b, "key-odd %s\n", hex.EncodeToString(st.Keys[1][:]))
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".keyring-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := tmp.Chmod(0o600); err != nil {
+		tmp.Close()
+		return err
+	}
+	if _, err := tmp.WriteString(b.String()); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

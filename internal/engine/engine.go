@@ -95,8 +95,14 @@ type Config struct {
 	Name string
 	// Observer, when non-nil, is called in worker context (inline: reader
 	// context) right before the handler sees each packet. Test hook for
-	// affinity assertions; keep it cheap.
+	// affinity assertions; keep it cheap. With supervision enabled it runs
+	// inside the shard's recover boundary, which makes it the
+	// panic-injection hook too.
 	Observer func(shard int, pkt Packet)
+	// Supervisor gates shard supervision (recover boundary, packet
+	// quarantine, restart budget, trip policy). The zero value disables it,
+	// preserving the historical dispatch path exactly.
+	Supervisor SupervisorConfig
 }
 
 func (c *Config) fillDefaults() error {
@@ -119,6 +125,9 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.Name == "" {
 		c.Name = "engine"
+	}
+	if c.Supervisor.Enabled {
+		c.Supervisor.fillDefaults()
 	}
 	return nil
 }
@@ -146,13 +155,17 @@ var qitemPool = sync.Pool{New: func() any { return new(qitem) }}
 type Engine struct {
 	cfg      Config
 	handlers []Handler
+	hmu      sync.RWMutex // guards handlers; written only by shard restarts
 	queues   []netapi.Queue
 	stats    []ShardStats
 	waits    []*metrics.Histogram
 	verified []verifiedShard
+	sup      supervisor
 	seed     maphash.Seed
 	inline   bool
+	coop     bool // Env schedules cooperatively: Close must not OS-join procs
 	closed   atomic.Bool
+	wg       sync.WaitGroup // tracks reader and worker procs for Close
 
 	// FastPath counts verified-source cache activity (engine-wide, atomic).
 	FastPath FastPathStats
@@ -182,6 +195,10 @@ func New(cfg Config) (*Engine, error) {
 		seed:     maphash.MakeSeed(),
 		inline:   cfg.Shards == 1 && len(cfg.IOs) == 1,
 	}
+	if ce, ok := cfg.Env.(netapi.CooperativeEnv); ok {
+		e.coop = ce.CooperativeScheduling()
+	}
+	e.sup.shards = make([]supShard, cfg.Shards)
 	for i := range e.handlers {
 		e.handlers[i] = cfg.NewHandler(i)
 		e.waits[i] = metrics.NewHistogram()
@@ -203,8 +220,20 @@ func New(cfg Config) (*Engine, error) {
 // Shards reports the configured shard count.
 func (e *Engine) Shards() int { return e.cfg.Shards }
 
-// Handler returns shard i's handler (the value cfg.NewHandler returned).
-func (e *Engine) Handler(i int) Handler { return e.handlers[i] }
+// Handler returns shard i's current handler: the value cfg.NewHandler
+// returned, unless a supervised restart has since replaced it.
+func (e *Engine) Handler(i int) Handler {
+	e.hmu.RLock()
+	defer e.hmu.RUnlock()
+	return e.handlers[i]
+}
+
+// setHandler replaces shard i's handler during a supervised restart.
+func (e *Engine) setHandler(i int, h Handler) {
+	e.hmu.Lock()
+	e.handlers[i] = h
+	e.hmu.Unlock()
+}
 
 // ShardOf maps a source address to its owning shard. Affinity is the
 // correctness contract: every packet from one source is handled by one
@@ -225,14 +254,14 @@ func (e *Engine) ShardOf(src netip.Addr) int {
 // proc and event ordering of a direct capture loop.
 func (e *Engine) Start() {
 	if e.inline {
-		e.cfg.Env.Go(e.cfg.Name+"-capture", func() { e.runInline() })
+		e.spawn(e.cfg.Name+"-capture", func() { e.runInline() })
 		return
 	}
 	// Workers first, then readers: under the simulator this spawn order is
 	// deterministic, and workers must exist before a reader can enqueue.
 	for i := range e.queues {
 		i := i
-		e.cfg.Env.Go(fmt.Sprintf("%s-worker-%d", e.cfg.Name, i), func() { e.runWorker(i) })
+		e.spawn(fmt.Sprintf("%s-worker-%d", e.cfg.Name, i), func() { e.runWorker(i) })
 	}
 	for i, io := range e.cfg.IOs {
 		io := io
@@ -240,8 +269,18 @@ func (e *Engine) Start() {
 		if len(e.cfg.IOs) == 1 {
 			name = e.cfg.Name + "-capture"
 		}
-		e.cfg.Env.Go(name, func() { e.runReader(io) })
+		e.spawn(name, func() { e.runReader(io) })
 	}
+}
+
+// spawn launches a tracked engine proc so Close can join it on preemptive
+// environments.
+func (e *Engine) spawn(name string, fn func()) {
+	e.wg.Add(1)
+	e.cfg.Env.Go(name, func() {
+		defer e.wg.Done()
+		fn()
+	})
 }
 
 // runInline is the Shards=1 fast path: the pre-engine capture loop.
@@ -249,12 +288,17 @@ func (e *Engine) runInline() {
 	io := e.cfg.IOs[0]
 	h := e.handlers[0]
 	st := &e.stats[0]
+	supervised := e.cfg.Supervisor.Enabled
 	for {
 		pkt, err := io.Read(netapi.NoTimeout)
 		if err != nil {
 			return
 		}
 		atomic.AddUint64(&st.Handled, 1)
+		if supervised {
+			e.dispatchSupervised(0, pkt)
+			continue
+		}
 		if e.cfg.Observer != nil {
 			e.cfg.Observer(0, pkt)
 		}
@@ -295,6 +339,7 @@ func (e *Engine) runWorker(i int) {
 	h := e.handlers[i]
 	st := &e.stats[i]
 	q := e.queues[i]
+	supervised := e.cfg.Supervisor.Enabled
 	for {
 		v, err := q.Get(netapi.NoTimeout)
 		if err != nil {
@@ -305,6 +350,10 @@ func (e *Engine) runWorker(i int) {
 		e.waits[i].Observe(e.cfg.Env.Now() - qi.enqueued)
 		qitemPool.Put(qi)
 		atomic.AddUint64(&st.Handled, 1)
+		if supervised {
+			e.dispatchSupervised(i, pkt)
+			continue
+		}
 		if e.cfg.Observer != nil {
 			e.cfg.Observer(i, pkt)
 		}
@@ -313,7 +362,13 @@ func (e *Engine) runWorker(i int) {
 }
 
 // Close stops the dataplane: capture interfaces close (readers exit) and
-// queues close (workers exit after draining).
+// queues close (workers exit after draining). On preemptive environments
+// Close then joins every engine proc, so a caller that closes the engine
+// holds no leaked goroutines still touching handlers or stats. Cooperative
+// environments (netsim) skip the join — their procs may only block through
+// vclock primitives, and an OS-level WaitGroup wait from inside a simulated
+// proc would wedge the scheduler; the simulator's own drain semantics retire
+// the procs instead.
 func (e *Engine) Close() {
 	if !e.closed.CompareAndSwap(false, true) {
 		return
@@ -323,6 +378,9 @@ func (e *Engine) Close() {
 	}
 	for _, q := range e.queues {
 		q.Close()
+	}
+	if !e.coop {
+		e.wg.Wait()
 	}
 }
 
@@ -370,6 +428,10 @@ func (e *Engine) MetricsInto(r *metrics.Registry, prefix string) {
 		return float64(t)
 	})
 	metrics.RegisterUint64Fields(r, prefix+"fast_path_", &e.FastPath)
+	// Supervision series (shard_restarts, panics_quarantined, …) are
+	// registered unconditionally: a flat zero from an unsupervised engine is
+	// more operable than a series that appears only after the first panic.
+	metrics.RegisterUint64Fields(r, prefix, &e.sup.stats)
 	for i := range e.stats {
 		i := i
 		p := fmt.Sprintf("%sshard%d_", prefix, i)

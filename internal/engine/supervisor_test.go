@@ -1,0 +1,293 @@
+package engine
+
+import (
+	"net/netip"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dnsguard/internal/realnet"
+)
+
+// poison marks a packet whose Observer injects a handler panic — the
+// supervision test hook the Observer contract documents.
+var poison = []byte{0xFF, 0xDE, 0xAD}
+
+func panicOnPoison(shard int, pkt Packet) {
+	if len(pkt.Payload) > 0 && pkt.Payload[0] == 0xFF {
+		panic("poison packet")
+	}
+}
+
+// waitSup polls the supervision counters until ok or a deadline.
+func waitSup(t *testing.T, e *Engine, ok func(SupervisionStats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !ok(e.Supervision()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("supervision stats = %+v", e.Supervision())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// A panic on one shard must restart only that shard: every other shard keeps
+// serving, the restart metric increments, and the offending packet lands in
+// the quarantine ring with its hex dump and panic value.
+func TestSupervisorPanicIsolatesShard(t *testing.T) {
+	rg := &rig{bySrc: make(map[netip.Addr][]int)}
+	var newCalls atomic.Uint64
+	ios := []PacketIO{newFakeIO(64), newFakeIO(64)}
+	e, err := New(Config{
+		Env:    realnet.New(),
+		IOs:    ios,
+		Shards: 4,
+		NewHandler: func(shard int) Handler {
+			newCalls.Add(1)
+			return rg.newHandler(shard)
+		},
+		Observer:   panicOnPoison,
+		Supervisor: SupervisorConfig{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	defer e.Close()
+
+	// Pick two sources on different shards.
+	victim := srcAP(1)
+	other := victim
+	for i := 2; e.ShardOf(other.Addr()) == e.ShardOf(victim.Addr()); i++ {
+		other = srcAP(i)
+	}
+
+	ios[0].(*fakeIO).ch <- Packet{Src: victim, Dst: srcAP(100), Payload: poison}
+	waitSup(t, e, func(s SupervisionStats) bool { return s.ShardRestarts == 1 })
+
+	// Both shards — including the restarted one — keep serving.
+	ios[0].(*fakeIO).ch <- Packet{Src: victim, Payload: []byte{1}}
+	ios[1].(*fakeIO).ch <- Packet{Src: other, Payload: []byte{2}}
+	waitCount(t, &rg.count, 2)
+
+	if e.ShardTripped(e.ShardOf(victim.Addr())) {
+		t.Fatal("one panic tripped the shard")
+	}
+	// Plain handlers don't implement Resetter, so the restart replaced the
+	// victim shard's handler: 4 initial constructions + 1 replacement.
+	if got := newCalls.Load(); got != 5 {
+		t.Fatalf("NewHandler called %d times, want 5", got)
+	}
+
+	q := e.Quarantined()
+	if len(q) != 1 {
+		t.Fatalf("quarantine holds %d packets, want 1", len(q))
+	}
+	qp := q[0]
+	if qp.Shard != e.ShardOf(victim.Addr()) || qp.Src != victim {
+		t.Fatalf("quarantined %+v, want shard %d src %v", qp, e.ShardOf(victim.Addr()), victim)
+	}
+	if !strings.Contains(qp.PanicValue, "poison") {
+		t.Fatalf("panic value %q missing cause", qp.PanicValue)
+	}
+	if !strings.Contains(qp.Dump, "ff de ad") {
+		t.Fatalf("hex dump %q missing payload bytes", qp.Dump)
+	}
+	st := e.Supervision()
+	if st.PanicsQuarantined != 1 || st.ShardsTripped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// resettableHandler implements Resetter: supervised restarts must call
+// ResetShard instead of constructing a replacement handler.
+type resettableHandler struct {
+	recHandler
+	resets *atomic.Uint64
+}
+
+func (h *resettableHandler) ResetShard() { h.resets.Add(1) }
+
+func TestSupervisorPrefersResetterOverReplacement(t *testing.T) {
+	rg := &rig{bySrc: make(map[netip.Addr][]int)}
+	var newCalls, resets atomic.Uint64
+	io := newFakeIO(16)
+	e, err := New(Config{
+		Env: realnet.New(),
+		IOs: []PacketIO{io},
+		NewHandler: func(shard int) Handler {
+			newCalls.Add(1)
+			h := rg.newHandler(shard).(*recHandler)
+			return &resettableHandler{recHandler: *h, resets: &resets}
+		},
+		Observer:   panicOnPoison,
+		Supervisor: SupervisorConfig{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := e.Handler(0)
+	e.Start()
+	defer e.Close()
+
+	e.MarkVerified(srcAP(1).Addr(), "warm") // flushed by the restart below
+	io.ch <- Packet{Src: srcAP(1), Payload: poison}
+	waitSup(t, e, func(s SupervisionStats) bool { return s.ShardRestarts == 1 })
+
+	if got := resets.Load(); got != 1 {
+		t.Fatalf("ResetShard called %d times, want 1", got)
+	}
+	if newCalls.Load() != 1 {
+		t.Fatal("restart replaced a Resetter handler")
+	}
+	if e.Handler(0) != orig {
+		t.Fatal("handler identity changed across a Resetter restart")
+	}
+	if e.verified[0].size() != 0 {
+		t.Fatal("restart did not flush the shard's verified-source cache")
+	}
+}
+
+// Exhausting the restart budget inside the window trips the shard into its
+// configured degraded mode: TripDrop blackholes, TripPass hands packets to
+// OnPass. Either way the shard stops crash-looping.
+func TestSupervisorTripPolicies(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		trip TripPolicy
+	}{
+		{"drop", TripDrop},
+		{"pass", TripPass},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rg := &rig{bySrc: make(map[netip.Addr][]int)}
+			var passed atomic.Uint64
+			io := newFakeIO(16)
+			e, err := New(Config{
+				Env:        realnet.New(),
+				IOs:        []PacketIO{io},
+				NewHandler: rg.newHandler,
+				Observer:   panicOnPoison,
+				Supervisor: SupervisorConfig{
+					Enabled:       true,
+					MaxRestarts:   2,
+					RestartWindow: time.Hour,
+					Trip:          tc.trip,
+					OnPass:        func(shard int, pkt Packet) { passed.Add(1) },
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Start()
+			defer e.Close()
+
+			for i := 0; i < 3; i++ {
+				io.ch <- Packet{Src: srcAP(1), Payload: poison}
+			}
+			waitSup(t, e, func(s SupervisionStats) bool { return s.ShardsTripped == 1 })
+			if !e.ShardTripped(0) {
+				t.Fatal("shard not marked tripped")
+			}
+
+			io.ch <- Packet{Src: srcAP(1), Payload: []byte{1}}
+			switch tc.trip {
+			case TripDrop:
+				waitSup(t, e, func(s SupervisionStats) bool { return s.TrippedDrops == 1 })
+				if passed.Load() != 0 {
+					t.Fatal("TripDrop invoked OnPass")
+				}
+			case TripPass:
+				waitSup(t, e, func(s SupervisionStats) bool { return s.TrippedPassthrough == 1 })
+				if passed.Load() != 1 {
+					t.Fatalf("OnPass saw %d packets, want 1", passed.Load())
+				}
+			}
+			if rg.count.Load() != 0 {
+				t.Fatal("tripped shard's handler still saw traffic")
+			}
+		})
+	}
+}
+
+// Close must join every engine proc on preemptive environments: repeated
+// start/close cycles leave no goroutines behind. Regression test for the
+// fire-and-forget Close that leaked readers and workers.
+func TestCloseJoinsProcsNoGoroutineLeak(t *testing.T) {
+	rg := &rig{bySrc: make(map[netip.Addr][]int)}
+	before := runtime.NumGoroutine()
+	for iter := 0; iter < 10; iter++ {
+		ios := []PacketIO{newFakeIO(8), newFakeIO(8)}
+		e, err := New(Config{
+			Env:        realnet.New(),
+			IOs:        ios,
+			Shards:     4,
+			NewHandler: rg.newHandler,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Start()
+		ios[0].(*fakeIO).ch <- Packet{Src: srcAP(iter), Payload: []byte{1}}
+		e.Close()
+	}
+	// Close returns after wg.Wait, but the goroutines' final teardown can
+	// lag the Done by a scheduler beat — retry before declaring a leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after 10 start/close cycles",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TTL expiry deletes cache entries from inside VerifiedCred while other
+// procs concurrently promote the same sources (MarkVerified) and classify
+// admissions (has). Run under -race this pins down the locking contract.
+func TestVerifiedCacheExpiryRacesPromotion(t *testing.T) {
+	rg := &rig{bySrc: make(map[netip.Addr][]int)}
+	e, err := New(Config{
+		Env:             realnet.New(),
+		IOs:             []PacketIO{newFakeIO(1)},
+		Shards:          2,
+		FastPathTTL:     50 * time.Microsecond, // expire constantly mid-race
+		FastPathSources: 8,                     // force capacity eviction too
+		NewHandler:      rg.newHandler,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]netip.Addr, 16)
+	for i := range addrs {
+		addrs[i] = srcAP(i).Addr()
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				a := addrs[(g+i)%len(addrs)]
+				switch i % 3 {
+				case 0:
+					e.MarkVerified(a, "cred")
+				case 1:
+					e.VerifiedCred(a) // expiry path deletes in place
+				default:
+					e.verified[e.ShardOf(a)].has(a, e.cfg.Env.Now())
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Coherence after the storm: a fresh promotion is immediately visible.
+	e.MarkVerified(addrs[0], "final")
+	if cred, ok := e.VerifiedCred(addrs[0]); !ok || cred != "final" {
+		t.Fatalf("VerifiedCred = (%q, %v) after race storm", cred, ok)
+	}
+}

@@ -116,6 +116,16 @@ func (v *verifiedShard) has(src netip.Addr, now time.Duration) bool {
 	return ok && ent.expires > now
 }
 
+// flush discards every entry, used when a supervised restart rebuilds the
+// shard's state from scratch (a panic mid-update may have left an entry
+// half-written relative to the handler's own tables).
+func (v *verifiedShard) flush() {
+	v.mu.Lock()
+	v.m = make(map[netip.Addr]verifiedEntry)
+	v.order = nil
+	v.mu.Unlock()
+}
+
 // size reports the shard's live entry count (including not-yet-swept expired
 // entries; they disappear on next touch).
 func (v *verifiedShard) size() int {

@@ -1,0 +1,280 @@
+package guard
+
+// Upstream ANS health and failover. The guard exists because the ANS behind
+// it is the fragile component (§IV: an unprotected ANS collapses at ~1.5k
+// spoofed qps) — but the paper assumes the ANS stays reachable. In
+// deployment it does not: the ANS restarts, its link flaps, an operator
+// fat-fingers a firewall rule. Without health tracking every pending entry
+// for a dead upstream just times out silently and the guard keeps throwing
+// verified traffic into a black hole.
+//
+// This file adds a per-shard circuit breaker over an ordered upstream list
+// (the configured ANSAddr first, then ANSFallbacks):
+//
+//   - closed:    traffic flows; consecutive timeouts are counted.
+//   - open:      TimeoutThreshold consecutive timeouts trip the breaker;
+//                traffic shifts to the next closed upstream in order.
+//   - half-open: after Cooldown an open upstream receives one synthetic SOA
+//                probe (a query the guard mints itself, consumed internally —
+//                no client ever sees it). Success closes the breaker, so the
+//                primary is restored as soon as it answers; a probe timeout
+//                re-opens it for another cooldown.
+//
+// When every upstream is open the explicit overload policy decides: fail
+// open (forward to the primary anyway — maybe the breaker is wrong) or fail
+// closed (shed, protecting whatever is left of the ANS). The breaker is
+// per shard, matching the engine's no-cross-shard-locks discipline; shards
+// discover an outage independently within one threshold of timeouts each.
+//
+// Everything here is strictly opt-in: with HealthConfig.Enabled false no
+// sweeper proc is spawned and forwardMsg short-circuits to the single
+// configured ANSAddr, preserving the deterministic single-shard replay.
+
+import (
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnsguard/internal/dnswire"
+)
+
+// HealthConfig parameterizes upstream health tracking and failover.
+type HealthConfig struct {
+	// Enabled turns the breaker and the per-shard health sweeper on. It is
+	// implied by a non-empty RemoteConfig.ANSFallbacks.
+	Enabled bool
+	// TimeoutThreshold is how many consecutive upstream timeouts open the
+	// breaker. 0 means 3.
+	TimeoutThreshold int
+	// Cooldown is how long an open breaker waits before a half-open probe.
+	// 0 means 2s.
+	Cooldown time.Duration
+	// SweepInterval is the period of the pending-table reaper that turns
+	// expired entries into timeout signals. 0 means PendingTimeout / 2.
+	SweepInterval time.Duration
+	// FailOpen selects the policy when every upstream's breaker is open:
+	// true forwards to the primary anyway (fail-open), false sheds the
+	// request (fail-closed, the default).
+	FailOpen bool
+}
+
+func (hc *HealthConfig) fillDefaults(pendingTimeout time.Duration) {
+	if hc.TimeoutThreshold <= 0 {
+		hc.TimeoutThreshold = 3
+	}
+	if hc.Cooldown <= 0 {
+		hc.Cooldown = 2 * time.Second
+	}
+	if hc.SweepInterval <= 0 {
+		hc.SweepInterval = pendingTimeout / 2
+	}
+}
+
+// breakerState is one upstream's circuit-breaker state.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// upstreamHealth tracks one upstream address within a shard.
+type upstreamHealth struct {
+	addr     netip.AddrPort
+	state    breakerState
+	consec   int           // consecutive timeouts while closed
+	openedAt time.Duration // when the breaker last opened (or a probe failed)
+}
+
+// shardHealth is one shard's breaker over the ordered upstream list. Guarded
+// by its own mutex: the shard worker (pick), the health sweeper (timeouts,
+// probes), and the upstream loop (successes) all touch it.
+type shardHealth struct {
+	g  *Remote
+	mu sync.Mutex
+	// ups[0] is the primary (RemoteConfig.ANSAddr); the rest are the
+	// ordered ANSFallbacks.
+	ups []upstreamHealth
+}
+
+func newShardHealth(g *Remote) *shardHealth {
+	h := &shardHealth{g: g}
+	h.ups = append(h.ups, upstreamHealth{addr: g.cfg.ANSAddr})
+	for _, a := range g.cfg.ANSFallbacks {
+		h.ups = append(h.ups, upstreamHealth{addr: a})
+	}
+	return h
+}
+
+// pick selects the forward target: the first upstream in order whose breaker
+// is closed. With every breaker open the overload policy applies — fail-open
+// returns the primary, fail-closed reports no target.
+func (h *shardHealth) pick() (netip.AddrPort, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range h.ups {
+		if h.ups[i].state == breakerClosed {
+			return h.ups[i].addr, true
+		}
+	}
+	if h.g.cfg.Health.FailOpen {
+		return h.ups[0].addr, true
+	}
+	return netip.AddrPort{}, false
+}
+
+// noteTimeout feeds one upstream timeout (an expired pending entry, probe or
+// regular) into the breaker.
+func (h *shardHealth) noteTimeout(addr netip.AddrPort, now time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	u := h.find(addr)
+	if u == nil {
+		return
+	}
+	switch u.state {
+	case breakerClosed:
+		u.consec++
+		if u.consec >= h.g.cfg.Health.TimeoutThreshold {
+			u.state = breakerOpen
+			u.openedAt = now
+			atomic.AddUint64(&h.g.Stats.BreakerOpens, 1)
+		}
+	case breakerHalfOpen:
+		// The probe died too: back to open for another cooldown.
+		u.state = breakerOpen
+		u.openedAt = now
+	}
+}
+
+// noteSuccess feeds a genuine (source- and question-verified) response from
+// addr into the breaker: any state snaps back to closed, restoring the
+// upstream's place in the failover order.
+func (h *shardHealth) noteSuccess(addr netip.AddrPort) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	u := h.find(addr)
+	if u == nil {
+		return
+	}
+	u.consec = 0
+	if u.state != breakerClosed {
+		u.state = breakerClosed
+		atomic.AddUint64(&h.g.Stats.BreakerCloses, 1)
+	}
+}
+
+// dueProbes transitions cooled-down open breakers to half-open and returns
+// their addresses; the caller sends one synthetic probe to each. An upstream
+// stays half-open (no repeat probes) until the probe answers or times out.
+func (h *shardHealth) dueProbes(now time.Duration) []netip.AddrPort {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var due []netip.AddrPort
+	for i := range h.ups {
+		u := &h.ups[i]
+		if u.state == breakerOpen && now-u.openedAt >= h.g.cfg.Health.Cooldown {
+			u.state = breakerHalfOpen
+			due = append(due, u.addr)
+		}
+	}
+	return due
+}
+
+func (h *shardHealth) find(addr netip.AddrPort) *upstreamHealth {
+	for i := range h.ups {
+		if h.ups[i].addr == addr {
+			return &h.ups[i]
+		}
+	}
+	return nil
+}
+
+// BreakerState reports upstream addr's breaker state on shard (tests and
+// the metrics gauge): 0 closed, 1 open, 2 half-open, -1 unknown.
+func (g *Remote) BreakerState(shard int, addr netip.AddrPort) int {
+	h := g.shards[shard].health
+	if h == nil {
+		return -1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	u := h.find(addr)
+	if u == nil {
+		return -1
+	}
+	return int(u.state)
+}
+
+// isUpstreamAddr reports whether src is one of the configured upstreams —
+// the only sources whose datagrams the upstream socket may consume.
+func (g *Remote) isUpstreamAddr(src netip.AddrPort) bool {
+	if src == g.cfg.ANSAddr {
+		return true
+	}
+	for _, a := range g.cfg.ANSFallbacks {
+		if src == a {
+			return true
+		}
+	}
+	return false
+}
+
+// healthLoop is one shard's sweeper proc ("guard-health[-i]", spawned only
+// when health is enabled): it reaps expired pending entries into timeout
+// signals and launches half-open probes for cooled-down breakers.
+func (s *remoteShard) healthLoop() {
+	g := s.g
+	for !g.closed.Load() {
+		g.cfg.Env.Sleep(g.cfg.Health.SweepInterval)
+		if g.closed.Load() {
+			return
+		}
+		now := g.now()
+		for _, e := range s.sweepPending(now) {
+			s.health.noteTimeout(e.upstream, now)
+		}
+		for _, addr := range s.health.dueProbes(now) {
+			s.sendProbe(addr)
+		}
+	}
+}
+
+// sweepPending removes and returns every expired pending entry. Without the
+// sweeper an expired entry lingered until its ID collided or the table
+// filled; the breaker needs the timeout signal promptly.
+func (s *remoteShard) sweepPending(now time.Duration) []*pendEntry {
+	g := s.g
+	var dead []*pendEntry
+	s.mu.Lock()
+	for id, e := range s.pending {
+		if now >= e.expires {
+			delete(s.pending, id)
+			s.ids.release(id)
+			dead = append(dead, e)
+		}
+	}
+	s.mu.Unlock()
+	for _, e := range dead {
+		atomic.AddUint64(&g.Stats.UpstreamTimeouts, 1)
+		if e.kind != pendProbe {
+			atomic.AddUint64(&g.Stats.PendingDropped, 1)
+		}
+	}
+	return dead
+}
+
+// sendProbe emits the half-open probe: a synthetic SOA query for the zone
+// apex, minted by the guard itself and consumed internally on response. The
+// probe rides the ordinary pending table, so the response is held to the
+// same source and question-echo checks as real traffic — a spoofed "probe
+// answer" cannot close the breaker.
+func (s *remoteShard) sendProbe(upstream netip.AddrPort) {
+	g := s.g
+	probe := dnswire.NewQuery(0, g.cfg.Zone, dnswire.TypeSOA)
+	probe.Flags.RD = false
+	atomic.AddUint64(&g.Stats.ProbesSent, 1)
+	s.forwardTo(probe, &pendEntry{kind: pendProbe}, upstream)
+}

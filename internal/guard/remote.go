@@ -1,6 +1,7 @@
 package guard
 
 import (
+	"crypto/subtle"
 	"errors"
 	"fmt"
 	"net/netip"
@@ -88,6 +89,19 @@ type RemoteConfig struct {
 	// ANSAddr is where the real ANS actually listens (the guard's private
 	// path to it).
 	ANSAddr netip.AddrPort
+	// ANSFallbacks are ordered secondary ANS addresses (e.g. a hidden
+	// replica) tried in sequence when the primary's circuit breaker opens.
+	// A non-empty list implies Health.Enabled.
+	ANSFallbacks []netip.AddrPort
+	// Health configures the per-shard upstream circuit breaker and the
+	// pending-table sweeper feeding it. The zero value disables both,
+	// preserving the historical proc set exactly.
+	Health HealthConfig
+	// Supervision configures dataplane shard supervision (recover boundary,
+	// quarantine, restart budget, trip policy) — see engine.SupervisorConfig.
+	// When Trip is engine.TripPass and OnPass is nil, tripped shards relay
+	// their packets unfiltered via the guard's passthrough path.
+	Supervision engine.SupervisorConfig
 	// Zone is the apex of the zone the protected ANS serves.
 	Zone dnswire.Name
 	// Subnet is the intercepted prefix used for IP cookies (scheme 1b,
@@ -172,6 +186,12 @@ func (c *RemoteConfig) fillDefaults() error {
 	if c.AnswerCacheTTL == 0 {
 		c.AnswerCacheTTL = 10 * time.Second
 	}
+	if len(c.ANSFallbacks) > 0 {
+		c.Health.Enabled = true
+	}
+	if c.Health.Enabled {
+		c.Health.fillDefaults(c.PendingTimeout)
+	}
 	return nil
 }
 
@@ -197,6 +217,14 @@ type RemoteStats struct {
 	UpstreamStrays  uint64 // duplicated/unmatched ANS responses discarded
 	UpstreamSpoofed uint64 // upstream datagrams failing source/question checks
 	KeyRotations    uint64
+
+	// Upstream health / failover (HealthConfig; zero when disabled).
+	UpstreamTimeouts uint64 // pending entries reaped as upstream timeouts
+	BreakerOpens     uint64 // breakers tripped by consecutive timeouts
+	BreakerCloses    uint64 // breakers restored by a verified response
+	ProbesSent       uint64 // half-open synthetic SOA probes emitted
+	Failovers        uint64 // forwards diverted to a fallback upstream
+	FailClosedDrops  uint64 // forwards shed with every breaker open
 }
 
 // Load returns an atomically-field-read copy of the stats. Each field is
@@ -218,6 +246,7 @@ const (
 	pendPassthrough pendKind = iota + 1
 	pendChild                // rewritten cookie query (message 4); answer fabricates message 6
 	pendDirect               // verified request relayed as-is (messages 5/8)
+	pendProbe                // guard-minted half-open health probe; consumed internally
 )
 
 type pendEntry struct {
@@ -228,6 +257,7 @@ type pendEntry struct {
 	question  dnswire.Question // the client's question (fabricated name for pendChild)
 	child     dnswire.Name     // restored child name (pendChild)
 	fwdQ      dnswire.Question // question actually sent upstream; responses must echo it
+	upstream  netip.AddrPort   // where the query went; the response must come from here
 	expires   time.Duration
 }
 
@@ -262,13 +292,41 @@ type Remote struct {
 type remoteShard struct {
 	g        *Remote
 	id       int
-	rl1      *ratelimit.Limiter1
-	rl2      *ratelimit.Limiter2
 	upstream netapi.UDPConn
+	health   *shardHealth // nil unless cfg.Health.Enabled
 
+	// mu guards the NAT table, the ID pool, and the limiter pointers (the
+	// pointers are swapped by ResetShard and read by metrics closures; the
+	// limiters themselves are internally synchronized).
 	mu      sync.Mutex
+	rl1     *ratelimit.Limiter1
+	rl2     *ratelimit.Limiter2
 	pending map[uint16]*pendEntry
 	ids     idPool
+}
+
+// limiters returns the shard's current rate limiters; ResetShard may swap
+// them, so cross-proc readers (metrics) go through here.
+func (s *remoteShard) limiters() (*ratelimit.Limiter1, *ratelimit.Limiter2) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rl1, s.rl2
+}
+
+// ResetShard implements engine.Resetter: a supervised shard restart discards
+// every per-packet structure (NAT table, ID pool, rate limiters — any of
+// which the panic may have left mid-update) while keeping the upstream
+// socket, its reader proc, and the breaker state, whose lifetimes span
+// restarts. Runs in the owning worker's context.
+func (s *remoteShard) ResetShard() {
+	g := s.g
+	now := g.now()
+	s.mu.Lock()
+	s.pending = make(map[uint16]*pendEntry)
+	s.ids = idPool{}
+	s.rl1 = ratelimit.NewLimiter1(g.cfg.RL1, now)
+	s.rl2 = ratelimit.NewLimiter2(g.cfg.RL2, now)
+	s.mu.Unlock()
 }
 
 // MetricsInto registers the guard's counters, rate-limiter counters, a live
@@ -277,25 +335,24 @@ type remoteShard struct {
 // shard they read the limiter directly, otherwise they sum across shards.
 func (g *Remote) MetricsInto(r *metrics.Registry) {
 	g.Stats.MetricsInto(r)
-	if len(g.shards) == 1 {
-		g.shards[0].rl1.MetricsInto(r, "guard_rl1_")
-		g.shards[0].rl2.MetricsInto(r, "guard_rl2_")
-	} else {
-		sum := func(f func(*remoteShard) uint64) func() uint64 {
-			return func() uint64 {
-				var t uint64
-				for _, s := range g.shards {
-					t += f(s)
-				}
-				return t
+	// Limiter series sum across shards and read the limiter pointers through
+	// the shard lock, so they stay live across supervised shard restarts
+	// (ResetShard swaps the limiters). With one shard the sum is the
+	// limiter itself, keeping the series names stable across shard counts.
+	sum := func(f func(*remoteShard) uint64) func() uint64 {
+		return func() uint64 {
+			var t uint64
+			for _, s := range g.shards {
+				t += f(s)
 			}
+			return t
 		}
-		r.FuncUint("guard_rl1_allowed", sum(func(s *remoteShard) uint64 { a, _ := s.rl1.Stats(); return a }))
-		r.FuncUint("guard_rl1_denied", sum(func(s *remoteShard) uint64 { _, d := s.rl1.Stats(); return d }))
-		r.FuncUint("guard_rl1_topk_evictions", sum(func(s *remoteShard) uint64 { return s.rl1.TopKEvictions() }))
-		r.FuncUint("guard_rl2_allowed", sum(func(s *remoteShard) uint64 { a, _ := s.rl2.Stats(); return a }))
-		r.FuncUint("guard_rl2_denied", sum(func(s *remoteShard) uint64 { _, d := s.rl2.Stats(); return d }))
 	}
+	r.FuncUint("guard_rl1_allowed", sum(func(s *remoteShard) uint64 { rl1, _ := s.limiters(); a, _ := rl1.Stats(); return a }))
+	r.FuncUint("guard_rl1_denied", sum(func(s *remoteShard) uint64 { rl1, _ := s.limiters(); _, d := rl1.Stats(); return d }))
+	r.FuncUint("guard_rl1_topk_evictions", sum(func(s *remoteShard) uint64 { rl1, _ := s.limiters(); return rl1.TopKEvictions() }))
+	r.FuncUint("guard_rl2_allowed", sum(func(s *remoteShard) uint64 { _, rl2 := s.limiters(); a, _ := rl2.Stats(); return a }))
+	r.FuncUint("guard_rl2_denied", sum(func(s *remoteShard) uint64 { _, rl2 := s.limiters(); _, d := rl2.Stats(); return d }))
 	r.Func("guard_remote_pending", func() float64 {
 		return float64(g.PendingEntries())
 	})
@@ -316,6 +373,12 @@ func NewRemote(cfg RemoteConfig) (*Remote, error) {
 		answers: resolver.NewCache(4096),
 	}
 	g.shards = make([]*remoteShard, cfg.Shards)
+	sup := cfg.Supervision
+	if sup.Enabled && sup.Trip == engine.TripPass && sup.OnPass == nil {
+		// Fail-open trip: a shard that exhausted its restart budget relays
+		// its sources' traffic unfiltered instead of silencing them.
+		sup.OnPass = func(shard int, pkt Packet) { g.shards[shard].passthrough(pkt) }
+	}
 	eng, err := engine.New(engine.Config{
 		Env:             cfg.Env,
 		IOs:             cfg.IOs,
@@ -325,6 +388,7 @@ func NewRemote(cfg RemoteConfig) (*Remote, error) {
 		FastPathSources: cfg.FastPathSources,
 		Name:            "guard",
 		Observer:        cfg.Observer,
+		Supervisor:      sup,
 		NewHandler: func(i int) engine.Handler {
 			s := &remoteShard{
 				g:       g,
@@ -332,6 +396,9 @@ func NewRemote(cfg RemoteConfig) (*Remote, error) {
 				rl1:     ratelimit.NewLimiter1(cfg.RL1, now),
 				rl2:     ratelimit.NewLimiter2(cfg.RL2, now),
 				pending: make(map[uint16]*pendEntry),
+			}
+			if cfg.Health.Enabled {
+				s.health = newShardHealth(g)
 			}
 			g.shards[i] = s
 			return s
@@ -364,6 +431,16 @@ func (g *Remote) Start() error {
 			name = fmt.Sprintf("guard-upstream-%d", s.id)
 		}
 		g.cfg.Env.Go(name, s.upstreamLoop)
+	}
+	if g.cfg.Health.Enabled {
+		for _, s := range g.shards {
+			s := s
+			name := "guard-health"
+			if len(g.shards) > 1 {
+				name = fmt.Sprintf("guard-health-%d", s.id)
+			}
+			g.cfg.Env.Go(name, s.healthLoop)
+		}
 	}
 	if g.cfg.KeyRotation > 0 {
 		g.cfg.Env.Go("guard-rotate", g.rotateLoop)
@@ -586,10 +663,12 @@ func (g *Remote) isTCPClient(src netip.Addr) bool {
 // fastPath consults the verified-source cache: true when src recently
 // verified exactly cred, in which case the MD5 check may be skipped. The
 // credential compare is the security boundary — the cache never turns a
-// bare source address into trust.
+// bare source address into trust — and it is constant-time: the presented
+// credential is attacker-controlled, and a byte-wise early exit would leak
+// the cached cookie one matching prefix byte at a time.
 func (g *Remote) fastPath(src netip.Addr, cred string) bool {
 	got, ok := g.eng.VerifiedCred(src)
-	if !ok || got != cred {
+	if !ok || subtle.ConstantTimeCompare([]byte(got), []byte(cred)) != 1 {
 		return false
 	}
 	atomic.AddUint64(&g.Stats.FastPathHits, 1)
@@ -708,10 +787,33 @@ func (s *remoteShard) handleModified(pkt Packet, msg *dnswire.Message, c cookie.
 	})
 }
 
-// forwardMsg sends msg to the ANS under a fresh transaction ID and registers
-// the pending entry for the response.
+// forwardMsg sends msg to the current upstream — the configured ANS, or
+// whatever the shard's circuit breaker selects when health tracking is on —
+// under a fresh transaction ID, registering the pending entry for the
+// response.
 func (s *remoteShard) forwardMsg(msg *dnswire.Message, entry *pendEntry) {
 	g := s.g
+	target := g.cfg.ANSAddr
+	if s.health != nil {
+		up, ok := s.health.pick()
+		if !ok {
+			// Every breaker open and the policy is fail-closed: shed.
+			atomic.AddUint64(&g.Stats.FailClosedDrops, 1)
+			return
+		}
+		if up != g.cfg.ANSAddr {
+			atomic.AddUint64(&g.Stats.Failovers, 1)
+		}
+		target = up
+	}
+	s.forwardTo(msg, entry, target)
+}
+
+// forwardTo is forwardMsg with an explicit upstream (health probes pick
+// their own target).
+func (s *remoteShard) forwardTo(msg *dnswire.Message, entry *pendEntry, target netip.AddrPort) {
+	g := s.g
+	entry.upstream = target
 	if len(msg.Questions) > 0 {
 		entry.fwdQ = msg.Questions[0]
 	}
@@ -737,7 +839,7 @@ func (s *remoteShard) forwardMsg(msg *dnswire.Message, entry *pendEntry) {
 	}
 	atomic.AddUint64(&g.Stats.ForwardedToANS, 1)
 	g.charge(g.cfg.Costs.PacketOp)
-	_ = s.upstream.WriteTo(wire, g.cfg.ANSAddr)
+	_ = s.upstream.WriteTo(wire, target)
 }
 
 // allocID picks an unused transaction ID in O(1) via the shard's ID pool;
@@ -778,8 +880,8 @@ func (s *remoteShard) upstreamLoop() {
 			return
 		}
 		g.charge(g.cfg.Costs.PacketOp)
-		if src != g.cfg.ANSAddr {
-			// Off-path datagram: only the real ANS sends to this socket.
+		if !g.isUpstreamAddr(src) {
+			// Off-path datagram: only configured upstreams send here.
 			atomic.AddUint64(&g.Stats.UpstreamSpoofed, 1)
 			continue
 		}
@@ -796,9 +898,11 @@ func (s *remoteShard) upstreamLoop() {
 			atomic.AddUint64(&g.Stats.UpstreamStrays, 1)
 			continue
 		}
-		if len(resp.Questions) == 0 || resp.Questions[0] != entry.fwdQ {
-			// Right ID, wrong question: spoofed (or corrupted) response.
-			// Keep the entry so the genuine answer can still land.
+		if len(resp.Questions) == 0 || resp.Questions[0] != entry.fwdQ || src != entry.upstream {
+			// Right ID but wrong question — or right everything from the
+			// wrong upstream (one configured ANS cannot vouch for another).
+			// Spoofed or corrupted either way; keep the entry so the
+			// genuine answer can still land.
 			s.mu.Unlock()
 			atomic.AddUint64(&g.Stats.UpstreamSpoofed, 1)
 			continue
@@ -807,6 +911,11 @@ func (s *remoteShard) upstreamLoop() {
 		delete(s.pending, resp.ID)
 		s.ids.release(resp.ID)
 		s.mu.Unlock()
+		if s.health != nil {
+			// Only a fully validated response feeds the breaker: source,
+			// ID, and question echo all checked above.
+			s.health.noteSuccess(src)
+		}
 		if expired {
 			atomic.AddUint64(&g.Stats.PendingDropped, 1)
 			continue
@@ -817,6 +926,9 @@ func (s *remoteShard) upstreamLoop() {
 			g.reply(entry.replyFrom, entry.clientSrc, resp)
 		case pendChild:
 			s.answerChild(entry, resp)
+		case pendProbe:
+			// Half-open probe answered: the noteSuccess above already
+			// closed the breaker. Nothing to relay.
 		}
 	}
 }

@@ -74,6 +74,19 @@ type QueueEnv interface {
 	NewQueue(capacity int) Queue
 }
 
+// CooperativeEnv is an optional Env capability describing the scheduling
+// discipline. CooperativeScheduling reports true when procs are cooperative
+// coroutines on a shared virtual clock (netsim): such a proc must never
+// block through OS-level primitives (channel receives, WaitGroup waits) —
+// doing so wedges the scheduler goroutine and deadlocks the whole
+// simulation. Components that would otherwise join their workers on
+// shutdown (engine.Close) consult this and fall back to the scheduler's own
+// drain semantics. An Env that does not implement the interface is treated
+// as preemptive (real goroutines, OS blocking allowed).
+type CooperativeEnv interface {
+	CooperativeScheduling() bool
+}
+
 // UDPReuseEnv is an optional Env capability: bind n datagram endpoints to the
 // same address so one reader can run per engine shard. realnet implements it
 // with SO_REUSEPORT where available (fallback: one socket shared by n

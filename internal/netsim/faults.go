@@ -106,6 +106,35 @@ func (n *Network) PartitionFor(a, b *Host, after, duration time.Duration) {
 	n.sched.After(after+duration, func() { n.Heal(a, b) })
 }
 
+// At schedules fn on the virtual clock `after` from now, running in
+// scheduler (callback) context. It is the generic scripting hook behind
+// PartitionFor: survivability tests use it to stage guard restarts, key
+// rotations, and breaker probes at exact virtual times.
+func (n *Network) At(after time.Duration, fn func()) {
+	n.sched.After(after, fn)
+}
+
+// IsolateFor blacks out host h — severs its links to every other host — at
+// virtual time `after` from now, healing `duration` later. This is the
+// scripted "ANS goes dark" event for upstream-failover tests: unlike a
+// pairwise PartitionFor, no probe path survives.
+func (n *Network) IsolateFor(h *Host, after, duration time.Duration) {
+	n.sched.After(after, func() {
+		for _, other := range n.hosts {
+			if other != h {
+				n.Partition(h, other)
+			}
+		}
+	})
+	n.sched.After(after+duration, func() {
+		for _, other := range n.hosts {
+			if other != h {
+				n.Heal(h, other)
+			}
+		}
+	})
+}
+
 // LinkStats returns a copy of the per-fault counters for the directed link
 // from a to b.
 func (n *Network) LinkStats(a, b *Host) LinkStats {

@@ -297,6 +297,11 @@ func (h *Host) Go(name string, fn func()) {
 	h.net.sched.Go(h.name+"/"+name, fn)
 }
 
+// CooperativeScheduling implements netapi.CooperativeEnv: simulated procs
+// are coroutines on the virtual clock and must not block through OS
+// primitives (see netapi.CooperativeEnv).
+func (h *Host) CooperativeScheduling() bool { return true }
+
 func (h *Host) ownsAddr(a netip.Addr) bool {
 	for _, ip := range h.ips {
 		if ip == a {
