@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test check vet race fuzz-smoke metrics-smoke bench-smoke crash-restart-smoke testdata
+.PHONY: all build test check vet race api-check fuzz-smoke metrics-smoke bench-smoke crash-restart-smoke testdata
 
 all: build
 
@@ -52,11 +52,18 @@ metrics-smoke:
 		|| { echo "guard_engine_shards != 2"; exit 1; }; \
 	echo "metrics-smoke: ok ($$(wc -l < /tmp/dnsguard-smoke-metrics.txt) series)"
 
-# One short pass over the real-time engine benchmark (1 shard, clean load)
-# and one scaled-down Table III regeneration: catches dataplane or harness
-# rot without the full sweep's runtime.
+# The public-API freeze: any change to the exported dnsguard surface fails
+# here until testdata/api.txt is deliberately regenerated with
+# `go test -run TestAPI -update`.
+api-check:
+	$(GO) test -run='^TestAPI$$' .
+
+# One short pass over the real-time engine benchmark (1 shard, clean load,
+# per-packet and batched I/O) and one scaled-down Table III regeneration:
+# catches dataplane or harness rot without the full sweep's runtime.
 bench-smoke:
-	$(GO) test -run='^$$' -bench='^BenchmarkEngineThroughput$$/shards=1/spoof=0$$' -benchtime=1x -short .
+	$(GO) test -run='^$$' -bench='^BenchmarkEngineThroughput$$/shards=1/spoof=0$$/batch=1$$' -benchtime=1x -short .
+	$(GO) test -run='^$$' -bench='^BenchmarkEngineThroughput$$/shards=1/spoof=0$$/batch=32$$' -benchtime=1x -short .
 	$(GO) test -run='^$$' -bench='^BenchmarkTableIII_NSName$$' -benchtime=1x .
 
 # Crash-restart smoke: boot a guarded ANS with a persisted keyring, obtain a
@@ -91,7 +98,7 @@ crash-restart-smoke:
 		|| { echo "pre-crash cookie did not verify after restart"; exit 1; }; \
 	echo "crash-restart-smoke: ok"
 
-check: vet race fuzz-smoke metrics-smoke bench-smoke crash-restart-smoke
+check: vet race api-check fuzz-smoke metrics-smoke bench-smoke crash-restart-smoke
 
 # Regenerate the wire-capture fuzz seeds under internal/dnswire/testdata/.
 testdata:

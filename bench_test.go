@@ -166,7 +166,7 @@ func BenchmarkFigure7b_ProxyUnderFlood(b *testing.B) {
 // single-core host the shard sweep measures overhead, not speedup — run on a
 // multi-core machine to see scaling (EXPERIMENTS.md).
 
-func benchEngineThroughput(b *testing.B, shards int, spoof float64) {
+func benchEngineThroughput(b *testing.B, shards, batch int, spoof float64) {
 	b.Helper()
 	packets := 12000
 	if testing.Short() {
@@ -175,6 +175,7 @@ func benchEngineThroughput(b *testing.B, shards int, spoof float64) {
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.EngineThroughput(experiments.EngineThroughputOptions{
 			Shards:        shards,
+			Batch:         batch,
 			SpoofFraction: spoof,
 			Packets:       packets,
 		})
@@ -195,8 +196,10 @@ func benchEngineThroughput(b *testing.B, shards int, spoof float64) {
 func BenchmarkEngineThroughput(b *testing.B) {
 	for _, shards := range []int{1, 2, 4, 8} {
 		for _, spoof := range []float64{0, 0.5} {
-			name := fmt.Sprintf("shards=%d/spoof=%v", shards, spoof)
-			b.Run(name, func(b *testing.B) { benchEngineThroughput(b, shards, spoof) })
+			for _, batch := range []int{1, 32} {
+				name := fmt.Sprintf("shards=%d/spoof=%v/batch=%d", shards, spoof, batch)
+				b.Run(name, func(b *testing.B) { benchEngineThroughput(b, shards, batch, spoof) })
+			}
 		}
 	}
 }

@@ -133,24 +133,29 @@ func run() error {
 	if want("engine") {
 		experiments.Rule(out, "Engine — sharded dataplane throughput (real time, real UDP upstream)")
 		shardSweep := []int{1, 2, 4, 8}
+		batchSweep := []int{1, 32}
 		packets := 24000
 		if *quick {
 			shardSweep = []int{1, 4}
+			batchSweep = []int{1}
 			packets = 6000
 		}
 		start := time.Now()
 		var rows []experiments.EngineThroughputResult
 		for _, shards := range shardSweep {
 			for _, spoof := range []float64{0, 0.5} {
-				res, err := experiments.EngineThroughput(experiments.EngineThroughputOptions{
-					Shards:        shards,
-					SpoofFraction: spoof,
-					Packets:       packets,
-				})
-				if err != nil {
-					return fmt.Errorf("engine (shards=%d spoof=%v): %w", shards, spoof, err)
+				for _, batch := range batchSweep {
+					res, err := experiments.EngineThroughput(experiments.EngineThroughputOptions{
+						Shards:        shards,
+						Batch:         batch,
+						SpoofFraction: spoof,
+						Packets:       packets,
+					})
+					if err != nil {
+						return fmt.Errorf("engine (shards=%d spoof=%v batch=%d): %w", shards, spoof, batch, err)
+					}
+					rows = append(rows, res)
 				}
-				rows = append(rows, res)
 			}
 		}
 		experiments.WriteEngineBench(out, rows)

@@ -21,7 +21,9 @@
 //
 // With -shards N > 1 the guard runs N dataplane workers, each fed by its own
 // SO_REUSEPORT socket on the public address (kernel-hashed per flow; falls
-// back to a shared socket where SO_REUSEPORT is unavailable).
+// back to a shared socket where SO_REUSEPORT is unavailable). With -batch
+// M > 1 each worker moves up to M datagrams per syscall (recvmmsg/sendmmsg
+// on Linux, a read loop elsewhere); -batch 1 keeps per-packet I/O.
 package main
 
 import (
@@ -36,7 +38,6 @@ import (
 
 	"dnsguard"
 	"dnsguard/internal/guard"
-	"dnsguard/internal/netapi"
 )
 
 func main() {
@@ -56,6 +57,7 @@ func run() error {
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats reporting interval (0 = off)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this address (empty = off)")
 	shards := flag.Int("shards", 1, "dataplane worker shards (each with its own SO_REUSEPORT socket)")
+	batch := flag.Int("batch", 1, "datagrams read/written per syscall batch (1 = per-packet I/O)")
 	queueDepth := flag.Int("queue-depth", 0, "per-shard ingress queue depth (0 = default)")
 	fastPathTTL := flag.Duration("fastpath-ttl", 0, "verified-source fast-path cache TTL (0 = default, negative = off)")
 	stateFile := flag.String("state-file", "", "persist the cookie keyring here; a restart with the same file keeps pre-restart cookies valid")
@@ -89,9 +91,6 @@ func run() error {
 		return fmt.Errorf("unknown -scheme %q", *schemeName)
 	}
 
-	if *shards < 1 {
-		return fmt.Errorf("-shards must be >= 1, got %d", *shards)
-	}
 	var failOpen bool
 	switch *overload {
 	case "drop":
@@ -111,14 +110,6 @@ func run() error {
 		}
 	}
 	env := dnsguard.NewEnv()
-	conns, err := env.(netapi.UDPReuseEnv).ListenUDPReuse(pub, *shards)
-	if err != nil {
-		return fmt.Errorf("binding %v: %w", pub, err)
-	}
-	ios := make([]guard.PacketIO, len(conns))
-	for i, c := range conns {
-		ios[i] = guard.SocketIO{Conn: c}
-	}
 	var auth *dnsguard.Authenticator
 	if *stateFile != "" {
 		auth, err = dnsguard.OpenKeyring(*stateFile)
@@ -136,13 +127,17 @@ func run() error {
 	if failOpen {
 		trip = dnsguard.TripPass
 	}
-	g, err := dnsguard.NewRemoteGuard(dnsguard.RemoteGuardConfig{
+
+	// Build the config first and let Normalize resolve the effective shard
+	// and batch counts, then bind one SO_REUSEPORT socket per shard through
+	// the environment's capability set, and Validate the completed config
+	// before handing it to the guard.
+	cfg := dnsguard.RemoteGuardConfig{
 		Env:                 env,
-		IOs:                 ios,
 		Shards:              *shards,
+		Batch:               *batch,
 		QueueDepth:          *queueDepth,
 		FastPathTTL:         *fastPathTTL,
-		PublicAddr:          conns[0].LocalAddr(),
 		ANSAddr:             ans,
 		ANSFallbacks:        fallbacks,
 		Health:              dnsguard.GuardHealthConfig{FailOpen: failOpen},
@@ -152,15 +147,33 @@ func run() error {
 		Auth:                auth,
 		KeyRotation:         *keyRotate,
 		ActivationThreshold: *threshold,
-	})
+	}
+	cfg.Normalize()
+	caps := dnsguard.Capabilities(env)
+	if caps.ListenUDPReuse == nil {
+		return fmt.Errorf("environment cannot bind sharded sockets")
+	}
+	conns, err := caps.ListenUDPReuse(pub, cfg.Shards)
+	if err != nil {
+		return fmt.Errorf("binding %v: %w", pub, err)
+	}
+	cfg.IOs = make([]guard.PacketIO, len(conns))
+	for i, c := range conns {
+		cfg.IOs[i] = guard.SocketIO{Conn: c}
+	}
+	cfg.PublicAddr = conns[0].LocalAddr()
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	g, err := dnsguard.NewRemoteGuard(cfg)
 	if err != nil {
 		return err
 	}
 	if err := g.Start(); err != nil {
 		return err
 	}
-	fmt.Printf("dnsguardd: guarding zone %s on %v → ANS %v (scheme %v, threshold %.0f, shards %d)\n",
-		apex, conns[0].LocalAddr(), ans, scheme, *threshold, *shards)
+	fmt.Printf("dnsguardd: guarding zone %s on %v → ANS %v (scheme %v, threshold %.0f, shards %d, batch %d)\n",
+		apex, conns[0].LocalAddr(), ans, scheme, *threshold, cfg.Shards, cfg.Batch)
 
 	var proxy *dnsguard.TCPProxy
 	if *withProxy {

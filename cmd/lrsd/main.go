@@ -60,7 +60,9 @@ func run() error {
 			allowed = append(allowed, pfx)
 		}
 	}
-	res, err := dnsguard.NewResolver(dnsguard.ResolverConfig{
+	// Validate the flag-derived config before touching the network, then
+	// Normalize so the effective (defaulted) values can be reported.
+	rcfg := dnsguard.ResolverConfig{
 		Env:           env,
 		RootHints:     roots,
 		Timeout:       *timeout,
@@ -70,7 +72,12 @@ func run() error {
 		QueryTimeout:  *queryTimeout,
 		TCPRetryAfter: *tcpRetryAfter,
 		Seed:          time.Now().UnixNano(),
-	})
+	}
+	if err := rcfg.Validate(); err != nil {
+		return err
+	}
+	rcfg.Normalize()
+	res, err := dnsguard.NewResolver(rcfg)
 	if err != nil {
 		return err
 	}
@@ -90,7 +97,8 @@ func run() error {
 	if err := srv.Start(); err != nil {
 		return err
 	}
-	fmt.Printf("lrsd: recursive service on %v, %d root hints\n", srv.Addr(), len(roots))
+	fmt.Printf("lrsd: recursive service on %v, %d root hints (timeout %v, %d retries)\n",
+		srv.Addr(), len(roots), rcfg.Timeout, rcfg.Retries)
 
 	reg := dnsguard.NewMetrics()
 	res.MetricsInto(reg)

@@ -63,6 +63,17 @@ type Env = netapi.Env
 // system's network stack.
 func NewEnv() Env { return realnet.New() }
 
+// Caps describes the optional capabilities of an Env: queue construction,
+// SO_REUSEPORT-style sharded binds, cooperative scheduling, and native batch
+// datagram I/O. Every field is usable as returned — optional interfaces are
+// replaced by portable fallbacks where they exist, and nil only where no
+// fallback is possible (see the netapi capability matrix).
+type Caps = netapi.Caps
+
+// Capabilities inspects env once and returns its capability set; call it
+// instead of type-asserting the optional netapi interfaces by hand.
+func Capabilities(env Env) Caps { return netapi.Capabilities(env) }
+
 // Simulation is the deterministic discrete-event network simulator used for
 // experiments and tests.
 type Simulation = netsim.Network

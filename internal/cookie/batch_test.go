@@ -1,0 +1,91 @@
+package cookie
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// TestBatchVerifierMatchesSingle pins the batch paths to the single-packet
+// paths bit-for-bit, across key rotation and for every cookie encoding.
+func TestBatchVerifierMatchesSingle(t *testing.T) {
+	var key [KeySize]byte
+	for i := range key {
+		key[i] = byte(i * 7)
+	}
+	a := NewAuthenticatorWithKey(key)
+	nc := NSCodec{}
+	ic := IPCodec{Subnet: netip.MustParsePrefix("1.2.3.0/24")}
+
+	srcs := make([]netip.Addr, 0, 64)
+	for i := 0; i < 64; i++ {
+		srcs = append(srcs, netip.AddrFrom4([4]byte{10, 0, byte(i / 8), byte(i)}))
+	}
+	srcs = append(srcs, netip.MustParseAddr("2001:db8::17"))
+
+	check := func(stage string) {
+		t.Helper()
+		v := NewBatchVerifier()
+		v.Reset(a)
+		for _, src := range srcs {
+			c := a.Mint(src)
+			if v.Mint(src) != c {
+				t.Fatalf("%s: Mint(%v) diverges", stage, src)
+			}
+			if got, want := v.Verify(src, c), a.Verify(src, c); got != want || !got {
+				t.Fatalf("%s: Verify(%v) batch=%v single=%v", stage, src, got, want)
+			}
+			// A cookie for the wrong source must fail on both paths.
+			other := a.Mint(netip.AddrFrom4([4]byte{192, 0, 2, 1}))
+			if v.Verify(src, other) != a.Verify(src, other) {
+				t.Fatalf("%s: wrong-source Verify diverges for %v", stage, src)
+			}
+			label := nc.EncodeLabel(c)
+			if got, want := v.VerifyLabel(nc, src, label), nc.VerifyLabel(a, src, label); got != want || !got {
+				t.Fatalf("%s: VerifyLabel(%v) batch=%v single=%v", stage, src, got, want)
+			}
+			addr, err := ic.Encode(c)
+			if err != nil {
+				t.Fatalf("%s: Encode: %v", stage, err)
+			}
+			if got, want := v.VerifyIP(ic, src, addr), ic.Verify(a, src, addr); got != want || !got {
+				t.Fatalf("%s: VerifyIP(%v) batch=%v single=%v", stage, src, got, want)
+			}
+		}
+	}
+
+	check("epoch0")
+	// Cookies minted before a rotation must stay valid on both paths.
+	pre := a.Mint(srcs[0])
+	var key2 [KeySize]byte
+	key2[0] = 0xAA
+	a.RotateWithKey(key2)
+	check("epoch1")
+	v := NewBatchVerifier()
+	v.Reset(a)
+	if !v.Verify(srcs[0], pre) || !a.Verify(srcs[0], pre) {
+		t.Fatal("pre-rotation cookie rejected after one rotation")
+	}
+}
+
+func TestVerifyBatchSlices(t *testing.T) {
+	var key [KeySize]byte
+	key[5] = 9
+	a := NewAuthenticatorWithKey(key)
+	srcs := []netip.Addr{
+		netip.MustParseAddr("10.0.0.1"),
+		netip.MustParseAddr("10.0.0.2"),
+		netip.MustParseAddr("10.0.0.3"),
+	}
+	cookies := []Cookie{a.Mint(srcs[0]), {}, a.Mint(srcs[2])}
+	cookies[1][3] = 0xFF // forged
+	ok := make([]bool, 3)
+	if err := a.VerifyBatch(srcs, cookies, ok); err != nil {
+		t.Fatal(err)
+	}
+	if !ok[0] || ok[1] || !ok[2] {
+		t.Fatalf("VerifyBatch = %v, want [true false true]", ok)
+	}
+	if err := a.VerifyBatch(srcs, cookies, ok[:2]); err == nil {
+		t.Fatal("length mismatch not reported")
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"hash"
 	"net/netip"
 	"strings"
 	"sync"
@@ -144,7 +145,14 @@ func (a *Authenticator) snapshot() (epoch uint64, keys [2][KeySize]byte) {
 }
 
 func computeWith(key [KeySize]byte, epoch uint64, src netip.Addr) Cookie {
-	h := md5.New()
+	return computeInto(md5.New(), key, epoch, src)
+}
+
+// computeInto is computeWith over a caller-owned digest, so a batch
+// verifier can reuse one MD5 state (Reset + Sum into the cookie's own
+// array, no allocation) across a whole batch.
+func computeInto(h hash.Hash, key [KeySize]byte, epoch uint64, src netip.Addr) Cookie {
+	h.Reset()
 	h.Write(key[:])
 	if src.Is4() || src.Is4In6() {
 		b := src.As4()
@@ -154,7 +162,7 @@ func computeWith(key [KeySize]byte, epoch uint64, src netip.Addr) Cookie {
 		h.Write(b[:])
 	}
 	var c Cookie
-	copy(c[:], h.Sum(nil))
+	h.Sum(c[:0])
 	// Overwrite the first bit with the epoch parity (§III-E).
 	c[0] = c[0]&0x7F | uint8(epoch&1)<<7
 	return c

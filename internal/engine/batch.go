@@ -1,0 +1,189 @@
+// Batch ingest for the dataplane. With Config.Batch > 1 and a capture
+// interface that can fill a slab (BatchReader), each reader pulls whole
+// batches, groups them by destination shard, and enqueues one pooled batch
+// slice per shard-group — one queue operation and one lock where the
+// single-packet path pays one per packet. Dispatch stays per-packet
+// (Observer, supervision recover boundary, quarantine all keep their exact
+// semantics); handlers that want per-batch amortization opt in through
+// BatchHandler's BeginBatch/EndBatch bracket.
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnsguard/internal/netapi"
+)
+
+// BatchReader is an optional PacketIO capability: fill up to len(pkts)
+// packets per call, blocking per netapi timeout rules for the first and
+// taking only what is already buffered after it (netapi.BatchConn
+// semantics; n >= 1 when err is nil). Payloads must be caller-owned, like
+// Read's. The engine uses it when Config.Batch > 1.
+type BatchReader interface {
+	ReadBatch(pkts []Packet, timeout time.Duration) (int, error)
+}
+
+// BatchWriter is an optional PacketIO capability: emit several datagrams in
+// one call, in order. The guard's egress coalescing flushes per-shard reply
+// buffers through it when present.
+type BatchWriter interface {
+	WriteBatch(pkts []Packet) error
+}
+
+// BatchHandler is an optional Handler capability. When a worker dequeues a
+// batch it calls BeginBatch(n), dispatches the n packets one by one exactly
+// as in single-packet mode, then calls EndBatch — the bracket lets a handler
+// amortize per-batch work (one cookie-keyring snapshot, one coalesced
+// egress flush) without changing per-packet semantics. Both calls run in
+// the owning worker's context. A supervised mid-batch restart keeps the
+// bracket on the shard object that opened it, which is the same object a
+// Resetter restart reuses.
+type BatchHandler interface {
+	Handler
+	BeginBatch(n int)
+	EndBatch()
+}
+
+// qbatch is one queued shard-group of a read batch: the packets plus their
+// shared enqueue time. Pooled like qitem.
+type qbatch struct {
+	pkts     []Packet
+	enqueued time.Duration
+}
+
+var qbatchPool = sync.Pool{New: func() any { return new(qbatch) }}
+
+func putQBatch(b *qbatch) {
+	for i := range b.pkts {
+		b.pkts[i] = Packet{} // drop payload refs so the pool pins no buffers
+	}
+	b.pkts = b.pkts[:0]
+	qbatchPool.Put(b)
+}
+
+// batchReader reports the BatchReader to use for io, nil when the engine
+// should run the single-packet path (Batch <= 1 or io cannot batch).
+func (e *Engine) batchReader(io PacketIO) BatchReader {
+	if e.cfg.Batch <= 1 {
+		return nil
+	}
+	br, _ := io.(BatchReader)
+	return br
+}
+
+// runReaderBatch is runReader over slabs: one ReadBatch per wakeup, packets
+// grouped by (shard, admission class) so the per-packet policy is preserved
+// — verified-source groups evict oldest on a saturated queue, unverified
+// groups are tail-dropped whole (batch-granularity shedding; counters move
+// by group size).
+func (e *Engine) runReaderBatch(br BatchReader) {
+	pkts := make([]Packet, e.cfg.Batch)
+	// groups[2*shard] collects the read's verified-class packets for that
+	// shard, groups[2*shard+1] the unverified class.
+	groups := make([]*qbatch, 2*e.cfg.Shards)
+	for {
+		n, err := br.ReadBatch(pkts, netapi.NoTimeout)
+		if err != nil {
+			return
+		}
+		atomic.AddUint64(&e.Ingest.Reads, 1)
+		atomic.AddUint64(&e.Ingest.Packets, uint64(n))
+		now := e.cfg.Env.Now()
+		for i := 0; i < n; i++ {
+			shard := e.ShardOf(pkts[i].Src.Addr())
+			slot := 2 * shard
+			if !e.verified[shard].has(pkts[i].Src.Addr(), now) {
+				slot++
+			}
+			b := groups[slot]
+			if b == nil {
+				b = qbatchPool.Get().(*qbatch)
+				b.enqueued = now
+				groups[slot] = b
+			}
+			b.pkts = append(b.pkts, pkts[i])
+		}
+		for slot, b := range groups {
+			if b == nil {
+				continue
+			}
+			groups[slot] = nil
+			shard := slot / 2
+			st := &e.stats[shard]
+			m := uint64(len(b.pkts))
+			if slot%2 == 0 {
+				if ev, did := e.queues[shard].PutEvict(b); did {
+					e.recycleEvicted(st, ev)
+				}
+				atomic.AddUint64(&st.Enqueued, m)
+			} else if e.queues[shard].Put(b) {
+				atomic.AddUint64(&st.Enqueued, m)
+			} else {
+				atomic.AddUint64(&st.ShedNew, m)
+				putQBatch(b)
+			}
+		}
+	}
+}
+
+// recycleEvicted accounts and pools an item displaced by PutEvict; in batch
+// mode a queue can hold both qitems and qbatches only transiently (one
+// engine uses one mode), but eviction handles both for safety.
+func (e *Engine) recycleEvicted(st *ShardStats, ev any) {
+	switch it := ev.(type) {
+	case *qitem:
+		atomic.AddUint64(&st.ShedOld, 1)
+		qitemPool.Put(it)
+	case *qbatch:
+		atomic.AddUint64(&st.ShedOld, uint64(len(it.pkts)))
+		putQBatch(it)
+	}
+}
+
+// dispatchBatch hands a dequeued batch to shard i's handler packet by
+// packet, bracketed by BeginBatch/EndBatch when the handler opts in. h is
+// the worker's cached handler; under supervision the current handler is
+// re-read so a restarted shard is honored mid-stream.
+func (e *Engine) dispatchBatch(i int, h Handler, supervised bool, pkts []Packet) {
+	if supervised {
+		h = e.Handler(i)
+	}
+	bh, _ := h.(BatchHandler)
+	if bh != nil {
+		bh.BeginBatch(len(pkts))
+	}
+	for _, pkt := range pkts {
+		if supervised {
+			e.dispatchSupervised(i, pkt)
+			continue
+		}
+		if e.cfg.Observer != nil {
+			e.cfg.Observer(i, pkt)
+		}
+		h.HandlePacket(pkt)
+	}
+	if bh != nil {
+		bh.EndBatch()
+	}
+}
+
+// runInlineBatch is the Shards=1 single-IO loop over slabs: no queue hop,
+// batches dispatched in read order.
+func (e *Engine) runInlineBatch(br BatchReader) {
+	h := e.handlers[0]
+	st := &e.stats[0]
+	supervised := e.cfg.Supervisor.Enabled
+	pkts := make([]Packet, e.cfg.Batch)
+	for {
+		n, err := br.ReadBatch(pkts, netapi.NoTimeout)
+		if err != nil {
+			return
+		}
+		atomic.AddUint64(&e.Ingest.Reads, 1)
+		atomic.AddUint64(&e.Ingest.Packets, uint64(n))
+		atomic.AddUint64(&st.Handled, uint64(n))
+		e.dispatchBatch(0, h, supervised, pkts[:n])
+	}
+}

@@ -48,7 +48,9 @@ type LocalConfig struct {
 	MaxHeld int
 }
 
-func (c *LocalConfig) fillDefaults() error {
+// Validate reports the first missing required field, without touching the
+// config.
+func (c *LocalConfig) Validate() error {
 	switch {
 	case c.Env == nil || c.IO == nil:
 		return errors.New("guard: LocalConfig.Env and IO are required")
@@ -57,6 +59,12 @@ func (c *LocalConfig) fillDefaults() error {
 	case c.Deliver == nil:
 		return errors.New("guard: LocalConfig.Deliver is required")
 	}
+	return nil
+}
+
+// Normalize fills every defaulted field in place; idempotent, and usable on
+// a partially built config before Validate.
+func (c *LocalConfig) Normalize() {
 	if c.ExchangePort == 0 {
 		c.ExchangePort = 49876
 	}
@@ -72,6 +80,13 @@ func (c *LocalConfig) fillDefaults() error {
 	if c.MaxHeld <= 0 {
 		c.MaxHeld = 64
 	}
+}
+
+func (c *LocalConfig) fillDefaults() error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	c.Normalize()
 	return nil
 }
 

@@ -68,6 +68,14 @@ type RemoteConfig struct {
 	// QueueDepth bounds each shard's ingress queue (multi-shard only).
 	// 0 means the engine default.
 	QueueDepth int
+	// Batch is the number of datagrams the dataplane moves per read when the
+	// capture interface supports it (TapIO and SocketIO both do). 0 and 1
+	// mean per-packet I/O, which reproduces the pre-batching dataplane
+	// event for event. Larger values amortize the read syscall, the shard
+	// queue hop, the cookie-keyring lock, and the egress writes across the
+	// batch; per-packet semantics (admission policy, supervision, observer,
+	// all counters) are unchanged.
+	Batch int
 	// FastPathTTL enables the verified-source cache: a source that just
 	// passed a cookie check is remembered with its credential for this
 	// long, replacing the next MD5 verification with a byte compare. The
@@ -148,7 +156,11 @@ type RemoteConfig struct {
 	Costs cpumodel.GuardCosts
 }
 
-func (c *RemoteConfig) fillDefaults() error {
+// Validate reports the first missing required field, without touching the
+// config. NewRemote calls it; flag plumbing can call it directly after
+// assembling a config (typically after Normalize, once the I/O fields are
+// bound).
+func (c *RemoteConfig) Validate() error {
 	switch {
 	case c.Env == nil:
 		return errors.New("guard: RemoteConfig.Env is required")
@@ -159,14 +171,25 @@ func (c *RemoteConfig) fillDefaults() error {
 	case !c.PublicAddr.IsValid() || !c.ANSAddr.IsValid():
 		return errors.New("guard: PublicAddr and ANSAddr are required")
 	}
-	if len(c.IOs) == 0 {
+	return nil
+}
+
+// Normalize fills every defaulted field in place. It is idempotent and
+// independent of Validate — flag plumbing can Normalize a partially built
+// config first (for example to learn the effective Shards before binding
+// that many sockets), then set the I/O fields and Validate.
+func (c *RemoteConfig) Normalize() {
+	if len(c.IOs) == 0 && c.IO != nil {
 		c.IOs = []PacketIO{c.IO}
 	}
-	if c.IO == nil {
+	if c.IO == nil && len(c.IOs) > 0 {
 		c.IO = c.IOs[0]
 	}
 	if c.Shards <= 0 {
 		c.Shards = 1
+	}
+	if c.Batch <= 0 {
+		c.Batch = 1
 	}
 	if c.Fallback == 0 {
 		c.Fallback = SchemeDNS
@@ -192,6 +215,13 @@ func (c *RemoteConfig) fillDefaults() error {
 	if c.Health.Enabled {
 		c.Health.fillDefaults(c.PendingTimeout)
 	}
+}
+
+func (c *RemoteConfig) fillDefaults() error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	c.Normalize()
 	return nil
 }
 
@@ -303,6 +333,13 @@ type remoteShard struct {
 	rl2     *ratelimit.Limiter2
 	pending map[uint16]*pendEntry
 	ids     idPool
+
+	// Batch-bracket state, touched only by the shard's worker between
+	// BeginBatch and EndBatch (see batch.go): the keyring snapshot and the
+	// coalesced-egress reply buffer.
+	bv      *cookie.BatchVerifier
+	inBatch bool
+	outbuf  []Packet
 }
 
 // limiters returns the shard's current rate limiters; ResetShard may swap
@@ -384,6 +421,7 @@ func NewRemote(cfg RemoteConfig) (*Remote, error) {
 		IOs:             cfg.IOs,
 		Shards:          cfg.Shards,
 		QueueDepth:      cfg.QueueDepth,
+		Batch:           cfg.Batch,
 		FastPathTTL:     cfg.FastPathTTL,
 		FastPathSources: cfg.FastPathSources,
 		Name:            "guard",
@@ -615,7 +653,7 @@ func (s *remoteShard) handleNewcomer(pkt Packet, msg *dnswire.Message) {
 	if !qname.IsSubdomainOf(g.cfg.Zone) && qname != g.cfg.Zone {
 		resp := msg.Response()
 		resp.Flags.RCode = dnswire.RCodeRefused
-		g.reply(pkt.Dst, pkt.Src, resp)
+		s.reply(pkt.Dst, pkt.Src, resp)
 		return
 	}
 	if useTCP {
@@ -626,20 +664,20 @@ func (s *remoteShard) handleNewcomer(pkt Packet, msg *dnswire.Message) {
 		atomic.AddUint64(&g.Stats.TCRedirects, 1)
 		resp := msg.Response()
 		resp.Flags.TC = true
-		g.reply(pkt.Dst, pkt.Src, resp)
+		s.reply(pkt.Dst, pkt.Src, resp)
 		return
 	}
 	// DNS-based: fabricate "child NS <cookie+label>" with a long TTL and
 	// no glue, so the LRS must come back through us to resolve it.
 	g.charge(g.cfg.Costs.CookieGrant)
-	c := g.cfg.Auth.Mint(pkt.Src.Addr())
+	c := s.mint(pkt.Src.Addr())
 	fabName, err := FabricateNSName(g.nsc, c, child)
 	if err != nil {
 		// Label too long to carry a cookie; fall back to TCP.
 		atomic.AddUint64(&g.Stats.TCRedirects, 1)
 		resp := msg.Response()
 		resp.Flags.TC = true
-		g.reply(pkt.Dst, pkt.Src, resp)
+		s.reply(pkt.Dst, pkt.Src, resp)
 		return
 	}
 	atomic.AddUint64(&g.Stats.NewcomerGrants, 1)
@@ -647,7 +685,7 @@ func (s *remoteShard) handleNewcomer(pkt Packet, msg *dnswire.Message) {
 	resp.Authority = []dnswire.RR{
 		dnswire.NewRR(child, g.cfg.NSTTL, &dnswire.NSData{Host: fabName}),
 	}
-	g.reply(pkt.Dst, pkt.Src, resp)
+	s.reply(pkt.Dst, pkt.Src, resp)
 }
 
 // isTCPClient reports whether src is configured for TCP redirection.
@@ -681,7 +719,7 @@ func (s *remoteShard) handleNSCookie(pkt Packet, msg *dnswire.Message, label str
 	g := s.g
 	if cred := "ns:" + label; !g.fastPath(pkt.Src.Addr(), cred) {
 		g.charge(g.cfg.Costs.CookieCheck)
-		if !g.nsc.VerifyLabel(g.cfg.Auth, pkt.Src.Addr(), label) {
+		if !s.verifyLabel(pkt.Src.Addr(), label) {
 			atomic.AddUint64(&g.Stats.CookieInvalid, 1)
 			return
 		}
@@ -713,7 +751,7 @@ func (s *remoteShard) handleIPCookie(pkt Packet, msg *dnswire.Message) {
 	dst16 := pkt.Dst.Addr().As16()
 	if cred := "ip:" + string(dst16[:]); !g.fastPath(pkt.Src.Addr(), cred) {
 		g.charge(g.cfg.Costs.CookieCheck)
-		if !g.ipc.Verify(g.cfg.Auth, pkt.Src.Addr(), pkt.Dst.Addr()) {
+		if !s.verifyIP(pkt.Src.Addr(), pkt.Dst.Addr()) {
 			atomic.AddUint64(&g.Stats.CookieInvalid, 1)
 			return
 		}
@@ -731,7 +769,7 @@ func (s *remoteShard) handleIPCookie(pkt Packet, msg *dnswire.Message) {
 		resp := msg.Response()
 		resp.Flags.AA = true
 		resp.Answers = rrs
-		g.reply(pkt.Dst, pkt.Src, resp)
+		s.reply(pkt.Dst, pkt.Src, resp)
 		return
 	}
 	fwd := dnswire.NewQuery(0, q.Name, q.Type)
@@ -757,13 +795,13 @@ func (s *remoteShard) handleModified(pkt Packet, msg *dnswire.Message, c cookie.
 		g.charge(g.cfg.Costs.CookieGrant)
 		atomic.AddUint64(&g.Stats.NewcomerGrants, 1)
 		resp := msg.Response()
-		AttachCookie(resp, g.cfg.Auth.Mint(pkt.Src.Addr()), g.cfg.NSTTL)
-		g.reply(pkt.Dst, pkt.Src, resp)
+		AttachCookie(resp, s.mint(pkt.Src.Addr()), g.cfg.NSTTL)
+		s.reply(pkt.Dst, pkt.Src, resp)
 		return
 	}
 	if cred := "ck:" + string(c[:]); !g.fastPath(pkt.Src.Addr(), cred) {
 		g.charge(g.cfg.Costs.CookieCheck)
-		if !g.cfg.Auth.Verify(pkt.Src.Addr(), c) {
+		if !s.verifyCookie(pkt.Src.Addr(), c) {
 			atomic.AddUint64(&g.Stats.CookieInvalid, 1)
 			return
 		}
@@ -874,62 +912,87 @@ const maxPending = 4096
 // off-path attacker who learns the upstream port.
 func (s *remoteShard) upstreamLoop() {
 	g := s.g
+	if g.cfg.Batch > 1 {
+		// Batched upstream ingest: one slab reused every read, so the
+		// per-datagram buffer copy of the single-read path disappears and
+		// on Linux the reads collapse into recvmmsg. handleUpstream only
+		// borrows the payload (Unpack copies everything it keeps), which
+		// is what makes slab reuse safe.
+		bc := netapi.AsBatch(s.upstream)
+		slab := netapi.NewSlab(g.cfg.Batch, dnswire.MaxMessageSize)
+		for {
+			n, err := bc.ReadBatch(slab, netapi.NoTimeout)
+			if err != nil {
+				return
+			}
+			for i := 0; i < n; i++ {
+				s.handleUpstream(slab[i].Payload(), slab[i].Addr)
+			}
+		}
+	}
 	for {
 		payload, src, err := s.upstream.ReadFrom(netapi.NoTimeout)
 		if err != nil {
 			return
 		}
-		g.charge(g.cfg.Costs.PacketOp)
-		if !g.isUpstreamAddr(src) {
-			// Off-path datagram: only configured upstreams send here.
-			atomic.AddUint64(&g.Stats.UpstreamSpoofed, 1)
-			continue
-		}
-		resp, err := dnswire.Unpack(payload)
-		if err != nil || !resp.Flags.QR {
-			continue
-		}
-		s.mu.Lock()
-		entry, ok := s.pending[resp.ID]
-		if !ok {
-			s.mu.Unlock()
-			// Duplicated or long-delayed ANS response whose entry was
-			// already consumed — the network, not the ANS, misbehaving.
-			atomic.AddUint64(&g.Stats.UpstreamStrays, 1)
-			continue
-		}
-		if len(resp.Questions) == 0 || resp.Questions[0] != entry.fwdQ || src != entry.upstream {
-			// Right ID but wrong question — or right everything from the
-			// wrong upstream (one configured ANS cannot vouch for another).
-			// Spoofed or corrupted either way; keep the entry so the
-			// genuine answer can still land.
-			s.mu.Unlock()
-			atomic.AddUint64(&g.Stats.UpstreamSpoofed, 1)
-			continue
-		}
-		expired := g.now() >= entry.expires
-		delete(s.pending, resp.ID)
-		s.ids.release(resp.ID)
+		s.handleUpstream(payload, src)
+	}
+}
+
+// handleUpstream validates and relays one ANS datagram. payload is borrowed:
+// it is only read within the call, never retained.
+func (s *remoteShard) handleUpstream(payload []byte, src netip.AddrPort) {
+	g := s.g
+	g.charge(g.cfg.Costs.PacketOp)
+	if !g.isUpstreamAddr(src) {
+		// Off-path datagram: only configured upstreams send here.
+		atomic.AddUint64(&g.Stats.UpstreamSpoofed, 1)
+		return
+	}
+	resp, err := dnswire.Unpack(payload)
+	if err != nil || !resp.Flags.QR {
+		return
+	}
+	s.mu.Lock()
+	entry, ok := s.pending[resp.ID]
+	if !ok {
 		s.mu.Unlock()
-		if s.health != nil {
-			// Only a fully validated response feeds the breaker: source,
-			// ID, and question echo all checked above.
-			s.health.noteSuccess(src)
-		}
-		if expired {
-			atomic.AddUint64(&g.Stats.PendingDropped, 1)
-			continue
-		}
-		switch entry.kind {
-		case pendPassthrough, pendDirect:
-			resp.ID = entry.origID
-			g.reply(entry.replyFrom, entry.clientSrc, resp)
-		case pendChild:
-			s.answerChild(entry, resp)
-		case pendProbe:
-			// Half-open probe answered: the noteSuccess above already
-			// closed the breaker. Nothing to relay.
-		}
+		// Duplicated or long-delayed ANS response whose entry was
+		// already consumed — the network, not the ANS, misbehaving.
+		atomic.AddUint64(&g.Stats.UpstreamStrays, 1)
+		return
+	}
+	if len(resp.Questions) == 0 || resp.Questions[0] != entry.fwdQ || src != entry.upstream {
+		// Right ID but wrong question — or right everything from the
+		// wrong upstream (one configured ANS cannot vouch for another).
+		// Spoofed or corrupted either way; keep the entry so the
+		// genuine answer can still land.
+		s.mu.Unlock()
+		atomic.AddUint64(&g.Stats.UpstreamSpoofed, 1)
+		return
+	}
+	expired := g.now() >= entry.expires
+	delete(s.pending, resp.ID)
+	s.ids.release(resp.ID)
+	s.mu.Unlock()
+	if s.health != nil {
+		// Only a fully validated response feeds the breaker: source,
+		// ID, and question echo all checked above.
+		s.health.noteSuccess(src)
+	}
+	if expired {
+		atomic.AddUint64(&g.Stats.PendingDropped, 1)
+		return
+	}
+	switch entry.kind {
+	case pendPassthrough, pendDirect:
+		resp.ID = entry.origID
+		g.reply(entry.replyFrom, entry.clientSrc, resp)
+	case pendChild:
+		s.answerChild(entry, resp)
+	case pendProbe:
+		// Half-open probe answered: the noteSuccess above already
+		// closed the breaker. Nothing to relay.
 	}
 }
 

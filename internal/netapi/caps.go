@@ -1,0 +1,63 @@
+package netapi
+
+import "net/netip"
+
+// Caps is the consolidated view of an Env's optional capabilities,
+// discovered once by Capabilities. It replaces scattered type-asserts
+// against QueueEnv / UDPReuseEnv / CooperativeEnv at every call site: code
+// probes the environment a single time and then branches on plain fields.
+//
+// Capability matrix (see the package doc for the narrative):
+//
+//	capability        realnet                      netsim                       absent ⇒
+//	----------        -------                      ------                       --------
+//	NewQueue          chan-backed Queue            vclock BoundedQueue          NewChanQueue fallback (set unconditionally)
+//	ListenUDPReuse    SO_REUSEPORT (or shared fd)  deterministic fan-out shim   nil func: single-socket ingest only
+//	Cooperative       false (OS goroutines)        true (coroutines, vclock)    false: OS blocking allowed
+//	Batch             true (recvmmsg on Linux,     true (event-free queue       false: AsBatch still works via the
+//	                  read-loop elsewhere)         drain)                       portable per-datagram loop
+type Caps struct {
+	// NewQueue constructs a scheduler-aware bounded Queue. Never nil: when
+	// the Env does not implement QueueEnv this falls back to NewChanQueue,
+	// which is correct for any preemptive environment.
+	NewQueue func(capacity int) Queue
+	// ListenUDPReuse binds n datagram endpoints to one address, or nil
+	// when the Env has no multi-socket ingest (UDPReuseEnv not
+	// implemented).
+	ListenUDPReuse func(addr netip.AddrPort, n int) ([]UDPConn, error)
+	// Cooperative reports that procs are cooperative coroutines on a
+	// shared virtual clock and must never block through OS primitives
+	// (CooperativeEnv semantics; false for preemptive environments).
+	Cooperative bool
+	// Batch reports that the Env's UDP conns implement BatchConn natively,
+	// amortizing per-datagram cost. AsBatch works either way; this only
+	// tells callers whether batching buys more than a convenience loop.
+	Batch bool
+}
+
+// BatchEnv is an optional Env capability marker: BatchIO reports that the
+// environment's UDP conns implement BatchConn natively. Capabilities uses it
+// to fill Caps.Batch.
+type BatchEnv interface {
+	BatchIO() bool
+}
+
+// Capabilities probes env for every optional capability and returns the
+// consolidated Caps. It is cheap (a handful of type asserts) but callers are
+// expected to invoke it once at setup, not per packet.
+func Capabilities(env Env) Caps {
+	caps := Caps{NewQueue: NewChanQueue}
+	if qe, ok := env.(QueueEnv); ok {
+		caps.NewQueue = qe.NewQueue
+	}
+	if re, ok := env.(UDPReuseEnv); ok {
+		caps.ListenUDPReuse = re.ListenUDPReuse
+	}
+	if ce, ok := env.(CooperativeEnv); ok {
+		caps.Cooperative = ce.CooperativeScheduling()
+	}
+	if be, ok := env.(BatchEnv); ok {
+		caps.Batch = be.BatchIO()
+	}
+	return caps
+}

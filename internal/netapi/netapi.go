@@ -6,6 +6,29 @@
 // simulator on a virtual clock, used by all experiments) and internal/realnet
 // (thin adapters over the net and time packages, used by the cmd/ daemons and
 // the realservers example). Code written against Env runs unchanged on both.
+//
+// # Optional capabilities
+//
+// Beyond the core Env contract, an environment may implement optional
+// capability interfaces. Callers never type-assert for these individually;
+// they call Capabilities(env) once and branch on the returned Caps:
+//
+//	capability       interface        realnet                       netsim
+//	----------       ---------        -------                       ------
+//	bounded queues   QueueEnv         chan-backed queue             vclock BoundedQueue (proc-blocking)
+//	reuse-port       UDPReuseEnv      SO_REUSEPORT, shared-fd       deterministic fan-out shim
+//	                                  fallback
+//	cooperative      CooperativeEnv   false — OS goroutines,        true — coroutines on the virtual
+//	scheduling                        blocking allowed              clock; OS blocking deadlocks
+//	batch I/O        BatchEnv +       native: recvmmsg/sendmmsg     native: event-free drain of the
+//	                 BatchConn        on Linux, read loop           delivery queue
+//	                                  elsewhere
+//
+// Every capability has a portable fallback, so absence never means "cannot":
+// no QueueEnv falls back to NewChanQueue, no UDPReuseEnv means single-socket
+// ingest, no BatchConn is bridged by AsBatch's per-datagram loop. What the
+// capabilities buy is performance (batch I/O, kernel flow steering) or
+// correctness under a specific scheduler (vclock queues in netsim).
 package netapi
 
 import (

@@ -1,0 +1,385 @@
+// Package netapitest is the cross-backend conformance suite for netapi
+// environments. Every behavioral contract the rest of the repository leans
+// on — timeout semantics (NoTimeout blocks, zero polls, ErrTimeout/ErrClosed
+// matched with errors.Is), ephemeral-port binding, queue admission policy,
+// and the BatchConn slab rules (no wait-to-fill, truncate-to-cap,
+// allocate-when-empty) — is pinned here and run against both internal/netsim
+// and internal/realnet, so a divergence between the simulator and the real
+// stack fails a test instead of surfacing as a production-only bug.
+//
+// Backends with cooperative schedulers (netsim) run each check inside a
+// scheduler proc, where t.Fatalf's runtime.Goexit would wedge the virtual
+// clock — checks therefore report with t.Errorf and return.
+package netapitest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dnsguard/internal/netapi"
+)
+
+// Backend adapts one netapi.Env implementation to the suite.
+type Backend struct {
+	// Name labels the subtests.
+	Name string
+	// Addr is an address the environment can bind UDP sockets on (the
+	// host's own address under netsim, a loopback address under realnet).
+	Addr netip.Addr
+	// Run executes fn with a fresh Env in a context where netapi blocking
+	// calls are legal — the test goroutine for preemptive backends, a
+	// scheduler proc (with the scheduler then run to completion) for
+	// cooperative ones. Run must not return until fn has.
+	Run func(t *testing.T, fn func(env netapi.Env))
+}
+
+// Run executes the full conformance suite against b.
+func Run(t *testing.T, b Backend) {
+	t.Run("ZeroPortBind", func(t *testing.T) { b.Run(t, func(env netapi.Env) { testZeroPortBind(t, b, env) }) })
+	t.Run("TimeoutPoll", func(t *testing.T) { b.Run(t, func(env netapi.Env) { testTimeoutPoll(t, b, env) }) })
+	t.Run("TimeoutElapses", func(t *testing.T) { b.Run(t, func(env netapi.Env) { testTimeoutElapses(t, b, env) }) })
+	t.Run("RoundTrip", func(t *testing.T) { b.Run(t, func(env netapi.Env) { testRoundTrip(t, b, env) }) })
+	t.Run("Close", func(t *testing.T) { b.Run(t, func(env netapi.Env) { testClose(t, b, env) }) })
+	t.Run("Queue", func(t *testing.T) { b.Run(t, func(env netapi.Env) { testQueue(t, b, env) }) })
+	for _, mode := range []batchMode{{"Native", netapi.AsBatch}, {"Loop", loopBatch}} {
+		mode := mode
+		t.Run("BatchRead/"+mode.name, func(t *testing.T) {
+			b.Run(t, func(env netapi.Env) { testBatchRead(t, b, env, mode) })
+		})
+		t.Run("BatchSlab/"+mode.name, func(t *testing.T) {
+			b.Run(t, func(env netapi.Env) { testBatchSlab(t, b, env, mode) })
+		})
+		t.Run("BatchWrite/"+mode.name, func(t *testing.T) {
+			b.Run(t, func(env netapi.Env) { testBatchWrite(t, b, env, mode) })
+		})
+	}
+}
+
+// batchMode selects how the suite obtains a BatchConn: AsBatch exercises the
+// backend's native implementation when it has one, Loop pins the portable
+// fallback's semantics even where a native path exists.
+type batchMode struct {
+	name string
+	wrap func(netapi.UDPConn) netapi.BatchConn
+}
+
+func loopBatch(c netapi.UDPConn) netapi.BatchConn { return netapi.LoopBatch(c) }
+
+// settle is how long the suite waits for sent datagrams to be buffered at
+// the receiver before draining them (simulated link latency, loopback
+// scheduling).
+const settle = 250 * time.Millisecond
+
+func bind(t *testing.T, b Backend, env netapi.Env) netapi.UDPConn {
+	t.Helper()
+	c, err := env.ListenUDP(netip.AddrPortFrom(b.Addr, 0))
+	if err != nil {
+		t.Errorf("ListenUDP(%v:0): %v", b.Addr, err)
+		return nil
+	}
+	return c
+}
+
+func testZeroPortBind(t *testing.T, b Backend, env netapi.Env) {
+	c1 := bind(t, b, env)
+	c2 := bind(t, b, env)
+	if c1 == nil || c2 == nil {
+		return
+	}
+	defer c1.Close()
+	defer c2.Close()
+	a1, a2 := c1.LocalAddr(), c2.LocalAddr()
+	if a1.Addr() != b.Addr || a2.Addr() != b.Addr {
+		t.Errorf("bound addresses %v, %v; want %v", a1.Addr(), a2.Addr(), b.Addr)
+	}
+	if a1.Port() == 0 || a2.Port() == 0 {
+		t.Errorf("ephemeral bind produced zero port: %v, %v", a1, a2)
+	}
+	if a1.Port() == a2.Port() {
+		t.Errorf("two ephemeral binds share port %d", a1.Port())
+	}
+	// A fully zero AddrPort must also bind (the backend picks address and
+	// port); only the non-zero port is portable across backends.
+	c3, err := env.ListenUDP(netip.AddrPort{})
+	if err != nil {
+		t.Errorf("ListenUDP(zero AddrPort): %v", err)
+		return
+	}
+	defer c3.Close()
+	if c3.LocalAddr().Port() == 0 {
+		t.Errorf("zero-AddrPort bind produced zero port: %v", c3.LocalAddr())
+	}
+}
+
+func testTimeoutPoll(t *testing.T, b Backend, env netapi.Env) {
+	c := bind(t, b, env)
+	if c == nil {
+		return
+	}
+	defer c.Close()
+	if _, _, err := c.ReadFrom(0); !errors.Is(err, netapi.ErrTimeout) {
+		t.Errorf("poll on empty socket: err = %v, want errors.Is ErrTimeout", err)
+	}
+	// A poll must also see a datagram that is already buffered: this is the
+	// rule a deadline-of-exactly-now implementation breaks (the deadline
+	// timer beats the recv attempt and buffered data becomes unreachable).
+	if err := c.WriteTo([]byte("poll"), c.LocalAddr()); err != nil {
+		t.Errorf("self WriteTo: %v", err)
+		return
+	}
+	env.Sleep(settle)
+	payload, _, err := c.ReadFrom(0)
+	if err != nil || string(payload) != "poll" {
+		t.Errorf("poll with buffered datagram = %q, %v; want \"poll\", nil", payload, err)
+	}
+}
+
+func testTimeoutElapses(t *testing.T, b Backend, env netapi.Env) {
+	c := bind(t, b, env)
+	if c == nil {
+		return
+	}
+	defer c.Close()
+	const wait = 30 * time.Millisecond
+	start := env.Now()
+	_, _, err := c.ReadFrom(wait)
+	if !errors.Is(err, netapi.ErrTimeout) {
+		t.Errorf("timed read: err = %v, want errors.Is ErrTimeout", err)
+	}
+	if elapsed := env.Now() - start; elapsed < wait {
+		t.Errorf("timed read returned after %v, before the %v timeout", elapsed, wait)
+	}
+}
+
+func testRoundTrip(t *testing.T, b Backend, env netapi.Env) {
+	sender, receiver := bind(t, b, env), bind(t, b, env)
+	if sender == nil || receiver == nil {
+		return
+	}
+	defer sender.Close()
+	defer receiver.Close()
+	payload := []byte("conformance round trip")
+	if err := sender.WriteTo(payload, receiver.LocalAddr()); err != nil {
+		t.Errorf("WriteTo: %v", err)
+		return
+	}
+	got, src, err := receiver.ReadFrom(5 * time.Second)
+	if err != nil {
+		t.Errorf("ReadFrom: %v", err)
+		return
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("payload = %q, want %q", got, payload)
+	}
+	if src != sender.LocalAddr() {
+		t.Errorf("source = %v, want %v", src, sender.LocalAddr())
+	}
+}
+
+func testClose(t *testing.T, b Backend, env netapi.Env) {
+	c := bind(t, b, env)
+	if c == nil {
+		return
+	}
+	// Closing from another proc must unblock an indefinitely blocked read
+	// with ErrClosed.
+	env.Go("closer", func() {
+		env.Sleep(20 * time.Millisecond)
+		_ = c.Close()
+	})
+	if _, _, err := c.ReadFrom(netapi.NoTimeout); !errors.Is(err, netapi.ErrClosed) {
+		t.Errorf("blocked read on closed socket: err = %v, want errors.Is ErrClosed", err)
+	}
+	if _, _, err := c.ReadFrom(0); !errors.Is(err, netapi.ErrClosed) {
+		t.Errorf("poll on closed socket: err = %v, want errors.Is ErrClosed", err)
+	}
+	if err := c.WriteTo([]byte("x"), c.LocalAddr()); !errors.Is(err, netapi.ErrClosed) {
+		t.Errorf("write on closed socket: err = %v, want errors.Is ErrClosed", err)
+	}
+	slab := netapi.NewSlab(2, 64)
+	if _, err := netapi.AsBatch(c).ReadBatch(slab, 0); !errors.Is(err, netapi.ErrClosed) {
+		t.Errorf("batch read on closed socket: err = %v, want errors.Is ErrClosed", err)
+	}
+}
+
+func testQueue(t *testing.T, b Backend, env netapi.Env) {
+	q := netapi.Capabilities(env).NewQueue(2)
+	if _, err := q.Get(0); !errors.Is(err, netapi.ErrTimeout) {
+		t.Errorf("Get(0) on empty queue: err = %v, want errors.Is ErrTimeout", err)
+	}
+	if !q.Put(1) || !q.Put(2) {
+		t.Error("Put into non-full queue reported false")
+	}
+	if q.Put(3) {
+		t.Error("Put into full queue reported true; tail-drop is the contract")
+	}
+	if ev, did := q.PutEvict(4); !did || ev != 1 {
+		t.Errorf("PutEvict on full queue = (%v, %v), want oldest item (1, true)", ev, did)
+	}
+	if q.Len() != 2 {
+		t.Errorf("Len = %d after evicting put into capacity-2 queue, want 2", q.Len())
+	}
+	for i, want := range []int{2, 4} {
+		got, err := q.Get(0)
+		if err != nil || got != want {
+			t.Errorf("Get #%d = (%v, %v), want (%d, nil)", i, got, err, want)
+		}
+	}
+	// A blocked Get must be woken by a Put from another proc.
+	env.Go("producer", func() {
+		env.Sleep(10 * time.Millisecond)
+		q.Put(7)
+	})
+	if got, err := q.Get(5 * time.Second); err != nil || got != 7 {
+		t.Errorf("blocked Get = (%v, %v), want (7, nil)", got, err)
+	}
+	// Close drains buffered items before reporting ErrClosed, and rejects
+	// further Puts.
+	q.Put(8)
+	q.Close()
+	if got, err := q.Get(0); err != nil || got != 8 {
+		t.Errorf("Get after Close = (%v, %v); buffered items must drain first", got, err)
+	}
+	if _, err := q.Get(0); !errors.Is(err, netapi.ErrClosed) {
+		t.Errorf("Get on drained closed queue: err = %v, want errors.Is ErrClosed", err)
+	}
+	if q.Put(9) {
+		t.Error("Put into closed queue reported true")
+	}
+}
+
+func testBatchRead(t *testing.T, b Backend, env netapi.Env, mode batchMode) {
+	sender, receiver := bind(t, b, env), bind(t, b, env)
+	if sender == nil || receiver == nil {
+		return
+	}
+	defer sender.Close()
+	defer receiver.Close()
+	bc := mode.wrap(receiver)
+
+	const sent = 3
+	for i := 0; i < sent; i++ {
+		if err := sender.WriteTo([]byte(fmt.Sprintf("dgram-%d", i)), receiver.LocalAddr()); err != nil {
+			t.Errorf("WriteTo #%d: %v", i, err)
+			return
+		}
+	}
+	env.Sleep(settle)
+
+	// The slab has more slots than datagrams exist: a blocking ReadBatch
+	// must still return — it takes the first datagram under blocking rules
+	// and then only what is already buffered, never waiting to fill.
+	slab := netapi.NewSlab(sent+5, 64)
+	total := 0
+	for total < sent {
+		timeout := netapi.NoTimeout
+		if total > 0 {
+			timeout = 5 * time.Second
+		}
+		n, err := bc.ReadBatch(slab[total:], timeout)
+		if err != nil {
+			t.Errorf("ReadBatch after %d datagrams: %v", total, err)
+			return
+		}
+		if n < 1 {
+			t.Errorf("ReadBatch returned n = %d with nil error; contract is n >= 1", n)
+			return
+		}
+		total += n
+	}
+	for i := 0; i < sent; i++ {
+		want := fmt.Sprintf("dgram-%d", i)
+		if got := string(slab[i].Payload()); got != want {
+			t.Errorf("slot %d payload = %q, want %q", i, got, want)
+		}
+		if slab[i].Addr != sender.LocalAddr() {
+			t.Errorf("slot %d source = %v, want %v", i, slab[i].Addr, sender.LocalAddr())
+		}
+	}
+	if n, err := bc.ReadBatch(slab, 0); !errors.Is(err, netapi.ErrTimeout) {
+		t.Errorf("ReadBatch poll on drained socket = (%d, %v), want errors.Is ErrTimeout", n, err)
+	}
+	if n, err := bc.ReadBatch(nil, 0); n != 0 || err != nil {
+		t.Errorf("ReadBatch with empty slab = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+func testBatchSlab(t *testing.T, b Backend, env netapi.Env, mode batchMode) {
+	sender, receiver := bind(t, b, env), bind(t, b, env)
+	if sender == nil || receiver == nil {
+		return
+	}
+	defer sender.Close()
+	defer receiver.Close()
+	bc := mode.wrap(receiver)
+	payload := []byte("0123456789")
+
+	// An empty slot (cap 0) is allocated by the implementation.
+	if err := sender.WriteTo(payload, receiver.LocalAddr()); err != nil {
+		t.Errorf("WriteTo: %v", err)
+		return
+	}
+	env.Sleep(settle)
+	empty := make([]netapi.Datagram, 1)
+	if n, err := bc.ReadBatch(empty, 5*time.Second); n != 1 || err != nil {
+		t.Errorf("ReadBatch into empty slot = (%d, %v)", n, err)
+		return
+	}
+	if !bytes.Equal(empty[0].Payload(), payload) {
+		t.Errorf("empty-slot payload = %q, want %q", empty[0].Payload(), payload)
+	}
+
+	// A datagram longer than the slot's capacity is truncated to cap — the
+	// same thing a plain recvfrom with a short buffer does.
+	if err := sender.WriteTo(payload, receiver.LocalAddr()); err != nil {
+		t.Errorf("WriteTo: %v", err)
+		return
+	}
+	env.Sleep(settle)
+	short := netapi.NewSlab(1, 4)
+	if n, err := bc.ReadBatch(short, 5*time.Second); n != 1 || err != nil {
+		t.Errorf("ReadBatch into short slot = (%d, %v)", n, err)
+		return
+	}
+	if short[0].N != 4 || !bytes.Equal(short[0].Payload(), payload[:4]) {
+		t.Errorf("short slot = %d bytes %q, want 4 bytes %q", short[0].N, short[0].Payload(), payload[:4])
+	}
+}
+
+func testBatchWrite(t *testing.T, b Backend, env netapi.Env, mode batchMode) {
+	sender, receiver := bind(t, b, env), bind(t, b, env)
+	if sender == nil || receiver == nil {
+		return
+	}
+	defer sender.Close()
+	defer receiver.Close()
+	bc := mode.wrap(sender)
+
+	const sent = 4
+	views := make([]netapi.Datagram, sent)
+	for i := range views {
+		views[i].Set([]byte(fmt.Sprintf("batch-write-%d", i)), receiver.LocalAddr())
+	}
+	if n, err := bc.WriteBatch(views); n != sent || err != nil {
+		t.Errorf("WriteBatch = (%d, %v), want (%d, nil)", n, err, sent)
+		return
+	}
+	for i := 0; i < sent; i++ {
+		payload, src, err := receiver.ReadFrom(5 * time.Second)
+		if err != nil {
+			t.Errorf("ReadFrom #%d: %v", i, err)
+			return
+		}
+		want := fmt.Sprintf("batch-write-%d", i)
+		if string(payload) != want {
+			t.Errorf("datagram %d = %q, want %q (batch writes are ordered)", i, payload, want)
+		}
+		if src != sender.LocalAddr() {
+			t.Errorf("datagram %d source = %v, want %v", i, src, sender.LocalAddr())
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build linux && amd64
+
+package realnet
+
+// sendmmsg's x86-64 syscall number; the stdlib syscall table predates the
+// syscall and exports only SYS_RECVMMSG on this architecture.
+const sysSENDMMSG = 307

@@ -1,0 +1,23 @@
+//go:build !(linux && (amd64 || arm64))
+
+package realnet
+
+import (
+	"time"
+
+	"dnsguard/internal/netapi"
+)
+
+const osBatchIO = false
+
+// The portable build has no native mmsg path; these stubs are never reached
+// (ReadBatch/WriteBatch branch on osBatchIO) but keep the call sites
+// compiling identically on every platform.
+
+func (c *udpConn) readBatchOS(msgs []netapi.Datagram, timeout time.Duration) (int, error) {
+	return c.readBatchLoop(msgs, timeout)
+}
+
+func (c *udpConn) writeBatchOS(msgs []netapi.Datagram) (int, error) {
+	return c.writeBatchLoop(msgs)
+}

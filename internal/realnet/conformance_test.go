@@ -1,0 +1,23 @@
+package realnet_test
+
+import (
+	"net/netip"
+	"testing"
+
+	"dnsguard/internal/netapi"
+	"dnsguard/internal/netapi/netapitest"
+	"dnsguard/internal/realnet"
+)
+
+// TestConformance runs the cross-backend netapi conformance suite against
+// real OS sockets on loopback. The same suite runs against netsim; the two
+// must agree on every pinned behavior.
+func TestConformance(t *testing.T) {
+	netapitest.Run(t, netapitest.Backend{
+		Name: "realnet",
+		Addr: netip.MustParseAddr("127.0.0.1"),
+		Run: func(t *testing.T, fn func(env netapi.Env)) {
+			fn(realnet.New())
+		},
+	})
+}

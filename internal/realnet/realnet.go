@@ -91,13 +91,32 @@ var readBufPool = sync.Pool{
 	},
 }
 
+// pollGrace is the effective deadline of a zero-timeout (poll) read. A
+// deadline of exactly now races the runtime's deadline timer against the
+// poller's first non-blocking read attempt — the timer usually wins, the
+// recv syscall is never issued, and buffered datagrams are unreachable
+// through a poll (a divergence from netsim's queues that the netapi
+// conformance suite pins). A hair of grace guarantees one genuine
+// non-blocking attempt; an empty socket still turns the poll around within
+// ~pollGrace.
+const pollGrace = 200 * time.Microsecond
+
+// setReadDeadline applies netapi timeout rules to the socket: negative
+// blocks (no deadline), zero polls (pollGrace), positive bounds the wait.
+func (c *udpConn) setReadDeadline(timeout time.Duration) error {
+	var dl time.Time
+	switch {
+	case timeout == 0:
+		dl = time.Now().Add(pollGrace)
+	case timeout > 0:
+		dl = time.Now().Add(timeout)
+	}
+	return mapErr(c.conn.SetReadDeadline(dl))
+}
+
 func (c *udpConn) ReadFrom(timeout time.Duration) ([]byte, netip.AddrPort, error) {
-	if timeout >= 0 {
-		if err := c.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
-			return nil, netip.AddrPort{}, mapErr(err)
-		}
-	} else if err := c.conn.SetReadDeadline(time.Time{}); err != nil {
-		return nil, netip.AddrPort{}, mapErr(err)
+	if err := c.setReadDeadline(timeout); err != nil {
+		return nil, netip.AddrPort{}, err
 	}
 	bufp := readBufPool.Get().(*[]byte)
 	n, src, err := c.conn.ReadFromUDPAddrPort(*bufp)

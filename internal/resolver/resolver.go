@@ -65,7 +65,21 @@ type Config struct {
 	Seed int64
 }
 
-func (c *Config) fillDefaults() {
+// Validate reports the first missing required field, without touching the
+// config.
+func (c *Config) Validate() error {
+	if c.Env == nil {
+		return errors.New("resolver: Config.Env is required")
+	}
+	if len(c.RootHints) == 0 {
+		return errors.New("resolver: Config.RootHints is required")
+	}
+	return nil
+}
+
+// Normalize fills every defaulted field in place; idempotent, and usable on
+// a partially built config before Validate (flag plumbing).
+func (c *Config) Normalize() {
 	if c.Timeout <= 0 {
 		c.Timeout = 2 * time.Second
 	}
@@ -170,13 +184,10 @@ func (r *Resolver) randInt63n(n int64) int64 {
 
 // New builds a resolver.
 func New(cfg Config) (*Resolver, error) {
-	if cfg.Env == nil {
-		return nil, errors.New("resolver: Config.Env is required")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	if len(cfg.RootHints) == 0 {
-		return nil, errors.New("resolver: Config.RootHints is required")
-	}
-	cfg.fillDefaults()
+	cfg.Normalize()
 	return &Resolver{
 		cfg:   cfg,
 		cache: NewCache(cfg.CacheSize),
