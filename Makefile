@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test check vet race api-check fuzz-smoke metrics-smoke bench-smoke crash-restart-smoke testdata
+.PHONY: all build test check vet race api-check fuzz-smoke metrics-smoke bench-smoke crash-restart-smoke campaign-smoke testdata
 
 all: build
 
@@ -35,7 +35,7 @@ metrics-smoke:
 	$(GO) build -o /tmp/dnsguard-smoke-guardd ./cmd/dnsguardd; \
 	/tmp/dnsguard-smoke-ansd -zone testdata/foo.com.zone -listen 127.0.0.1:15353 & ANS=$$!; \
 	/tmp/dnsguard-smoke-guardd -listen 127.0.0.1:15355 -ans 127.0.0.1:15353 -zone foo.com \
-		-shards 2 -metrics-addr 127.0.0.1:19090 -stats 0 & GUARD=$$!; \
+		-shards 2 -mitigate -metrics-addr 127.0.0.1:19090 -stats 0 & GUARD=$$!; \
 	trap 'kill $$ANS $$GUARD 2>/dev/null' EXIT; \
 	for i in $$(seq 1 50); do \
 		curl -sf http://127.0.0.1:19090/metrics >/tmp/dnsguard-smoke-metrics.txt 2>/dev/null && break; \
@@ -45,12 +45,22 @@ metrics-smoke:
 	for series in guard_remote_received guard_remote_cookie_valid guard_remote_upstream_spoofed \
 		guard_rl1_allowed tcpproxy_accepted guard_remote_pending \
 		guard_engine_shards guard_engine_handled guard_engine_shed_new \
-		guard_engine_queue_depth guard_engine_shard1_handled; do \
+		guard_engine_queue_depth guard_engine_shard1_handled \
+		guard_mitigation_layer guard_mitigation_escalations; do \
 		grep -q "^$$series " /tmp/dnsguard-smoke-metrics.txt || { echo "missing $$series"; exit 1; }; \
 	done; \
 	grep -q "^guard_engine_shards 2$$" /tmp/dnsguard-smoke-metrics.txt \
 		|| { echo "guard_engine_shards != 2"; exit 1; }; \
+	grep -q "^guard_mitigation_enabled 1$$" /tmp/dnsguard-smoke-metrics.txt \
+		|| { echo "guard_mitigation_enabled != 1 under -mitigate"; exit 1; }; \
 	echo "metrics-smoke: ok ($$(wc -l < /tmp/dnsguard-smoke-metrics.txt) series)"
+
+# Run every shipped campaign pack in the deterministic lab (2 shards, fixed
+# seed) plus the mitigation-selector transition table: the adversarial gate
+# behind DESIGN.md §13. Same-seed runs must match the checked-in goldens.
+campaign-smoke:
+	$(GO) test ./internal/workload -run='^TestCampaign' -count=1
+	$(GO) test ./internal/guard -run='^TestMitigator' -count=1
 
 # The public-API freeze: any change to the exported dnsguard surface fails
 # here until testdata/api.txt is deliberately regenerated with
@@ -98,7 +108,7 @@ crash-restart-smoke:
 		|| { echo "pre-crash cookie did not verify after restart"; exit 1; }; \
 	echo "crash-restart-smoke: ok"
 
-check: vet race api-check fuzz-smoke metrics-smoke bench-smoke crash-restart-smoke
+check: vet race api-check campaign-smoke fuzz-smoke metrics-smoke bench-smoke crash-restart-smoke
 
 # Regenerate the wire-capture fuzz seeds under internal/dnswire/testdata/.
 testdata:

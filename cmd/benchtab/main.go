@@ -34,7 +34,7 @@ func main() {
 }
 
 func run() error {
-	runSel := flag.String("run", "all", "experiment to run: all, tableI, tableII, tableIII, fig5, fig6, fig7a, fig7b, engine")
+	runSel := flag.String("run", "all", "experiment to run: all, tableI, tableII, tableIII, fig5, fig6, fig7a, fig7b, engine, campaigns")
 	quick := flag.Bool("quick", false, "abbreviated parameter sweeps")
 	flag.Parse()
 
@@ -128,6 +128,16 @@ func run() error {
 			return fmt.Errorf("figure 7b: %w", err)
 		}
 		experiments.WriteFigure7b(out, points)
+		fmt.Fprintf(out, "(measured in %v)\n", time.Since(start).Round(time.Millisecond))
+	}
+	if want("campaigns") {
+		experiments.Rule(out, "Campaign packs — layered auto-mitigation acceptance")
+		start := time.Now()
+		rows, err := experiments.Campaigns(experiments.CampaignsOptions{})
+		if err != nil {
+			return fmt.Errorf("campaigns: %w", err)
+		}
+		experiments.WriteCampaigns(out, rows)
 		fmt.Fprintf(out, "(measured in %v)\n", time.Since(start).Round(time.Millisecond))
 	}
 	if want("engine") {

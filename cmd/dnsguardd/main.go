@@ -64,6 +64,8 @@ func run() error {
 	keyRotate := flag.Duration("key-rotate", 0, "cookie key rotation period (0 = never); rotations are persisted to -state-file")
 	ansFallback := flag.String("ans-fallback", "", "comma-separated secondary ANS addresses, tried in order when the primary's breaker opens")
 	overload := flag.String("overload-policy", "drop", "when a shard trips or every upstream is down: drop (fail-closed) or pass (fail-open)")
+	mitigate := flag.Bool("mitigate", false, "run the layered auto-mitigation selector (overrides -threshold while escalated)")
+	mitigateInterval := flag.Duration("mitigate-interval", 0, "selector sampling interval (0 = default)")
 	flag.Parse()
 
 	if *zoneName == "" {
@@ -147,6 +149,10 @@ func run() error {
 		Auth:                auth,
 		KeyRotation:         *keyRotate,
 		ActivationThreshold: *threshold,
+		Mitigation: dnsguard.MitigationConfig{
+			Enabled:  *mitigate,
+			Interval: *mitigateInterval,
+		},
 	}
 	cfg.Normalize()
 	caps := dnsguard.Capabilities(env)

@@ -243,6 +243,56 @@ type RemoteGuard = guard.Remote
 // NewRemoteGuard creates an ANS-side guard; call Start to run it.
 func NewRemoteGuard(cfg RemoteGuardConfig) (*RemoteGuard, error) { return guard.NewRemote(cfg) }
 
+// MitigationConfig configures the guard's layered auto-mitigation selector:
+// a state machine over the guard's own counters that climbs a fixed ladder
+// of responses (passthrough → threshold → cookies → TCP fallback →
+// per-source limits) with hysteresis, and descends when the attack stops.
+type MitigationConfig = guard.MitigationConfig
+
+// MitigationLayer is one rung of the mitigation ladder.
+type MitigationLayer = guard.MitigationLayer
+
+// Mitigation ladder rungs, in escalation order.
+const (
+	// LayerPassthrough relays everything unverified (guard disarmed).
+	LayerPassthrough = guard.LayerPassthrough
+	// LayerThreshold arms the guard only above the activation threshold.
+	LayerThreshold = guard.LayerThreshold
+	// LayerCookies forces cookie verification on regardless of load.
+	LayerCookies = guard.LayerCookies
+	// LayerTCPFallback bootstraps newcomers over TCP truncation.
+	LayerTCPFallback = guard.LayerTCPFallback
+	// LayerSourceLimit tightens both rate limiters per source.
+	LayerSourceLimit = guard.LayerSourceLimit
+)
+
+// AttackClass is the selector's classification of the current interval.
+type AttackClass = guard.AttackClass
+
+// Attack classes the selector distinguishes.
+const (
+	// ClassNone: no attack evident.
+	ClassNone = guard.ClassNone
+	// ClassSpoofFlood: spoofed-source query flood (low name diversity).
+	ClassSpoofFlood = guard.ClassSpoofFlood
+	// ClassWaterTorture: random-subdomain flood (high name diversity).
+	ClassWaterTorture = guard.ClassWaterTorture
+	// ClassPoisoning: forged upstream answers racing NAT entries.
+	ClassPoisoning = guard.ClassPoisoning
+)
+
+// TerminalLayer is the documented rung the ladder stops climbing at for a
+// given attack class; see DESIGN.md §13.
+func TerminalLayer(c AttackClass) MitigationLayer { return guard.TerminalLayer(c) }
+
+// MitigationStats counts selector activity (escalations, de-escalations,
+// flap holds, per-class interval tallies).
+type MitigationStats = guard.MitigationStats
+
+// MitigationState is a point-in-time snapshot of the selector, read with
+// (*RemoteGuard).Mitigation.
+type MitigationState = guard.MitigationState
+
 // LocalGuardConfig configures the LRS-side guard.
 type LocalGuardConfig = guard.LocalConfig
 

@@ -101,6 +101,23 @@ func main() {
 					Data: &dnswire.PTRData{Target: "www.foo.com"}},
 			},
 		},
+		// Water-torture flood query: the pseudorandom-subdomain shape
+		// AttackRandomSub emits (internal/workload), so mutation starts
+		// from a realistic random-QNAME capture.
+		"watertorture_qname.bin": dnswire.NewQuery(0x7041, dnswire.MustName("a9f3c2d41b7e.foo.com"),
+			dnswire.TypeA),
+		// Kaminsky ID-sweep forgery: the exact response AttackKaminsky
+		// sweeps at the guard's upstream socket — authoritative answer
+		// planting the attacker's address for a name of their choosing.
+		"idsweep_response.bin": {
+			ID:        0x01ff,
+			Flags:     dnswire.Flags{QR: true, AA: true},
+			Questions: []dnswire.Question{{Name: "evil.example", Type: dnswire.TypeA, Class: dnswire.ClassINET}},
+			Answers: []dnswire.RR{
+				{Name: "evil.example", Type: dnswire.TypeA, Class: dnswire.ClassINET, TTL: 300,
+					Data: &dnswire.AData{Addr: netip.MustParseAddr("203.0.113.1")}},
+			},
+		},
 		// Unknown RR type round-trips as raw rdata.
 		"unknown_type.bin": {
 			ID:        0x0101,

@@ -110,6 +110,13 @@ type Config struct {
 	// quarantine, restart budget, trip policy). The zero value disables it,
 	// preserving the historical dispatch path exactly.
 	Supervisor SupervisorConfig
+	// HashSeed, when non-zero, replaces the per-engine random shard hash
+	// with a fixed FNV-1a keyed by this value, so the source→shard mapping
+	// is identical across runs and processes. Deterministic simulations use
+	// it for bit-identical multi-shard replays; production keeps 0 (a fresh
+	// random seed per engine, unpredictable to attackers probing shard
+	// placement).
+	HashSeed uint64
 }
 
 func (c *Config) fillDefaults() error {
@@ -259,6 +266,15 @@ func (e *Engine) ShardOf(src netip.Addr) int {
 		return 0
 	}
 	a16 := src.As16()
+	if e.cfg.HashSeed != 0 {
+		// Fixed-seed FNV-1a: same mapping every run (see Config.HashSeed).
+		h := e.cfg.HashSeed ^ 0xcbf29ce484222325
+		for _, b := range a16 {
+			h ^= uint64(b)
+			h *= 0x100000001b3
+		}
+		return int(h % uint64(e.cfg.Shards))
+	}
 	var h maphash.Hash
 	h.SetSeed(e.seed)
 	h.Write(a16[:])

@@ -154,6 +154,14 @@ type RemoteConfig struct {
 	CPU CPUWorker
 	// Costs are the per-operation charges (see cpumodel.Default2006).
 	Costs cpumodel.GuardCosts
+	// ShardHashSeed, when non-zero, fixes the source→shard hash (see
+	// engine.Config.HashSeed). Deterministic simulations set it so
+	// multi-shard runs replay bit-identically; production keeps 0.
+	ShardHashSeed uint64
+	// Mitigation arms the layered auto-mitigation selector (see
+	// MitigationConfig and mitigate.go). Disabled by default: the guard
+	// then keeps the paper's static activation behavior exactly.
+	Mitigation MitigationConfig
 }
 
 // Validate reports the first missing required field, without touching the
@@ -214,6 +222,9 @@ func (c *RemoteConfig) Normalize() {
 	}
 	if c.Health.Enabled {
 		c.Health.fillDefaults(c.PendingTimeout)
+	}
+	if c.Mitigation.Enabled {
+		c.Mitigation.normalize()
 	}
 }
 
@@ -308,6 +319,15 @@ type Remote struct {
 	active atomic.Bool
 	closed atomic.Bool
 
+	// Layered auto-mitigation selector state (mitigate.go). mit is always
+	// non-nil; the three control atomics stay at their zero values (mitAuto,
+	// no fallback override, non-strict) whenever the selector is disarmed,
+	// which makes every override check below a no-op.
+	mit         *mitigator
+	mitMode     atomic.Int32 // mitAuto / mitForcePass / mitForceActive
+	mitFallback atomic.Int32 // 0 or an imposed Scheme
+	mitStrict   atomic.Bool  // limiters tightened StrictFactor×
+
 	// answers is the shared non-referral answer cache (locks internally).
 	answers *resolver.Cache
 
@@ -333,6 +353,10 @@ type remoteShard struct {
 	rl2     *ratelimit.Limiter2
 	pending map[uint16]*pendEntry
 	ids     idPool
+
+	// strict mirrors the selector's mitStrict flag into worker context;
+	// syncLimiters compares and rebuilds the limiters on transitions.
+	strict bool
 
 	// Batch-bracket state, touched only by the shard's worker between
 	// BeginBatch and EndBatch (see batch.go): the keyring snapshot and the
@@ -393,6 +417,7 @@ func (g *Remote) MetricsInto(r *metrics.Registry) {
 	r.Func("guard_remote_pending", func() float64 {
 		return float64(g.PendingEntries())
 	})
+	g.mitMetricsInto(r)
 	g.eng.MetricsInto(r, "guard_engine_")
 }
 
@@ -408,6 +433,13 @@ func NewRemote(cfg RemoteConfig) (*Remote, error) {
 		ipc:     cookie.IPCodec{Subnet: cfg.Subnet},
 		rate:    ratelimit.NewRateEstimator(10, 100*time.Millisecond),
 		answers: resolver.NewCache(4096),
+		mit:     newMitigator(cfg.Mitigation),
+	}
+	if cfg.Mitigation.Enabled {
+		// Derive the initial control flags from the ladder bottom
+		// (passthrough) so the armed guard starts fully open and works its
+		// way up; disarmed guards never touch the flags.
+		g.applyMitigation()
 	}
 	g.shards = make([]*remoteShard, cfg.Shards)
 	sup := cfg.Supervision
@@ -427,6 +459,7 @@ func NewRemote(cfg RemoteConfig) (*Remote, error) {
 		Name:            "guard",
 		Observer:        cfg.Observer,
 		Supervisor:      sup,
+		HashSeed:        cfg.ShardHashSeed,
 		NewHandler: func(i int) engine.Handler {
 			s := &remoteShard{
 				g:       g,
@@ -482,6 +515,9 @@ func (g *Remote) Start() error {
 	}
 	if g.cfg.KeyRotation > 0 {
 		g.cfg.Env.Go("guard-rotate", g.rotateLoop)
+	}
+	if g.cfg.Mitigation.Enabled {
+		g.cfg.Env.Go("guard-mitigate", g.mitigateLoop)
 	}
 	return nil
 }
@@ -540,8 +576,19 @@ func (g *Remote) Close() {
 	}
 }
 
-// Active reports whether spoof detection is currently engaged.
-func (g *Remote) Active() bool { return g.cfg.ActivationThreshold == 0 || g.active.Load() }
+// Active reports whether spoof detection is currently engaged. The layered
+// mitigation selector, when armed, can override the threshold decision in
+// either direction: the ladder bottom relays everything, cookie rungs and
+// above force detection on.
+func (g *Remote) Active() bool {
+	switch g.mitMode.Load() {
+	case mitForcePass:
+		return false
+	case mitForceActive:
+		return true
+	}
+	return g.cfg.ActivationThreshold == 0 || g.active.Load()
+}
 
 // preempter is optionally implemented by CPU models that distinguish
 // interrupt-priority packet work from ordinary jobs (netsim.CPU does).
@@ -568,6 +615,7 @@ func (g *Remote) now() time.Duration { return g.cfg.Env.Now() }
 // engine calls it on the worker owning pkt.Src's shard.
 func (s *remoteShard) HandlePacket(pkt Packet) {
 	g := s.g
+	s.syncLimiters()
 	atomic.AddUint64(&g.Stats.Received, 1)
 	g.charge(g.cfg.Costs.PacketOp)
 	g.updateActivation()
@@ -643,13 +691,18 @@ func (s *remoteShard) passthrough(pkt Packet) {
 // handleNewcomer boots a cookie-less requester per the fallback scheme.
 func (s *remoteShard) handleNewcomer(pkt Packet, msg *dnswire.Message) {
 	g := s.g
+	qname := msg.Question().Name
+	if g.cfg.Mitigation.Enabled {
+		// Feed the selector's name-diversity sketch before the limiter so
+		// it reflects offered newcomer load, not the post-RL1 residue.
+		g.mit.sketch.observe(qname)
+	}
 	if !s.rl1.AllowResponse(pkt.Src.Addr(), g.now()) {
 		atomic.AddUint64(&g.Stats.RL1Dropped, 1)
 		return
 	}
-	qname := msg.Question().Name
 	child, hasChild := qname.ChildOf(g.cfg.Zone)
-	useTCP := g.cfg.Fallback == SchemeTCP || !hasChild || g.isTCPClient(pkt.Src.Addr())
+	useTCP := g.effectiveFallback() == SchemeTCP || !hasChild || g.isTCPClient(pkt.Src.Addr())
 	if !qname.IsSubdomainOf(g.cfg.Zone) && qname != g.cfg.Zone {
 		resp := msg.Response()
 		resp.Flags.RCode = dnswire.RCodeRefused

@@ -1,0 +1,199 @@
+// Campaigns: scripted, deterministic multi-phase attack timelines.
+//
+// Wei & Heidemann's six-year spoofing study shows real campaigns are not
+// one-shot floods — they ramp, rotate source populations, and switch attack
+// class mid-run. A Campaign scripts exactly that over netsim's virtual
+// clock: a list of phases, each with a start offset, a duration, and a mix
+// of attackers (kind, rate ramp, spoof-pool churn), so a whole adversarial
+// scenario replays bit-identically from one seed. The shipped scenarios
+// live in packs.go; the lab harness that runs one against a guarded world
+// is campaignlab.go.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync/atomic"
+	"time"
+
+	"dnsguard/internal/dnswire"
+	"dnsguard/internal/metrics"
+	"dnsguard/internal/netsim"
+)
+
+// PhaseAttack is one attacker within a phase.
+type PhaseAttack struct {
+	// Kind selects the payload (AttackPlain, AttackRandomSub, …).
+	Kind AttackKind
+	// Rate is the flood rate in packets/second at phase start.
+	Rate float64
+	// EndRate, when positive, ramps the rate linearly to this by phase end.
+	EndRate float64
+	// SpoofPool bounds the spoofed-source population (0: attacker default).
+	SpoofPool int
+	// ChurnEvery rotates the whole source population on this period.
+	ChurnEvery time.Duration
+	// QName overrides the query name (0: campaign zone's www child).
+	QName dnswire.Name
+	// OffPath marks an AttackKaminsky attacker that does not know the real
+	// ANS address and forges its own instead (instantly detectable — the
+	// baseline the on-path sweep is measured against).
+	OffPath bool
+}
+
+// Phase is one segment of the campaign timeline.
+type Phase struct {
+	// Name labels the phase in metrics and logs.
+	Name string
+	// Start is the phase's offset from Campaign.Start. Phases may overlap.
+	Start time.Duration
+	// Duration bounds the phase's attackers.
+	Duration time.Duration
+	// Attacks all run concurrently for the phase's duration.
+	Attacks []PhaseAttack
+}
+
+// CampaignConfig parameterizes a scripted attack timeline.
+type CampaignConfig struct {
+	// Host is the simulated attacker machine all phases originate from.
+	Host *netsim.Host
+	// Target is the victim's public DNS address.
+	Target netip.AddrPort
+	// Zone is the victim zone (random-subdomain names fabricate under it).
+	Zone dnswire.Name
+	// Seed keys every attacker PRNG (derived per phase and attack index),
+	// so one seed determines the whole campaign.
+	Seed uint64
+	// Upstream locates the victim's ANS-facing socket (AttackKaminsky).
+	Upstream func() netip.AddrPort
+	// ANSAddr is the real ANS address an on-path AttackKaminsky forges.
+	ANSAddr netip.AddrPort
+	// Phases is the timeline.
+	Phases []Phase
+}
+
+// Campaign drives a scripted multi-phase attack. Create with NewCampaign,
+// then Start; the phases run themselves against the virtual clock.
+type Campaign struct {
+	cfg       CampaignConfig
+	attackers [][]*Attacker // per phase
+	started   atomic.Uint64
+	finished  atomic.Uint64
+}
+
+// NewCampaign validates cfg and pre-builds every phase's attackers.
+func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
+	if cfg.Host == nil || !cfg.Target.IsValid() || len(cfg.Phases) == 0 {
+		return nil, errors.New("workload: CampaignConfig.Host, Target, Phases are required")
+	}
+	if cfg.Zone == "" {
+		cfg.Zone = dnswire.MustName("foo.com")
+	}
+	c := &Campaign{cfg: cfg}
+	c.attackers = make([][]*Attacker, len(cfg.Phases))
+	for pi, ph := range cfg.Phases {
+		if ph.Duration <= 0 {
+			return nil, fmt.Errorf("workload: phase %q needs a positive Duration", ph.Name)
+		}
+		for ai, atk := range ph.Attacks {
+			acfg := AttackerConfig{
+				Host:       cfg.Host,
+				Target:     cfg.Target,
+				Rate:       atk.Rate,
+				EndRate:    atk.EndRate,
+				Kind:       atk.Kind,
+				QName:      atk.QName,
+				Zone:       cfg.Zone,
+				SpoofPool:  atk.SpoofPool,
+				ChurnEvery: atk.ChurnEvery,
+				// Distinct stream per (seed, phase, attack): same campaign
+				// seed, same packets, always.
+				Seed:     cfg.Seed ^ uint64(pi+1)*0x9E3779B97F4A7C15 ^ uint64(ai+1)*0xD1B54A32D192ED03,
+				Duration: ph.Duration,
+			}
+			if acfg.QName == "" {
+				name, err := cfg.Zone.PrependLabel("www")
+				if err != nil {
+					return nil, err
+				}
+				acfg.QName = name
+			}
+			if atk.Kind == AttackKaminsky {
+				acfg.Upstream = cfg.Upstream
+				if atk.OffPath {
+					acfg.SpoofSrc = netip.AddrPortFrom(cfg.Host.Addr(), 4444)
+				} else {
+					acfg.SpoofSrc = cfg.ANSAddr
+				}
+			}
+			a, err := NewAttacker(acfg)
+			if err != nil {
+				return nil, fmt.Errorf("workload: phase %q attack %d: %w", ph.Name, ai, err)
+			}
+			c.attackers[pi] = append(c.attackers[pi], a)
+		}
+	}
+	return c, nil
+}
+
+// Start arms the timeline: one proc per phase waits out the phase's offset,
+// runs its attackers for the duration, then stops them.
+func (c *Campaign) Start() {
+	for pi := range c.cfg.Phases {
+		pi := pi
+		ph := c.cfg.Phases[pi]
+		c.cfg.Host.Go(fmt.Sprintf("campaign-%d", pi), func() {
+			if ph.Start > 0 {
+				c.cfg.Host.Sleep(ph.Start)
+			}
+			c.started.Add(1)
+			for _, a := range c.attackers[pi] {
+				a.Start()
+			}
+			c.cfg.Host.Sleep(ph.Duration)
+			for _, a := range c.attackers[pi] {
+				a.Stop()
+			}
+			c.finished.Add(1)
+		})
+	}
+}
+
+// Sent totals emitted packets across all phases.
+func (c *Campaign) Sent() uint64 {
+	var t uint64
+	for _, phase := range c.attackers {
+		for _, a := range phase {
+			t += a.Sent
+		}
+	}
+	return t
+}
+
+// PhaseSent totals emitted packets for phase i.
+func (c *Campaign) PhaseSent(i int) uint64 {
+	var t uint64
+	for _, a := range c.attackers[i] {
+		t += a.Sent
+	}
+	return t
+}
+
+// PhasesStarted reports how many phases have begun.
+func (c *Campaign) PhasesStarted() uint64 { return c.started.Load() }
+
+// PhasesFinished reports how many phases have completed.
+func (c *Campaign) PhasesFinished() uint64 { return c.finished.Load() }
+
+// MetricsInto registers campaign_* series: timeline progress, the total
+// emission count, and one series per phase.
+func (c *Campaign) MetricsInto(r *metrics.Registry) {
+	r.FuncUint("campaign_phases_started", c.PhasesStarted)
+	r.FuncUint("campaign_phases_finished", c.PhasesFinished)
+	r.FuncUint("campaign_sent", c.Sent)
+	for i := range c.attackers {
+		i := i
+		r.FuncUint(fmt.Sprintf("campaign_phase%d_sent", i), func() uint64 { return c.PhaseSent(i) })
+	}
+}

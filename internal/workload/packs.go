@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"time"
+
+	"dnsguard/internal/guard"
+)
+
+// Pack is a ships-in-the-box campaign scenario: a named, parameterized
+// timeline plus the attack class it embodies and the mitigation rung the
+// guard's selector is documented to stop at. Every pack doubles as a
+// deterministic regression test (campaign_test.go) and a benchtab row
+// (internal/experiments).
+type Pack struct {
+	// Name identifies the pack (campaign-smoke, benchtab, goldens).
+	Name string
+	// Description is one line for tables and -list output.
+	Description string
+	// Class is the attack class the selector should converge on.
+	Class guard.AttackClass
+	// Terminal is the documented mitigation rung for Class — the selector
+	// must reach it and not exceed it.
+	Terminal guard.MitigationLayer
+	// Rate is the pack's reference intensity in packets/second; phases
+	// scale from it. PackParams.Rate overrides.
+	Rate float64
+	// Build produces the timeline for the given parameters.
+	Build func(PackParams) []Phase
+}
+
+// PackParams scale a pack onto a concrete world.
+type PackParams struct {
+	// Rate overrides the pack's reference intensity (pkts/s).
+	Rate float64
+	// Lead delays the whole timeline so the world warms up first.
+	// 0 means 1s.
+	Lead time.Duration
+	// Stretch scales every phase offset and duration (a pack authored in
+	// seconds can replay on a milliseconds-scale testbed). 0 means 1.
+	Stretch float64
+}
+
+func (p *PackParams) normalize(def float64) {
+	if p.Rate <= 0 {
+		p.Rate = def
+	}
+	if p.Lead == 0 {
+		p.Lead = time.Second
+	}
+	if p.Stretch <= 0 {
+		p.Stretch = 1
+	}
+}
+
+func (p PackParams) at(offset time.Duration) time.Duration {
+	return p.Lead + time.Duration(float64(offset)*p.Stretch)
+}
+
+func (p PackParams) span(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * p.Stretch)
+}
+
+// Packs returns the shipped campaign scenarios.
+func Packs() []Pack {
+	return []Pack{
+		{
+			Name:        "water-torture",
+			Description: "random-subdomain flood ramping 1x->1.5x after a low-rate probe",
+			Class:       guard.ClassWaterTorture,
+			Terminal:    guard.LayerTCPFallback,
+			Rate:        4000,
+			Build: func(p PackParams) []Phase {
+				p.normalize(4000)
+				return []Phase{
+					{
+						Name: "probe", Start: p.at(0), Duration: p.span(time.Second),
+						Attacks: []PhaseAttack{
+							{Kind: AttackRandomSub, Rate: 0.25 * p.Rate, SpoofPool: 4096},
+						},
+					},
+					{
+						Name: "torture", Start: p.at(time.Second), Duration: p.span(4 * time.Second),
+						Attacks: []PhaseAttack{
+							{Kind: AttackRandomSub, Rate: p.Rate, EndRate: 1.5 * p.Rate, SpoofPool: 4096},
+						},
+					},
+				}
+			},
+		},
+		{
+			Name:        "kaminsky-sweep",
+			Description: "transaction-ID sweep of forged ANS answers, off-path probe then on-path",
+			Class:       guard.ClassPoisoning,
+			Terminal:    guard.LayerCookies,
+			Rate:        2000,
+			Build: func(p PackParams) []Phase {
+				p.normalize(2000)
+				return []Phase{
+					{
+						Name: "offpath", Start: p.at(0), Duration: p.span(200 * time.Millisecond),
+						Attacks: []PhaseAttack{
+							{Kind: AttackKaminsky, Rate: 0.1 * p.Rate, OffPath: true},
+						},
+					},
+					{
+						Name: "sweep", Start: p.at(40 * time.Millisecond), Duration: p.span(3 * time.Second),
+						Attacks: []PhaseAttack{
+							{Kind: AttackKaminsky, Rate: p.Rate},
+						},
+					},
+				}
+			},
+		},
+		{
+			Name:        "spoof-churn",
+			Description: "spoofed query flood ramping 1x->2x, source population churned every 250ms",
+			Class:       guard.ClassSpoofFlood,
+			Terminal:    guard.LayerSourceLimit,
+			Rate:        4000,
+			Build: func(p PackParams) []Phase {
+				p.normalize(4000)
+				return []Phase{
+					{
+						Name: "flood", Start: p.at(0), Duration: p.span(4 * time.Second),
+						Attacks: []PhaseAttack{
+							{Kind: AttackPlain, Rate: p.Rate, EndRate: 2 * p.Rate,
+								SpoofPool: 512, ChurnEvery: p.span(250 * time.Millisecond)},
+						},
+					},
+				}
+			},
+		},
+		{
+			Name:        "evolving",
+			Description: "attacker switches class mid-run: water torture, then churned flood, then ID sweep",
+			Class:       guard.ClassSpoofFlood,
+			Terminal:    guard.LayerSourceLimit,
+			Rate:        3000,
+			Build: func(p PackParams) []Phase {
+				p.normalize(3000)
+				return []Phase{
+					{
+						Name: "subdomain-burst", Start: p.at(0), Duration: p.span(2 * time.Second),
+						Attacks: []PhaseAttack{
+							{Kind: AttackRandomSub, Rate: p.Rate, SpoofPool: 4096},
+						},
+					},
+					{
+						Name: "spoof-churn", Start: p.at(2200 * time.Millisecond), Duration: p.span(2 * time.Second),
+						Attacks: []PhaseAttack{
+							{Kind: AttackPlain, Rate: 1.2 * p.Rate,
+								SpoofPool: 512, ChurnEvery: p.span(250 * time.Millisecond)},
+						},
+					},
+					{
+						Name: "id-sweep", Start: p.at(4500 * time.Millisecond), Duration: p.span(2 * time.Second),
+						Attacks: []PhaseAttack{
+							{Kind: AttackKaminsky, Rate: 0.5 * p.Rate},
+						},
+					},
+				}
+			},
+		},
+	}
+}
+
+// PackByName finds a shipped pack.
+func PackByName(name string) (Pack, bool) {
+	for _, p := range Packs() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Pack{}, false
+}
+
+// PackEnd reports when the last phase of a built timeline stops.
+func PackEnd(phases []Phase) time.Duration {
+	var end time.Duration
+	for _, ph := range phases {
+		if e := ph.Start + ph.Duration; e > end {
+			end = e
+		}
+	}
+	return end
+}
