@@ -75,6 +75,7 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench='^BenchmarkEngineThroughput$$/shards=1/spoof=0$$/batch=1$$' -benchtime=1x -short .
 	$(GO) test -run='^$$' -bench='^BenchmarkEngineThroughput$$/shards=1/spoof=0$$/batch=32$$' -benchtime=1x -short .
 	$(GO) test -run='^$$' -bench='^BenchmarkTableIII_NSName$$' -benchtime=1x .
+	DNSGUARD_SCALING_SMOKE=1 $(GO) test -run='^TestShardScalingSmoke$$' -count=1 -v ./internal/experiments
 
 # Crash-restart smoke: boot a guarded ANS with a persisted keyring, obtain a
 # cookie, SIGKILL the guard, restart it on the same -state-file, and prove

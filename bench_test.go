@@ -182,7 +182,8 @@ func benchEngineThroughput(b *testing.B, shards, batch int, spoof float64) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(res.QPS, "qps")
+		b.ReportMetric(res.GoodputQPS, "goodput_qps")
+		b.ReportMetric(res.ProcessedQPS, "processed_qps")
 		b.ReportMetric(float64(res.P50.Nanoseconds())/1e6, "p50_ms")
 		b.ReportMetric(float64(res.P99.Nanoseconds())/1e6, "p99_ms")
 		b.ReportMetric(float64(res.ShedNew), "shed_new")

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -36,7 +37,35 @@ func main() {
 func run() error {
 	runSel := flag.String("run", "all", "experiment to run: all, tableI, tableII, tableIII, fig5, fig6, fig7a, fig7b, engine, campaigns")
 	quick := flag.Bool("quick", false, "abbreviated parameter sweeps")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments here (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile here at exit (go tool pprof)")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settled heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	sel := strings.ToLower(*runSel)
 	want := func(name string) bool { return sel == "all" || sel == strings.ToLower(name) }

@@ -59,6 +59,7 @@ func run() error {
 	shards := flag.Int("shards", 1, "dataplane worker shards (each with its own SO_REUSEPORT socket)")
 	batch := flag.Int("batch", 1, "datagrams read/written per syscall batch (1 = per-packet I/O)")
 	queueDepth := flag.Int("queue-depth", 0, "per-shard ingress queue depth (0 = default)")
+	ingest := flag.String("ingest", "auto", "shard ingest mode: auto (affine when each shard has its own flow-stable socket), hash (central fan-out), or affine (require per-shard sockets)")
 	fastPathTTL := flag.Duration("fastpath-ttl", 0, "verified-source fast-path cache TTL (0 = default, negative = off)")
 	stateFile := flag.String("state-file", "", "persist the cookie keyring here; a restart with the same file keeps pre-restart cookies valid")
 	keyRotate := flag.Duration("key-rotate", 0, "cookie key rotation period (0 = never); rotations are persisted to -state-file")
@@ -91,6 +92,18 @@ func run() error {
 		scheme = dnsguard.SchemeTCP
 	default:
 		return fmt.Errorf("unknown -scheme %q", *schemeName)
+	}
+
+	var ingestMode dnsguard.IngestMode
+	switch *ingest {
+	case "auto":
+		ingestMode = dnsguard.IngestAuto
+	case "hash":
+		ingestMode = dnsguard.IngestHash
+	case "affine":
+		ingestMode = dnsguard.IngestAffine
+	default:
+		return fmt.Errorf("unknown -ingest %q (want auto, hash, or affine)", *ingest)
 	}
 
 	var failOpen bool
@@ -139,6 +152,7 @@ func run() error {
 		Shards:              *shards,
 		Batch:               *batch,
 		QueueDepth:          *queueDepth,
+		Ingest:              ingestMode,
 		FastPathTTL:         *fastPathTTL,
 		ANSAddr:             ans,
 		ANSFallbacks:        fallbacks,
@@ -178,8 +192,14 @@ func run() error {
 	if err := g.Start(); err != nil {
 		return err
 	}
-	fmt.Printf("dnsguardd: guarding zone %s on %v → ANS %v (scheme %v, threshold %.0f, shards %d, batch %d)\n",
-		apex, conns[0].LocalAddr(), ans, scheme, *threshold, cfg.Shards, cfg.Batch)
+	effIngest := "hash"
+	if g.Engine().Affine() {
+		effIngest = "affine"
+	} else if cfg.Shards == 1 {
+		effIngest = "inline"
+	}
+	fmt.Printf("dnsguardd: guarding zone %s on %v → ANS %v (scheme %v, threshold %.0f, shards %d, batch %d, ingest %s)\n",
+		apex, conns[0].LocalAddr(), ans, scheme, *threshold, cfg.Shards, cfg.Batch, effIngest)
 
 	var proxy *dnsguard.TCPProxy
 	if *withProxy {

@@ -236,6 +236,22 @@ const (
 	TripPass = engine.TripPass
 )
 
+// IngestMode selects how packets reach dataplane shard workers.
+type IngestMode = engine.IngestMode
+
+// Ingest modes.
+const (
+	// IngestAuto picks affine ingest when every shard has its own
+	// flow-stable interface, hash fan-out otherwise.
+	IngestAuto = engine.IngestAuto
+	// IngestHash forces the central source-hash fan-out (deterministic
+	// replays; netsim).
+	IngestHash = engine.IngestHash
+	// IngestAffine forces one read loop per shard on its own interface;
+	// requires one interface per shard.
+	IngestAffine = engine.IngestAffine
+)
+
 // RemoteGuard is the ANS-side DNS guard: the cookie checker, both rate
 // limiters, and all three spoof-detection schemes (Figure 4).
 type RemoteGuard = guard.Remote

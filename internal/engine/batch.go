@@ -1,11 +1,12 @@
 // Batch ingest for the dataplane. With Config.Batch > 1 and a capture
 // interface that can fill a slab (BatchReader), each reader pulls whole
-// batches, groups them by destination shard, and enqueues one pooled batch
-// slice per shard-group — one queue operation and one lock where the
-// single-packet path pays one per packet. Dispatch stays per-packet
-// (Observer, supervision recover boundary, quarantine all keep their exact
-// semantics); handlers that want per-batch amortization opt in through
-// BatchHandler's BeginBatch/EndBatch bracket.
+// batches. In hash mode the reader groups them by destination shard and
+// enqueues one pooled batch slice per shard-group — one queue operation and
+// one lock where the single-packet path pays one per packet. In affine mode
+// the whole batch already belongs to the reader's shard and is dispatched in
+// place. Dispatch stays per-packet (Observer, supervision recover boundary,
+// quarantine all keep their exact semantics); handlers that want per-batch
+// amortization opt in through BatchHandler's BeginBatch/EndBatch bracket.
 package engine
 
 import (
@@ -77,8 +78,9 @@ func (e *Engine) batchReader(io PacketIO) BatchReader {
 // grouped by (shard, admission class) so the per-packet policy is preserved
 // — verified-source groups evict oldest on a saturated queue, unverified
 // groups are tail-dropped whole (batch-granularity shedding; counters move
-// by group size).
-func (e *Engine) runReaderBatch(br BatchReader) {
+// by group size). reader indexes this proc's private ingest sink.
+func (e *Engine) runReaderBatch(reader int, br BatchReader) {
+	ing := &e.ingest[reader].IngestStats
 	pkts := make([]Packet, e.cfg.Batch)
 	// groups[2*shard] collects the read's verified-class packets for that
 	// shard, groups[2*shard+1] the unverified class.
@@ -88,13 +90,13 @@ func (e *Engine) runReaderBatch(br BatchReader) {
 		if err != nil {
 			return
 		}
-		atomic.AddUint64(&e.Ingest.Reads, 1)
-		atomic.AddUint64(&e.Ingest.Packets, uint64(n))
+		atomic.AddUint64(&ing.Reads, 1)
+		atomic.AddUint64(&ing.Packets, uint64(n))
 		now := e.cfg.Env.Now()
 		for i := 0; i < n; i++ {
 			shard := e.ShardOf(pkts[i].Src.Addr())
 			slot := 2 * shard
-			if !e.verified[shard].has(pkts[i].Src.Addr(), now) {
+			if !e.shards[shard].verified.has(pkts[i].Src.Addr(), now) {
 				slot++
 			}
 			b := groups[slot]
@@ -111,20 +113,49 @@ func (e *Engine) runReaderBatch(br BatchReader) {
 			}
 			groups[slot] = nil
 			shard := slot / 2
-			st := &e.stats[shard]
+			sh := e.shards[shard]
+			st := &sh.stats
 			m := uint64(len(b.pkts))
 			if slot%2 == 0 {
-				if ev, did := e.queues[shard].PutEvict(b); did {
+				if ev, did := sh.queue.PutEvict(b); did {
+					if ev == any(b) {
+						// Closed queue: the group bounced back unbuffered.
+						atomic.AddUint64(&st.ShedNew, m)
+						putQBatch(b)
+						continue
+					}
 					e.recycleEvicted(st, ev)
 				}
 				atomic.AddUint64(&st.Enqueued, m)
-			} else if e.queues[shard].Put(b) {
+			} else if sh.queue.Put(b) {
 				atomic.AddUint64(&st.Enqueued, m)
 			} else {
 				atomic.AddUint64(&st.ShedNew, m)
 				putQBatch(b)
 			}
 		}
+	}
+}
+
+// runAffineBatch is runAffine over slabs: the whole read already belongs to
+// this shard, so it is dispatched in place with no grouping, no queue hop,
+// and no cross-shard classification.
+func (e *Engine) runAffineBatch(shard int, br BatchReader) {
+	sh := e.shards[shard]
+	ing := &e.ingest[shard].IngestStats
+	h := e.handlers[shard]
+	supervised := e.cfg.Supervisor.Enabled
+	pkts := make([]Packet, e.cfg.Batch)
+	for {
+		e.drainHandoff(shard, sh, h, supervised)
+		n, err := br.ReadBatch(pkts, netapi.NoTimeout)
+		if err != nil {
+			return
+		}
+		atomic.AddUint64(&ing.Reads, 1)
+		atomic.AddUint64(&ing.Packets, uint64(n))
+		atomic.AddUint64(&sh.stats.Handled, uint64(n))
+		e.dispatchBatch(shard, h, supervised, pkts[:n])
 	}
 }
 
@@ -135,7 +166,7 @@ func (e *Engine) recycleEvicted(st *ShardStats, ev any) {
 	switch it := ev.(type) {
 	case *qitem:
 		atomic.AddUint64(&st.ShedOld, 1)
-		qitemPool.Put(it)
+		putQItem(it)
 	case *qbatch:
 		atomic.AddUint64(&st.ShedOld, uint64(len(it.pkts)))
 		putQBatch(it)
@@ -155,14 +186,7 @@ func (e *Engine) dispatchBatch(i int, h Handler, supervised bool, pkts []Packet)
 		bh.BeginBatch(len(pkts))
 	}
 	for _, pkt := range pkts {
-		if supervised {
-			e.dispatchSupervised(i, pkt)
-			continue
-		}
-		if e.cfg.Observer != nil {
-			e.cfg.Observer(i, pkt)
-		}
-		h.HandlePacket(pkt)
+		e.dispatch(i, h, supervised, pkt)
 	}
 	if bh != nil {
 		bh.EndBatch()
@@ -173,7 +197,8 @@ func (e *Engine) dispatchBatch(i int, h Handler, supervised bool, pkts []Packet)
 // batches dispatched in read order.
 func (e *Engine) runInlineBatch(br BatchReader) {
 	h := e.handlers[0]
-	st := &e.stats[0]
+	st := &e.shards[0].stats
+	ing := &e.ingest[0].IngestStats
 	supervised := e.cfg.Supervisor.Enabled
 	pkts := make([]Packet, e.cfg.Batch)
 	for {
@@ -181,8 +206,8 @@ func (e *Engine) runInlineBatch(br BatchReader) {
 		if err != nil {
 			return
 		}
-		atomic.AddUint64(&e.Ingest.Reads, 1)
-		atomic.AddUint64(&e.Ingest.Packets, uint64(n))
+		atomic.AddUint64(&ing.Reads, 1)
+		atomic.AddUint64(&ing.Packets, uint64(n))
 		atomic.AddUint64(&st.Handled, uint64(n))
 		e.dispatchBatch(0, h, supervised, pkts[:n])
 	}

@@ -7,23 +7,28 @@
 // absorb anycast-scale floods by partitioning per-source state and giving
 // recently-vetted sources a cheap admission path. The engine provides both:
 //
-//   - N worker shards selected by a hash of the source address, so all
-//     per-source guard state (pending-NAT table, cookie verifier, rate
-//     limiters) is owned by exactly one worker and the hot path takes no
+//   - N worker shards, each owning all per-source guard state (pending-NAT
+//     table, cookie verifier, rate limiters), so the hot path takes no
 //     cross-shard locks;
-//   - bounded per-shard ingress queues with explicit backpressure: traffic
-//     from unverified sources is tail-dropped when a queue fills
-//     (drop-newest — a spoofed flood sheds itself), while traffic from
-//     recently-verified sources evicts the oldest queued packet instead
-//     (drop-oldest — legitimate retries supersede their own stale
-//     predecessors), each policy with its own counter;
+//   - two ingest disciplines (see IngestMode): classic source-hash fan-out
+//     through bounded per-shard ingress queues, and shard-affine ingest
+//     where each shard runs its own read loop on its own flow-stable socket
+//     and dispatches inline — no queue hop, no cross-shard handoff on the
+//     hot path;
+//   - explicit backpressure in queued mode: traffic from unverified sources
+//     is tail-dropped when a queue fills (drop-newest — a spoofed flood
+//     sheds itself), while traffic from recently-verified sources evicts
+//     the oldest queued packet instead (drop-oldest — legitimate retries
+//     supersede their own stale predecessors), each policy with its own
+//     counter; in affine mode the kernel socket buffer is the backpressure;
 //   - a TTL'd, capacity-bounded verified-source cache mapping a source
 //     address to the credential it last verified, so handlers can replace
 //     the full MD5 verification with a byte compare for warm sources (the
 //     handler still compares the presented credential — a spoofed address
 //     alone gains nothing);
-//   - multi-socket ingest: one reader per PacketIO, so environments with
-//     netapi.UDPReuseEnv can run a reader per kernel receive queue.
+//   - per-shard counter sinks on private cachelines: nothing on the packet
+//     hot path writes a cacheline another shard writes; engine-wide totals
+//     are aggregated only at metrics-scrape time.
 //
 // With Shards == 1 and a single IO the engine collapses to an inline loop —
 // one proc, no queue hop — preserving the exact event ordering of the
@@ -63,10 +68,56 @@ type PacketIO interface {
 	Close() error
 }
 
+// FlowStable is an optional PacketIO capability: it reports whether the
+// environment delivers all datagrams of one flow to this same interface for
+// the interface's lifetime. Kernel SO_REUSEPORT steering is per-flow stable
+// (the 4-tuple hash pins a flow to one socket); a single socket read by many
+// handles, or a userspace fan-out over one receive queue, is not. IngestAuto
+// selects affine ingest only when every capture interface reports true.
+type FlowStable interface {
+	FlowStable() bool
+}
+
 // Handler consumes packets on one shard. HandlePacket is called from that
 // shard's worker only, so a handler may keep per-shard state without locks.
 type Handler interface {
 	HandlePacket(pkt Packet)
+}
+
+// IngestMode selects how packets reach their shard.
+type IngestMode int
+
+const (
+	// IngestAuto picks IngestAffine when the topology is eligible — one
+	// capture interface per shard, every interface flow-stable — and
+	// IngestHash otherwise. The default.
+	IngestAuto IngestMode = iota
+	// IngestHash is the classic fan-out: any reader may receive any flow,
+	// hashes the source address to its shard, and crosses a bounded ingress
+	// queue to that shard's worker. The only mode that is correct on
+	// non-flow-stable interfaces, and the one deterministic netsim replays
+	// use (shard identity = source hash, independent of delivery).
+	IngestHash
+	// IngestAffine runs one read loop per shard on that shard's own
+	// interface and dispatches inline: shard identity IS the delivering
+	// interface (in realnet, the SO_REUSEPORT socket the kernel steered the
+	// flow to). No queue hop, no cross-shard cacheline on the hot path. A
+	// per-shard handoff ring (see Handoff) covers the rare packet that must
+	// migrate. Requires len(IOs) == Shards; forcing it onto interfaces that
+	// are not flow-stable silently breaks per-source shard affinity.
+	IngestAffine
+)
+
+func (m IngestMode) String() string {
+	switch m {
+	case IngestAuto:
+		return "auto"
+	case IngestHash:
+		return "hash"
+	case IngestAffine:
+		return "affine"
+	}
+	return fmt.Sprintf("IngestMode(%d)", int(m))
 }
 
 // Config parameterizes an Engine.
@@ -81,6 +132,10 @@ type Config struct {
 	// Shards is the worker count. 0 and 1 mean one shard; with a single IO
 	// that runs inline (no queue hop).
 	Shards int
+	// Ingest selects the ingest discipline (see IngestMode). The zero value
+	// IngestAuto uses affine ingest when the IOs allow it and the hash
+	// fan-out otherwise, so existing configurations keep their behavior.
+	Ingest IngestMode
 	// QueueDepth bounds each shard's ingress queue. 0 means 512.
 	QueueDepth int
 	// Batch caps the datagrams moved per I/O call when the capture
@@ -100,10 +155,10 @@ type Config struct {
 	// Empty means "engine". The single-IO single-shard reader is named
 	// "<name>-capture" to match the pre-engine guard's proc name exactly.
 	Name string
-	// Observer, when non-nil, is called in worker context (inline: reader
-	// context) right before the handler sees each packet. Test hook for
-	// affinity assertions; keep it cheap. With supervision enabled it runs
-	// inside the shard's recover boundary, which makes it the
+	// Observer, when non-nil, is called in worker context (inline/affine:
+	// reader context) right before the handler sees each packet. Test hook
+	// for affinity assertions; keep it cheap. With supervision enabled it
+	// runs inside the shard's recover boundary, which makes it the
 	// panic-injection hook too.
 	Observer func(shard int, pkt Packet)
 	// Supervisor gates shard supervision (recover boundary, packet
@@ -152,10 +207,39 @@ func (c *Config) fillDefaults() error {
 // ShardStats counts one shard's dataplane activity. Fields are written
 // atomically (readers and the shard worker race under real clocks).
 type ShardStats struct {
-	Enqueued uint64 // packets accepted onto the shard queue
+	Enqueued uint64 // packets accepted onto the shard queue (queued mode)
 	ShedNew  uint64 // unverified packets tail-dropped at a full queue
 	ShedOld  uint64 // stale packets evicted to admit verified traffic
 	Handled  uint64 // packets the shard handler consumed
+	Handoff  uint64 // packets that arrived through the migration ring
+}
+
+// handoffDepth bounds each shard's migration ring (affine mode). Handoff is
+// for rare control-plane moves, not a data path; a small fixed bound keeps a
+// misbehaving caller from buffering unboundedly.
+const handoffDepth = 128
+
+// shardState is everything one shard touches on the packet hot path, one
+// heap allocation per shard so no two shards write the same cacheline. The
+// atomic counter sinks sit at the head of the struct; pad at the tail keeps
+// a neighboring allocation's hot head off this shard's last line.
+type shardState struct {
+	stats ShardStats    // this shard's dataplane counters
+	fast  FastPathStats // this shard's verified-cache counters
+
+	verified verifiedShard
+	queue    netapi.Queue // ingress queue (hash mode; nil in inline/affine)
+	handoff  netapi.Queue // migration ring (affine mode; nil otherwise)
+	wait     *metrics.Histogram
+
+	_ [64]byte // tail pad: next allocation's hot fields get their own line
+}
+
+// ingestSink is one reader's batch-read counters, padded to a full cacheline
+// so two readers never share one.
+type ingestSink struct {
+	IngestStats
+	_ [48]byte
 }
 
 // qitem is one queued packet plus its admission classification and enqueue
@@ -168,44 +252,54 @@ type qitem struct {
 
 var qitemPool = sync.Pool{New: func() any { return new(qitem) }}
 
+// putQItem drops the payload reference before pooling so a parked item never
+// pins a packet buffer (symmetric with putQBatch).
+func putQItem(it *qitem) {
+	it.pkt = Packet{}
+	qitemPool.Put(it)
+}
+
 // Engine is the running dataplane. Create with New, then Start.
 type Engine struct {
 	cfg      Config
 	handlers []Handler
-	hmu      sync.RWMutex // guards handlers; written only by shard restarts
-	queues   []netapi.Queue
-	stats    []ShardStats
-	waits    []*metrics.Histogram
-	verified []verifiedShard
+	hmu      sync.RWMutex  // guards handlers; written only by shard restarts
+	shards   []*shardState // one allocation per shard: no shared cachelines
+	ingest   []*ingestSink // one per reader proc, likewise isolated
 	sup      supervisor
 	seed     maphash.Seed
 	inline   bool
+	affine   bool
 	coop     bool // Env schedules cooperatively: Close must not OS-join procs
 	closed   atomic.Bool
 	wg       sync.WaitGroup // tracks reader and worker procs for Close
-
-	// FastPath counts verified-source cache activity (engine-wide, atomic).
-	FastPath FastPathStats
-
-	// Ingest counts batch-read activity (engine-wide, atomic); zero when
-	// the engine runs the single-packet path.
-	Ingest IngestStats
 }
 
 // IngestStats counts batch reads. Reads is I/O calls, Packets datagrams —
-// Packets/Reads is the achieved batch fill. Fields are written atomically.
+// Packets/Reads is the achieved batch fill.
 type IngestStats struct {
 	Reads   uint64
 	Packets uint64
 }
 
-// FastPathStats counts verified-source cache activity. Fields are written
-// atomically.
+func (s *IngestStats) add(o IngestStats) {
+	s.Reads += o.Reads
+	s.Packets += o.Packets
+}
+
+// FastPathStats counts verified-source cache activity.
 type FastPathStats struct {
 	Hits      uint64 // VerifiedCred returned a live credential
 	Misses    uint64 // no entry, expired entry, or cache disabled
 	Inserts   uint64
 	Evictions uint64 // capacity-bound evictions (TTL expiry not counted)
+}
+
+func (s *FastPathStats) add(o FastPathStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Inserts += o.Inserts
+	s.Evictions += o.Evictions
 }
 
 // New validates cfg, constructs the per-shard handlers, and returns the
@@ -217,31 +311,62 @@ func New(cfg Config) (*Engine, error) {
 	e := &Engine{
 		cfg:      cfg,
 		handlers: make([]Handler, cfg.Shards),
-		stats:    make([]ShardStats, cfg.Shards),
-		waits:    make([]*metrics.Histogram, cfg.Shards),
-		verified: make([]verifiedShard, cfg.Shards),
+		shards:   make([]*shardState, cfg.Shards),
+		ingest:   make([]*ingestSink, len(cfg.IOs)),
 		seed:     maphash.MakeSeed(),
 		inline:   cfg.Shards == 1 && len(cfg.IOs) == 1,
 	}
 	caps := netapi.Capabilities(cfg.Env)
 	e.coop = caps.Cooperative
 	e.sup.shards = make([]supShard, cfg.Shards)
+	if !e.inline {
+		switch cfg.Ingest {
+		case IngestAffine:
+			if len(cfg.IOs) != cfg.Shards {
+				return nil, fmt.Errorf("engine: IngestAffine needs one IO per shard, got %d IOs for %d shards",
+					len(cfg.IOs), cfg.Shards)
+			}
+			e.affine = true
+		case IngestAuto:
+			e.affine = len(cfg.IOs) == cfg.Shards && allFlowStable(cfg.IOs)
+		}
+	}
 	for i := range e.handlers {
 		e.handlers[i] = cfg.NewHandler(i)
-		e.waits[i] = metrics.NewHistogram()
-		e.verified[i].init(cfg.FastPathSources)
-	}
-	if !e.inline {
-		e.queues = make([]netapi.Queue, cfg.Shards)
-		for i := range e.queues {
-			e.queues[i] = caps.NewQueue(cfg.QueueDepth)
+		sh := &shardState{wait: metrics.NewHistogram()}
+		sh.verified.init(cfg.FastPathSources)
+		switch {
+		case e.affine:
+			sh.handoff = caps.NewQueue(handoffDepth)
+		case !e.inline:
+			sh.queue = caps.NewQueue(cfg.QueueDepth)
 		}
+		e.shards[i] = sh
+	}
+	for i := range e.ingest {
+		e.ingest[i] = new(ingestSink)
 	}
 	return e, nil
 }
 
+// allFlowStable reports whether every capture interface advertises per-flow
+// stable delivery (the IngestAuto eligibility probe).
+func allFlowStable(ios []PacketIO) bool {
+	for _, io := range ios {
+		fs, ok := io.(FlowStable)
+		if !ok || !fs.FlowStable() {
+			return false
+		}
+	}
+	return true
+}
+
 // Shards reports the configured shard count.
 func (e *Engine) Shards() int { return e.cfg.Shards }
+
+// Affine reports whether the engine resolved to shard-affine ingest (shard
+// identity = delivering interface) rather than the source-hash fan-out.
+func (e *Engine) Affine() bool { return e.affine }
 
 // Handler returns shard i's current handler: the value cfg.NewHandler
 // returned, unless a supervised restart has since replaced it.
@@ -258,9 +383,12 @@ func (e *Engine) setHandler(i int, h Handler) {
 	e.hmu.Unlock()
 }
 
-// ShardOf maps a source address to its owning shard. Affinity is the
-// correctness contract: every packet from one source is handled by one
-// shard, so per-source guard state never crosses workers.
+// ShardOf maps a source address to its owning shard under the source-hash
+// discipline. In hash mode affinity is the correctness contract: every packet
+// from one source is handled by one shard, so per-source guard state never
+// crosses workers. In affine mode the delivering interface — not this hash —
+// decides ownership; ShardOf then only names the shard a migrating packet
+// would hash to.
 func (e *Engine) ShardOf(src netip.Addr) int {
 	if e.cfg.Shards == 1 {
 		return 0
@@ -283,7 +411,8 @@ func (e *Engine) ShardOf(src netip.Addr) int {
 
 // Start spawns the reader and worker procs. With one shard and one IO the
 // reader invokes the handler inline — no queue hop, preserving the exact
-// proc and event ordering of a direct capture loop.
+// proc and event ordering of a direct capture loop. In affine mode each
+// shard gets its own reader-is-the-worker loop on its own interface.
 func (e *Engine) Start() {
 	if e.inline {
 		if br := e.batchReader(e.cfg.IOs[0]); br != nil {
@@ -293,20 +422,32 @@ func (e *Engine) Start() {
 		}
 		return
 	}
+	if e.affine {
+		for i, io := range e.cfg.IOs {
+			i, io := i, io
+			name := fmt.Sprintf("%s-shard-%d", e.cfg.Name, i)
+			if br := e.batchReader(io); br != nil {
+				e.spawn(name, func() { e.runAffineBatch(i, br) })
+			} else {
+				e.spawn(name, func() { e.runAffine(i, io) })
+			}
+		}
+		return
+	}
 	// Workers first, then readers: under the simulator this spawn order is
 	// deterministic, and workers must exist before a reader can enqueue.
-	for i := range e.queues {
+	for i := range e.shards {
 		i := i
 		e.spawn(fmt.Sprintf("%s-worker-%d", e.cfg.Name, i), func() { e.runWorker(i) })
 	}
 	for i, io := range e.cfg.IOs {
-		io := io
+		i, io := i, io
 		name := fmt.Sprintf("%s-reader-%d", e.cfg.Name, i)
 		if len(e.cfg.IOs) == 1 {
 			name = e.cfg.Name + "-capture"
 		}
 		if br := e.batchReader(io); br != nil {
-			e.spawn(name, func() { e.runReaderBatch(br) })
+			e.spawn(name, func() { e.runReaderBatch(i, br) })
 		} else {
 			e.spawn(name, func() { e.runReader(io) })
 		}
@@ -323,11 +464,25 @@ func (e *Engine) spawn(name string, fn func()) {
 	})
 }
 
+// dispatch runs one packet through the observer/supervision/handler path in
+// the owning shard's context. h is the caller's cached handler (ignored under
+// supervision, which re-reads it so restarts are honored).
+func (e *Engine) dispatch(shard int, h Handler, supervised bool, pkt Packet) {
+	if supervised {
+		e.dispatchSupervised(shard, pkt)
+		return
+	}
+	if e.cfg.Observer != nil {
+		e.cfg.Observer(shard, pkt)
+	}
+	h.HandlePacket(pkt)
+}
+
 // runInline is the Shards=1 fast path: the pre-engine capture loop.
 func (e *Engine) runInline() {
 	io := e.cfg.IOs[0]
 	h := e.handlers[0]
-	st := &e.stats[0]
+	st := &e.shards[0].stats
 	supervised := e.cfg.Supervisor.Enabled
 	for {
 		pkt, err := io.Read(netapi.NoTimeout)
@@ -335,15 +490,67 @@ func (e *Engine) runInline() {
 			return
 		}
 		atomic.AddUint64(&st.Handled, 1)
-		if supervised {
-			e.dispatchSupervised(0, pkt)
-			continue
-		}
-		if e.cfg.Observer != nil {
-			e.cfg.Observer(0, pkt)
-		}
-		h.HandlePacket(pkt)
+		e.dispatch(0, h, supervised, pkt)
 	}
+}
+
+// runAffine is one shard's reader-is-the-worker loop: every packet this
+// interface delivers belongs to this shard by definition, so it is handled
+// inline with no queue hop and no admission classification (the kernel
+// socket buffer is the backpressure). The handoff ring is drained before
+// each blocking read, so a migrated packet waits at most until the next
+// datagram arrives on the shard's socket.
+func (e *Engine) runAffine(shard int, io PacketIO) {
+	sh := e.shards[shard]
+	h := e.handlers[shard]
+	supervised := e.cfg.Supervisor.Enabled
+	for {
+		e.drainHandoff(shard, sh, h, supervised)
+		pkt, err := io.Read(netapi.NoTimeout)
+		if err != nil {
+			return
+		}
+		atomic.AddUint64(&sh.stats.Handled, 1)
+		e.dispatch(shard, h, supervised, pkt)
+	}
+}
+
+// drainHandoff dispatches every packet currently parked in shard's migration
+// ring. Runs in the owning shard's loop, so handoff packets get the same
+// single-writer guarantees as socket packets.
+func (e *Engine) drainHandoff(shard int, sh *shardState, h Handler, supervised bool) {
+	for {
+		v, err := sh.handoff.Get(0)
+		if err != nil {
+			return // empty or closed; the read loop notices close itself
+		}
+		it := v.(*qitem)
+		pkt := it.pkt
+		sh.wait.Observe(e.cfg.Env.Now() - it.enqueued)
+		putQItem(it)
+		atomic.AddUint64(&sh.stats.Handoff, 1)
+		atomic.AddUint64(&sh.stats.Handled, 1)
+		e.dispatch(shard, h, supervised, pkt)
+	}
+}
+
+// Handoff parks pkt on shard's migration ring, to be handled by that shard's
+// own loop — the escape hatch for the rare affine-mode packet that must move
+// between shards (e.g. re-homing a flow after a shard restart, or an
+// operator-driven drain). It reports false when the engine is not in affine
+// mode or the ring is full; the caller keeps ownership of a refused packet.
+// Handoff is not a data path: the ring is small and drained opportunistically.
+func (e *Engine) Handoff(shard int, pkt Packet) bool {
+	if !e.affine || shard < 0 || shard >= len(e.shards) {
+		return false
+	}
+	qi := qitemPool.Get().(*qitem)
+	qi.pkt, qi.enqueued = pkt, e.cfg.Env.Now()
+	if !e.shards[shard].handoff.Put(qi) {
+		putQItem(qi)
+		return false
+	}
+	return true
 }
 
 // runReader pulls from one capture interface and dispatches by source shard,
@@ -356,20 +563,27 @@ func (e *Engine) runReader(io PacketIO) {
 			return
 		}
 		shard := e.ShardOf(pkt.Src.Addr())
-		st := &e.stats[shard]
+		sh := e.shards[shard]
+		st := &sh.stats
 		qi := qitemPool.Get().(*qitem)
 		qi.pkt, qi.enqueued = pkt, e.cfg.Env.Now()
-		if e.verified[shard].has(pkt.Src.Addr(), qi.enqueued) {
-			if ev, did := e.queues[shard].PutEvict(qi); did {
+		if sh.verified.has(pkt.Src.Addr(), qi.enqueued) {
+			if ev, did := sh.queue.PutEvict(qi); did {
+				if ev == any(qi) {
+					// Closed queue: the item bounced back unbuffered.
+					atomic.AddUint64(&st.ShedNew, 1)
+					putQItem(qi)
+					continue
+				}
 				atomic.AddUint64(&st.ShedOld, 1)
-				qitemPool.Put(ev.(*qitem))
+				putQItem(ev.(*qitem))
 			}
 			atomic.AddUint64(&st.Enqueued, 1)
-		} else if e.queues[shard].Put(qi) {
+		} else if sh.queue.Put(qi) {
 			atomic.AddUint64(&st.Enqueued, 1)
 		} else {
 			atomic.AddUint64(&st.ShedNew, 1)
-			qitemPool.Put(qi)
+			putQItem(qi)
 		}
 	}
 }
@@ -377,30 +591,23 @@ func (e *Engine) runReader(io PacketIO) {
 // runWorker drains shard i's queue into its handler.
 func (e *Engine) runWorker(i int) {
 	h := e.handlers[i]
-	st := &e.stats[i]
-	q := e.queues[i]
+	sh := e.shards[i]
+	st := &sh.stats
 	supervised := e.cfg.Supervisor.Enabled
 	for {
-		v, err := q.Get(netapi.NoTimeout)
+		v, err := sh.queue.Get(netapi.NoTimeout)
 		if err != nil {
 			return
 		}
 		switch it := v.(type) {
 		case *qitem:
 			pkt := it.pkt
-			e.waits[i].Observe(e.cfg.Env.Now() - it.enqueued)
-			qitemPool.Put(it)
+			sh.wait.Observe(e.cfg.Env.Now() - it.enqueued)
+			putQItem(it)
 			atomic.AddUint64(&st.Handled, 1)
-			if supervised {
-				e.dispatchSupervised(i, pkt)
-				continue
-			}
-			if e.cfg.Observer != nil {
-				e.cfg.Observer(i, pkt)
-			}
-			h.HandlePacket(pkt)
+			e.dispatch(i, h, supervised, pkt)
 		case *qbatch:
-			e.waits[i].Observe(e.cfg.Env.Now() - it.enqueued)
+			sh.wait.Observe(e.cfg.Env.Now() - it.enqueued)
 			atomic.AddUint64(&st.Handled, uint64(len(it.pkts)))
 			e.dispatchBatch(i, h, supervised, it.pkts)
 			putQBatch(it)
@@ -423,8 +630,13 @@ func (e *Engine) Close() {
 	for _, io := range e.cfg.IOs {
 		io.Close()
 	}
-	for _, q := range e.queues {
-		q.Close()
+	for _, sh := range e.shards {
+		if sh.queue != nil {
+			sh.queue.Close()
+		}
+		if sh.handoff != nil {
+			sh.handoff.Close()
+		}
 	}
 	if !e.coop {
 		e.wg.Wait()
@@ -433,32 +645,65 @@ func (e *Engine) Close() {
 
 // Stats returns an atomically-read copy of shard i's counters.
 func (e *Engine) Stats(i int) ShardStats {
-	return metrics.SnapshotUint64(&e.stats[i])
+	return metrics.SnapshotUint64(&e.shards[i].stats)
 }
 
-// QueueDepth reports the current backlog of shard i (0 in inline mode).
+// FastPath returns the engine-wide verified-source cache counters, summed
+// across the per-shard sinks at call time. The per-shard split keeps the
+// cache's hot-path writes off shared cachelines; this is the scrape-time
+// aggregation.
+func (e *Engine) FastPath() FastPathStats {
+	var t FastPathStats
+	for _, sh := range e.shards {
+		s := metrics.SnapshotUint64(&sh.fast)
+		t.add(s)
+	}
+	return t
+}
+
+// Ingest returns the engine-wide batch-read counters, summed across the
+// per-reader sinks at call time; zero when the engine runs the single-packet
+// path.
+func (e *Engine) Ingest() IngestStats {
+	var t IngestStats
+	for _, s := range e.ingest {
+		t.add(metrics.SnapshotUint64(&s.IngestStats))
+	}
+	return t
+}
+
+// QueueDepth reports the current backlog of shard i (0 in inline and affine
+// modes, which have no ingress queue).
 func (e *Engine) QueueDepth(i int) int {
-	if e.queues == nil {
+	if e.shards[i].queue == nil {
 		return 0
 	}
-	return e.queues[i].Len()
+	return e.shards[i].queue.Len()
 }
 
 // WaitHistogram returns shard i's queue-wait histogram (empty in inline
-// mode, which has no queue).
-func (e *Engine) WaitHistogram(i int) *metrics.Histogram { return e.waits[i] }
+// mode; in affine mode it observes only handoff-ring waits).
+func (e *Engine) WaitHistogram(i int) *metrics.Histogram { return e.shards[i].wait }
 
 // MetricsInto registers the engine's series on r under prefix (e.g.
-// "guard_engine_"): aggregate enqueued/shed/handled/queue_depth counters,
-// verified-source cache counters, and per-shard shard<i>_* series including
-// the queue-wait histogram.
+// "guard_engine_"): aggregate enqueued/shed/handled/handoff/queue_depth
+// counters, verified-source cache counters, and per-shard shard<i>_* series
+// including the queue-wait histogram. Aggregates sum the per-shard and
+// per-reader sinks at scrape time — the hot path never writes a shared
+// counter.
 func (e *Engine) MetricsInto(r *metrics.Registry, prefix string) {
 	r.FuncUint(prefix+"shards", func() uint64 { return uint64(e.cfg.Shards) })
+	r.FuncUint(prefix+"ingest_affine", func() uint64 {
+		if e.affine {
+			return 1
+		}
+		return 0
+	})
 	sum := func(field func(*ShardStats) *uint64) func() uint64 {
 		return func() uint64 {
 			var t uint64
-			for i := range e.stats {
-				t += atomic.LoadUint64(field(&e.stats[i]))
+			for _, sh := range e.shards {
+				t += atomic.LoadUint64(field(&sh.stats))
 			}
 			return t
 		}
@@ -467,30 +712,35 @@ func (e *Engine) MetricsInto(r *metrics.Registry, prefix string) {
 	r.FuncUint(prefix+"shed_new", sum(func(s *ShardStats) *uint64 { return &s.ShedNew }))
 	r.FuncUint(prefix+"shed_old", sum(func(s *ShardStats) *uint64 { return &s.ShedOld }))
 	r.FuncUint(prefix+"handled", sum(func(s *ShardStats) *uint64 { return &s.Handled }))
+	r.FuncUint(prefix+"handoff", sum(func(s *ShardStats) *uint64 { return &s.Handoff }))
 	r.Func(prefix+"queue_depth", func() float64 {
 		var t int
-		for i := range e.stats {
+		for i := range e.shards {
 			t += e.QueueDepth(i)
 		}
 		return float64(t)
 	})
-	metrics.RegisterUint64Fields(r, prefix+"fast_path_", &e.FastPath)
-	metrics.RegisterUint64Fields(r, prefix+"ingest_", &e.Ingest)
+	r.FuncUint(prefix+"fast_path_hits", func() uint64 { return e.FastPath().Hits })
+	r.FuncUint(prefix+"fast_path_misses", func() uint64 { return e.FastPath().Misses })
+	r.FuncUint(prefix+"fast_path_inserts", func() uint64 { return e.FastPath().Inserts })
+	r.FuncUint(prefix+"fast_path_evictions", func() uint64 { return e.FastPath().Evictions })
+	r.FuncUint(prefix+"ingest_reads", func() uint64 { return e.Ingest().Reads })
+	r.FuncUint(prefix+"ingest_packets", func() uint64 { return e.Ingest().Packets })
 	// Supervision series (shard_restarts, panics_quarantined, …) are
 	// registered unconditionally: a flat zero from an unsupervised engine is
 	// more operable than a series that appears only after the first panic.
 	metrics.RegisterUint64Fields(r, prefix, &e.sup.stats)
-	for i := range e.stats {
+	for i := range e.shards {
 		i := i
 		p := fmt.Sprintf("%sshard%d_", prefix, i)
-		metrics.RegisterUint64Fields(r, p, &e.stats[i])
+		metrics.RegisterUint64Fields(r, p, &e.shards[i].stats)
 		r.Func(p+"queue_depth", func() float64 { return float64(e.QueueDepth(i)) })
-		r.RegisterHistogram(p+"wait", e.waits[i])
+		r.RegisterHistogram(p+"wait", e.shards[i].wait)
 	}
 	r.Func(prefix+"fast_path_sources", func() float64 {
 		var t int
-		for i := range e.verified {
-			t += e.verified[i].size()
+		for _, sh := range e.shards {
+			t += sh.verified.size()
 		}
 		return float64(t)
 	})

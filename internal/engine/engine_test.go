@@ -306,7 +306,7 @@ func TestVerifiedSourceCache(t *testing.T) {
 	if _, ok := e.VerifiedCred(same[2]); !ok {
 		t.Fatal("newest entry evicted")
 	}
-	if got := atomic.LoadUint64(&e.FastPath.Evictions); got != 1 {
+	if got := e.FastPath().Evictions; got != 1 {
 		t.Fatalf("evictions = %d, want 1", got)
 	}
 

@@ -230,7 +230,7 @@ func (e *Engine) restartShard(shard int) {
 			e.tripShard(shard)
 		}
 	}()
-	e.verified[shard].flush()
+	e.shards[shard].verified.flush()
 	if r, ok := e.Handler(shard).(Resetter); ok {
 		r.ResetShard()
 	} else {

@@ -146,7 +146,7 @@ func TestSupervisorPrefersResetterOverReplacement(t *testing.T) {
 	if e.Handler(0) != orig {
 		t.Fatal("handler identity changed across a Resetter restart")
 	}
-	if e.verified[0].size() != 0 {
+	if e.shards[0].verified.size() != 0 {
 		t.Fatal("restart did not flush the shard's verified-source cache")
 	}
 }
@@ -279,7 +279,7 @@ func TestVerifiedCacheExpiryRacesPromotion(t *testing.T) {
 				case 1:
 					e.VerifiedCred(a) // expiry path deletes in place
 				default:
-					e.verified[e.ShardOf(a)].has(a, e.cfg.Env.Now())
+					e.shards[e.ShardOf(a)].verified.has(a, e.cfg.Env.Now())
 				}
 			}
 		}(g)

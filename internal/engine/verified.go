@@ -20,9 +20,15 @@ import (
 // limit — an unverifiable source never gets an entry at all, because only
 // completed verifications insert.
 //
-// The cache is sharded alongside the workers; each shard's table is guarded
-// by its own mutex because two parties touch it: the owning worker (marks
-// and lookups) and the readers (queue-admission classification).
+// The cache is sharded alongside the workers, and a shard's slice lives on
+// that shard's private shardState (counters included), so marking or probing
+// a source never writes a cacheline another shard writes. In hash mode the
+// owning shard is ShardOf(src); in affine mode it is the shard whose
+// interface the flow is steered to — which is why handlers address the cache
+// through the *On variants with their own shard id rather than re-hashing
+// the source. Each shard's table is guarded by its own mutex because two
+// parties can touch it: the owning worker (marks and lookups) and, in hash
+// mode, any reader (queue-admission classification).
 type verifiedShard struct {
 	mu    sync.Mutex
 	cap   int
@@ -40,14 +46,17 @@ func (v *verifiedShard) init(capacity int) {
 	v.m = make(map[netip.Addr]verifiedEntry)
 }
 
-// MarkVerified records that src just proved knowledge of cred. A no-op when
-// the fast path is disabled.
-func (e *Engine) MarkVerified(src netip.Addr, cred string) {
+// MarkVerifiedOn records on shard's slice of the cache that src just proved
+// knowledge of cred. Handlers call it with their own shard id — under affine
+// ingest the delivering interface, not the source hash, decides ownership.
+// A no-op when the fast path is disabled.
+func (e *Engine) MarkVerifiedOn(shard int, src netip.Addr, cred string) {
 	if e.cfg.FastPathTTL <= 0 {
 		return
 	}
 	now := e.cfg.Env.Now()
-	v := &e.verified[e.ShardOf(src)]
+	sh := e.shards[shard]
+	v := &sh.verified
 	v.mu.Lock()
 	_, existed := v.m[src]
 	v.m[src] = verifiedEntry{cred: cred, expires: now + e.cfg.FastPathTTL}
@@ -55,11 +64,19 @@ func (e *Engine) MarkVerified(src netip.Addr, cred string) {
 		v.order = append(v.order, src)
 		evictions := v.enforceCap(now)
 		v.mu.Unlock()
-		atomic.AddUint64(&e.FastPath.Inserts, 1)
-		atomic.AddUint64(&e.FastPath.Evictions, evictions)
+		atomic.AddUint64(&sh.fast.Inserts, 1)
+		atomic.AddUint64(&sh.fast.Evictions, evictions)
 		return
 	}
 	v.mu.Unlock()
+}
+
+// MarkVerified is MarkVerifiedOn with hash-mode shard selection: the cache
+// slice is the one src hashes to. Correct whenever the engine routes by
+// source hash (inline, queued, netsim); affine handlers must use
+// MarkVerifiedOn with their own shard id instead.
+func (e *Engine) MarkVerified(src netip.Addr, cred string) {
+	e.MarkVerifiedOn(e.ShardOf(src), src, cred)
 }
 
 // enforceCap evicts oldest-inserted entries until the shard is within its
@@ -83,15 +100,16 @@ func (v *verifiedShard) enforceCap(now time.Duration) uint64 {
 	return evicted
 }
 
-// VerifiedCred returns the credential src last verified, if the entry is
-// still live. Handlers call this on the hot path; hit/miss counters feed the
-// fast-path ratio.
-func (e *Engine) VerifiedCred(src netip.Addr) (string, bool) {
+// VerifiedCredOn returns the credential src last verified on shard's slice
+// of the cache, if the entry is still live. Handlers call this on the hot
+// path with their own shard id; hit/miss counters feed the fast-path ratio.
+func (e *Engine) VerifiedCredOn(shard int, src netip.Addr) (string, bool) {
 	if e.cfg.FastPathTTL <= 0 {
 		return "", false
 	}
 	now := e.cfg.Env.Now()
-	v := &e.verified[e.ShardOf(src)]
+	sh := e.shards[shard]
+	v := &sh.verified
 	v.mu.Lock()
 	ent, ok := v.m[src]
 	if ok && ent.expires <= now {
@@ -100,11 +118,17 @@ func (e *Engine) VerifiedCred(src netip.Addr) (string, bool) {
 	}
 	v.mu.Unlock()
 	if !ok {
-		atomic.AddUint64(&e.FastPath.Misses, 1)
+		atomic.AddUint64(&sh.fast.Misses, 1)
 		return "", false
 	}
-	atomic.AddUint64(&e.FastPath.Hits, 1)
+	atomic.AddUint64(&sh.fast.Hits, 1)
 	return ent.cred, true
+}
+
+// VerifiedCred is VerifiedCredOn with hash-mode shard selection (see
+// MarkVerified for when that is correct).
+func (e *Engine) VerifiedCred(src netip.Addr) (string, bool) {
+	return e.VerifiedCredOn(e.ShardOf(src), src)
 }
 
 // has is the queue-admission classification: does src currently hold a live

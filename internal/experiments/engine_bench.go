@@ -72,12 +72,26 @@ func (o *EngineThroughputOptions) fillDefaults() {
 // EngineThroughputResult is one measured configuration; benchtab serializes
 // a slice of these as BENCH_engine.json.
 type EngineThroughputResult struct {
-	Shards          int           `json:"shards"`
-	Batch           int           `json:"batch"`
-	SpoofFraction   float64       `json:"spoof_fraction"`
-	Packets         int           `json:"packets"`
-	Completed       uint64        `json:"completed"`
-	QPS             float64       `json:"qps"`
+	Shards        int     `json:"shards"`
+	Batch         int     `json:"batch"`
+	SpoofFraction float64 `json:"spoof_fraction"`
+	Packets       int     `json:"packets"`
+	Completed     uint64  `json:"completed"`
+	// QPS is goodput — completed verifiable queries per second — kept under
+	// its historical JSON name so existing BENCH_engine.json consumers and
+	// the bench-smoke gate keep reading the same field.
+	QPS float64 `json:"qps"`
+	// GoodputQPS duplicates QPS under its unambiguous name.
+	GoodputQPS float64 `json:"goodput_qps"`
+	// ProcessedQPS is dataplane throughput — every packet the shards handled
+	// (including spoofed drops and sheds) per second. Under spoofed load this
+	// is the number that should scale with shards even though goodput is
+	// capped by the valid fraction; conflating the two was the qps-accounting
+	// bug this split fixes.
+	ProcessedQPS float64 `json:"processed_qps"`
+	// Affine reports whether the run used shard-affine ingest (one read loop
+	// per shard) rather than the central hash fan-out.
+	Affine bool `json:"affine"`
 	P50             time.Duration `json:"p50_ns"`
 	P99             time.Duration `json:"p99_ns"`
 	ShedNew         uint64        `json:"shed_new"`
@@ -90,15 +104,23 @@ type EngineThroughputResult struct {
 
 // WriteEngineBench prints a shard-scaling sweep in benchtab's tabular style.
 func WriteEngineBench(w io.Writer, rows []EngineThroughputResult) {
-	fmt.Fprintf(w, "%6s %5s %6s %9s %9s %9s %9s %9s %9s %10s\n",
-		"shards", "batch", "spoof", "qps", "p50_ms", "p99_ms", "shed_new", "shed_old", "fastpath", "allocs/pkt")
+	fmt.Fprintf(w, "%6s %5s %6s %6s %11s %11s %9s %9s %9s %9s %9s %10s\n",
+		"shards", "batch", "spoof", "ingest", "processed", "goodput", "p50_ms", "p99_ms", "shed_new", "shed_old", "fastpath", "allocs/pkt")
 	for _, r := range rows {
 		batch := r.Batch
 		if batch == 0 {
 			batch = 1
 		}
-		fmt.Fprintf(w, "%6d %5d %6.2f %9.0f %9.3f %9.3f %9d %9d %9d %10.1f\n",
-			r.Shards, batch, r.SpoofFraction, r.QPS,
+		ingest := "hash"
+		if r.Affine {
+			ingest = "affine"
+		}
+		goodput := r.GoodputQPS
+		if goodput == 0 {
+			goodput = r.QPS // rows serialized before the split
+		}
+		fmt.Fprintf(w, "%6d %5d %6.2f %6s %11.0f %11.0f %9.3f %9.3f %9d %9d %9d %10.1f\n",
+			r.Shards, batch, r.SpoofFraction, ingest, r.ProcessedQPS, goodput,
 			float64(r.P50.Nanoseconds())/1e6, float64(r.P99.Nanoseconds())/1e6,
 			r.ShedNew, r.ShedOld, r.FastPathHits, r.AllocsPerPacket)
 	}
@@ -121,12 +143,21 @@ type feedPkt struct {
 	valid bool // carries a genuine cookie, so a reply is expected
 }
 
-// maxInFlight bounds the rig's outstanding verifiable queries. UDP has no
-// flow control: an unthrottled feed overruns the loopback socket buffers on
-// the guard→ANS path and the run measures kernel drops, not the dataplane.
-// The bound must hold at the feed (queue backlog releases in bursts), and
-// must stay under a default receive buffer's worth of small datagrams.
-const maxInFlight = 192
+// maxInFlightPerShard bounds the rig's outstanding verifiable queries, per
+// upstream socket. UDP has no flow control: an unthrottled feed overruns the
+// loopback socket buffers on the guard→ANS path and the run measures kernel
+// drops, not the dataplane. Each shard forwards through its own upstream
+// socket (its own kernel receive buffer), so the window scales with the
+// shard count — a global 192 would throttle an 8-shard run to 24 outstanding
+// queries per shard and measure the window, not the dataplane.
+const maxInFlightPerShard = 192
+
+// FlowStable implements engine.FlowStable: each feed hands out a fixed
+// packet list that the rig pre-partitioned by source (flowFeed), so every
+// flow arrives on exactly one feed — the property kernel SO_REUSEPORT
+// hashing provides in production. This makes the rig eligible for affine
+// ingest, the default multi-shard dataplane this bench measures.
+func (f *feedIO) FlowStable() bool { return true }
 
 func (f *feedIO) Read(timeout time.Duration) (guard.Packet, error) {
 	f.mu.Lock()
@@ -135,7 +166,7 @@ func (f *feedIO) Read(timeout time.Duration) (guard.Packet, error) {
 		f.next++
 		f.mu.Unlock()
 		if p.valid {
-			for f.rig.validOut.Load()-f.rig.completed.Load() >= maxInFlight {
+			for f.rig.validOut.Load()-f.rig.completed.Load() >= f.rig.window {
 				time.Sleep(50 * time.Microsecond)
 			}
 			f.rig.validOut.Add(1)
@@ -168,7 +199,7 @@ func (f *feedIO) ReadBatch(pkts []guard.Packet, timeout time.Duration) (int, err
 		f.next++
 		f.mu.Unlock()
 		if p.valid {
-			for f.rig.validOut.Load()-f.rig.completed.Load() >= maxInFlight {
+			for f.rig.validOut.Load()-f.rig.completed.Load() >= f.rig.window {
 				if n > 0 {
 					// Un-pop: this reader is the feed's only consumer, so the
 					// packet is simply the next batch's first entry.
@@ -210,6 +241,7 @@ type engineRig struct {
 	mu        sync.Mutex
 	sent      map[replyKey]time.Time
 	hist      *metrics.Histogram
+	window    uint64        // in-flight bound: maxInFlightPerShard × shards
 	validOut  atomic.Uint64 // verifiable queries admitted to the pipeline
 	completed atomic.Uint64
 	lastReply atomic.Int64 // UnixNano of the latest reply
@@ -250,6 +282,34 @@ func (r *engineRig) complete(dst netip.AddrPort, payload []byte) {
 	r.lastReply.Store(time.Now().UnixNano())
 }
 
+// flowFeed assigns a source to one of n feeds by hashing the flow (FNV-1a
+// over address and port), standing in for the kernel's SO_REUSEPORT 4-tuple
+// hash: every packet of a flow arrives on the same feed, the invariant
+// affine ingest relies on. The old round-robin `seq % n` assignment sprayed
+// each source across every feed — flow-unstable delivery no production
+// socket configuration exhibits.
+func flowFeed(src netip.AddrPort, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := uint64(14695981039346656037)
+	for _, b := range src.Addr().As4() {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	h = (h ^ uint64(src.Port()&0xff)) * 1099511628211
+	h = (h ^ uint64(src.Port()>>8)) * 1099511628211
+	// FNV's low bit is a plain XOR of the input bytes' low bits (odd
+	// multiplier), so h % 2^k degenerates for correlated inputs — e.g.
+	// sources built as addr=i, port=base+i have constant parity and all hash
+	// to one feed. Avalanche the state (murmur3 fmix64) before reducing.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return int(h % uint64(n))
+}
+
 // EngineThroughput runs one shard/spoof configuration: an echo ANS on real
 // loopback UDP behind the guard, synthetic capture interfaces in front (one
 // per shard), a mix of valid NS-cookie queries from opts.Sources requesters
@@ -269,18 +329,39 @@ func EngineThroughput(opts EngineThroughputOptions) (EngineThroughputResult, err
 		return EngineThroughputResult{}, err
 	}
 	defer ansConn.Close()
-	go func() {
-		for {
-			b, src, err := ansConn.ReadFrom(netapi.NoTimeout)
-			if err != nil {
-				return
+	// The single echo socket absorbs every shard's forwarded queries, so its
+	// receive buffer must cover the whole in-flight window; the distro
+	// default (~208 KiB) overflows past ~250 outstanding datagrams and the
+	// run measures kernel drops. Best-effort: a capped setsockopt still
+	// beats the default.
+	if rb, ok := ansConn.(interface{ SetReadBuffer(int) error }); ok {
+		_ = rb.SetReadBuffer(4 << 20)
+	}
+	// Several echo workers share the socket (UDP reads are per-datagram
+	// atomic): a single echo loop serializes every shard's upstream traffic
+	// and becomes the bottleneck of exactly the multi-shard runs this rig
+	// exists to measure.
+	echoWorkers := opts.Shards
+	if echoWorkers > runtime.NumCPU() {
+		echoWorkers = runtime.NumCPU()
+	}
+	if echoWorkers < 1 {
+		echoWorkers = 1
+	}
+	for w := 0; w < echoWorkers; w++ {
+		go func() {
+			for {
+				b, src, err := ansConn.ReadFrom(netapi.NoTimeout)
+				if err != nil {
+					return
+				}
+				if len(b) > 2 {
+					b[2] |= 0x80 // QR: query -> response
+					_ = ansConn.WriteTo(b, src)
+				}
 			}
-			if len(b) > 2 {
-				b[2] |= 0x80 // QR: query -> response
-				_ = ansConn.WriteTo(b, src)
-			}
-		}
-	}()
+		}()
+	}
 
 	var key [cookie.KeySize]byte
 	for i := range key {
@@ -291,7 +372,11 @@ func EngineThroughput(opts EngineThroughputOptions) (EngineThroughputResult, err
 	public := netip.MustParseAddrPort("192.0.2.1:53")
 	child := dnswire.MustName("www.foo.com")
 
-	rig := &engineRig{sent: make(map[replyKey]time.Time), hist: metrics.NewHistogram()}
+	rig := &engineRig{
+		sent:   make(map[replyKey]time.Time),
+		hist:   metrics.NewHistogram(),
+		window: maxInFlightPerShard * uint64(opts.Shards),
+	}
 	ios := make([]*feedIO, opts.Shards)
 	for i := range ios {
 		ios[i] = &feedIO{rig: rig, done: make(chan struct{})}
@@ -325,7 +410,7 @@ func EngineThroughput(opts EngineThroughputOptions) (EngineThroughputResult, err
 		if err != nil {
 			return EngineThroughputResult{}, err
 		}
-		f := ios[seq%len(ios)]
+		f := ios[flowFeed(src, len(ios))]
 		f.packets = append(f.packets, feedPkt{
 			pkt:   guard.Packet{Src: src, Dst: public, Payload: wire},
 			valid: minted == src.Addr(),
@@ -399,14 +484,19 @@ func EngineThroughput(opts EngineThroughputOptions) (EngineThroughputResult, err
 		P99:           rig.hist.Quantile(0.99),
 		Elapsed:       elapsed,
 	}
-	if elapsed > 0 {
-		res.QPS = float64(res.Completed) / elapsed.Seconds()
-	}
 	eng := g.Engine()
+	res.Affine = eng.Affine()
+	var handled uint64
 	for i := 0; i < eng.Shards(); i++ {
 		st := eng.Stats(i)
 		res.ShedNew += st.ShedNew
 		res.ShedOld += st.ShedOld
+		handled += st.Handled
+	}
+	if elapsed > 0 {
+		res.QPS = float64(res.Completed) / elapsed.Seconds()
+		res.GoodputQPS = res.QPS
+		res.ProcessedQPS = float64(handled) / elapsed.Seconds()
 	}
 	res.FastPathHits = g.Stats.Load().FastPathHits
 	res.CookieInvalid = g.Stats.Load().CookieInvalid

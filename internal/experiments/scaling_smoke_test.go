@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestShardScalingSmoke is the `make bench-smoke` scaling gate: adding a
+// second shard must not cost throughput. It runs the real-time engine rig
+// (affine ingest: one flow-stable feed per shard) for shards ∈ {1, 2},
+// interleaved best-of-3 to shrug off scheduler noise, and fails when the
+// 2-shard goodput falls below the 1-shard goodput. On a single-core host
+// two shards cannot beat one — the second worker only adds scheduling — so
+// the gate there allows a bounded regression instead of asserting the
+// physically impossible; multi-core hosts enforce the strict inequality.
+//
+// Real-time measurement is meaningless under `go test`'s default parallel
+// package runs, so the gate only engages when bench-smoke opts in via
+// DNSGUARD_SCALING_SMOKE=1.
+func TestShardScalingSmoke(t *testing.T) {
+	if os.Getenv("DNSGUARD_SCALING_SMOKE") == "" {
+		t.Skip("real-time scaling gate; set DNSGUARD_SCALING_SMOKE=1 (make bench-smoke does)")
+	}
+	const rounds = 3
+	best := map[int]float64{}
+	for r := 0; r < rounds; r++ {
+		for _, shards := range []int{1, 2} {
+			res, err := EngineThroughput(EngineThroughputOptions{
+				Shards:  shards,
+				Batch:   1,
+				Packets: 8000,
+			})
+			if err != nil {
+				t.Fatalf("round %d shards=%d: %v", r, shards, err)
+			}
+			if uint64(res.Packets) != res.Completed {
+				t.Errorf("round %d shards=%d: completed %d of %d — the rig lost packets",
+					r, shards, res.Completed, res.Packets)
+			}
+			if res.GoodputQPS > best[shards] {
+				best[shards] = res.GoodputQPS
+			}
+			t.Logf("round %d shards=%d affine=%v goodput=%.0f processed=%.0f",
+				r, shards, res.Affine, res.GoodputQPS, res.ProcessedQPS)
+		}
+	}
+	floor := best[1]
+	if runtime.NumCPU() == 1 {
+		// One core: equal throughput is the ceiling; gate the overhead of the
+		// second affine loop at 15% instead of demanding a speedup the
+		// hardware cannot produce (EXPERIMENTS.md §shard-scaling).
+		floor = 0.85 * best[1]
+		t.Logf("single-core host: relaxing 2-shard floor to 0.85× (%.0f)", floor)
+	}
+	if best[2] < floor {
+		t.Errorf("2-shard goodput %.0f < required %.0f (1-shard best %.0f)",
+			best[2], floor, best[1])
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"net/netip"
 	"time"
 
+	"dnsguard/internal/engine"
 	"dnsguard/internal/netapi"
 	"dnsguard/internal/netsim"
 )
@@ -43,7 +44,21 @@ type SocketIO struct {
 	Conn netapi.UDPConn
 }
 
-var _ PacketIO = SocketIO{}
+var (
+	_ PacketIO          = SocketIO{}
+	_ engine.FlowStable = SocketIO{}
+)
+
+// FlowStable bridges the engine's ingest-eligibility probe to the
+// underlying socket: true only when the conn itself guarantees stable
+// kernel flow steering (netapi.FlowStableConn — SO_REUSEPORT members
+// qualify, shared-fd handles and netsim shims do not). TapIO deliberately
+// lacks this method: taps fan out from a central queue, so affine ingest
+// would break source→shard determinism there.
+func (s SocketIO) FlowStable() bool {
+	fs, ok := s.Conn.(netapi.FlowStableConn)
+	return ok && fs.FlowStable()
+}
 
 // Read implements PacketIO.
 func (s SocketIO) Read(timeout time.Duration) (Packet, error) {

@@ -1,0 +1,144 @@
+package guard
+
+import (
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dnsguard/internal/cookie"
+	"dnsguard/internal/dnswire"
+	"dnsguard/internal/netapi"
+	"dnsguard/internal/realnet"
+)
+
+// chanIO is a channel-backed, flow-stable PacketIO: the real-scheduler test
+// stand-in for one SO_REUSEPORT member socket feeding one affine shard.
+type chanIO struct {
+	ch     chan Packet
+	closed chan struct{}
+	once   sync.Once
+}
+
+func newChanIO() *chanIO {
+	return &chanIO{ch: make(chan Packet, 16), closed: make(chan struct{})}
+}
+
+func (c *chanIO) FlowStable() bool { return true }
+
+func (c *chanIO) Read(timeout time.Duration) (Packet, error) {
+	select {
+	case p := <-c.ch:
+		return p, nil
+	case <-c.closed:
+		return Packet{}, netapi.ErrClosed
+	}
+}
+
+func (c *chanIO) WriteFromTo(src, dst netip.AddrPort, payload []byte) error { return nil }
+
+func (c *chanIO) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return nil
+}
+
+// TestAffineGuardShardExplicitFastPath pins the guard's shard-explicit
+// verified-cache wiring: under affine ingest a source's owning shard is the
+// delivering socket's, which can disagree with the engine's source hash.
+// The handler must promote into and consult its own shard's cache partition
+// (MarkVerifiedOn/VerifiedCredOn with the handler's id) — the source-hashing
+// MarkVerified would store the credential in a partition the owning worker
+// never reads, silently disabling the fast path in exactly the deployment
+// (per-shard SO_REUSEPORT sockets) the sharded dataplane exists for.
+func TestAffineGuardShardExplicitFastPath(t *testing.T) {
+	env := realnet.New()
+	ansConn, err := env.ListenUDP(netip.MustParseAddrPort("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ansConn.Close()
+	go func() {
+		for {
+			b, src, err := ansConn.ReadFrom(netapi.NoTimeout)
+			if err != nil {
+				return
+			}
+			if len(b) > 2 {
+				b[2] |= 0x80
+				_ = ansConn.WriteTo(b, src)
+			}
+		}
+	}()
+
+	ios := []*chanIO{newChanIO(), newChanIO()}
+	g, err := NewRemote(RemoteConfig{
+		Env:         env,
+		IOs:         []PacketIO{ios[0], ios[1]},
+		Shards:      2,
+		FastPathTTL: time.Hour,
+		PublicAddr:  mustAP("192.0.2.1:53"),
+		ANSAddr:     ansConn.LocalAddr(),
+		Zone:        dnswire.MustName("foo.com"),
+		Fallback:    SchemeDNS,
+		Auth:        testAuth(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	eng := g.Engine()
+	if !eng.Affine() {
+		t.Fatal("two flow-stable sockets for two shards must select affine ingest")
+	}
+
+	// A source whose hash shard disagrees with its delivering socket.
+	src := netip.AddrPortFrom(netip.MustParseAddr("203.0.113.77"), 5353)
+	hashShard := eng.ShardOf(src.Addr())
+	socket := 1 - hashShard
+
+	fab, err := FabricateNSName(cookie.NSCodec{}, g.cfg.Auth.Mint(src.Addr()), dnswire.MustName("www.foo.com"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := func(id uint16) Packet {
+		wire, err := dnswire.NewQuery(id, fab, dnswire.TypeA).PackUDP(512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Packet{Src: src, Dst: mustAP("192.0.2.1:53"), Payload: wire}
+	}
+	waitStat := func(name string, f *uint64, want uint64) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for atomic.LoadUint64(f) < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s = %d, want %d (stats %+v)", name, atomic.LoadUint64(f), want, g.Stats.Load())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	ios[socket].ch <- query(1)
+	waitStat("CookieValid", &g.Stats.CookieValid, 1)
+
+	// The credential must live in the delivering shard's partition, and only
+	// there — presence in the hash shard would mean the handler wrote
+	// through the source-hashing legacy path.
+	if _, ok := eng.VerifiedCredOn(socket, src.Addr()); !ok {
+		t.Errorf("credential missing from owning shard %d's cache", socket)
+	}
+	if _, ok := eng.VerifiedCredOn(hashShard, src.Addr()); ok {
+		t.Errorf("credential leaked into hash shard %d's cache", hashShard)
+	}
+
+	// The second query over the same socket must hit the fast path.
+	ios[socket].ch <- query(2)
+	waitStat("CookieValid", &g.Stats.CookieValid, 2)
+	if hits := atomic.LoadUint64(&g.Stats.FastPathHits); hits != 1 {
+		t.Errorf("FastPathHits = %d, want 1", hits)
+	}
+}

@@ -1,7 +1,6 @@
 package guard
 
 import (
-	"sync/atomic"
 	"testing"
 
 	"dnsguard/internal/dnswire"
@@ -25,8 +24,8 @@ func TestGuardBatchedDataplane(t *testing.T) {
 				t.Errorf("batch=%d: answers = %v", batch, res.Answers)
 			}
 		})
-		reads := atomic.LoadUint64(&f.guard.Engine().Ingest.Reads)
-		pkts := atomic.LoadUint64(&f.guard.Engine().Ingest.Packets)
+		ing := f.guard.Engine().Ingest()
+		reads, pkts := ing.Reads, ing.Packets
 		if batch > 1 && reads == 0 {
 			t.Errorf("batch=%d: engine took no batched reads; the slab path did not engage", batch)
 		}

@@ -76,6 +76,14 @@ type RemoteConfig struct {
 	// batch; per-packet semantics (admission policy, supervision, observer,
 	// all counters) are unchanged.
 	Batch int
+	// Ingest selects how packets reach shard workers (see engine.IngestMode).
+	// The zero value (engine.IngestAuto) picks shard-affine ingest — one read
+	// loop per shard on its own interface, no queue hop — when len(IOs) ==
+	// Shards and every interface reports stable kernel flow steering
+	// (netapi.FlowStableConn, e.g. SO_REUSEPORT siblings); otherwise the
+	// central source-hash fan-out runs, which netsim requires for
+	// deterministic replays.
+	Ingest engine.IngestMode
 	// FastPathTTL enables the verified-source cache: a source that just
 	// passed a cookie check is remembered with its credential for this
 	// long, replacing the next MD5 verification with a byte compare. The
@@ -454,6 +462,7 @@ func NewRemote(cfg RemoteConfig) (*Remote, error) {
 		Shards:          cfg.Shards,
 		QueueDepth:      cfg.QueueDepth,
 		Batch:           cfg.Batch,
+		Ingest:          cfg.Ingest,
 		FastPathTTL:     cfg.FastPathTTL,
 		FastPathSources: cfg.FastPathSources,
 		Name:            "guard",
@@ -491,6 +500,14 @@ func (g *Remote) Start() error {
 		up, err := g.cfg.Env.ListenUDP(netip.AddrPort{})
 		if err != nil {
 			return fmt.Errorf("guard: binding upstream socket: %w", err)
+		}
+		// Best-effort: widen the kernel receive buffer where the conn
+		// exposes it. ANS replies arrive in bursts while the shard worker is
+		// busy with ingress; the distro default (~208 KiB ≈ 128 small
+		// datagrams of skb truesize) silently drops the excess, which shows
+		// up as upstream timeouts under load the dataplane could handle.
+		if rb, ok := up.(interface{ SetReadBuffer(int) error }); ok {
+			_ = rb.SetReadBuffer(4 << 20)
 		}
 		s.upstream = up
 	}
@@ -757,12 +774,17 @@ func (g *Remote) isTCPClient(src netip.Addr) bool {
 // bare source address into trust — and it is constant-time: the presented
 // credential is attacker-controlled, and a byte-wise early exit would leak
 // the cached cookie one matching prefix byte at a time.
-func (g *Remote) fastPath(src netip.Addr, cred string) bool {
-	got, ok := g.eng.VerifiedCred(src)
+//
+// The lookup is shard-explicit: this handler owns shard s.id, and under
+// affine ingest the owning shard is the delivering socket's, not the source
+// hash's, so the source-hashing VerifiedCred would consult (and promote
+// into) a cache partition a different worker owns.
+func (s *remoteShard) fastPath(src netip.Addr, cred string) bool {
+	got, ok := s.g.eng.VerifiedCredOn(s.id, src)
 	if !ok || subtle.ConstantTimeCompare([]byte(got), []byte(cred)) != 1 {
 		return false
 	}
-	atomic.AddUint64(&g.Stats.FastPathHits, 1)
+	atomic.AddUint64(&s.g.Stats.FastPathHits, 1)
 	return true
 }
 
@@ -770,13 +792,13 @@ func (g *Remote) fastPath(src netip.Addr, cred string) bool {
 // verify, restore, forward (message 4).
 func (s *remoteShard) handleNSCookie(pkt Packet, msg *dnswire.Message, label string, child dnswire.Name) {
 	g := s.g
-	if cred := "ns:" + label; !g.fastPath(pkt.Src.Addr(), cred) {
+	if cred := "ns:" + label; !s.fastPath(pkt.Src.Addr(), cred) {
 		g.charge(g.cfg.Costs.CookieCheck)
 		if !s.verifyLabel(pkt.Src.Addr(), label) {
 			atomic.AddUint64(&g.Stats.CookieInvalid, 1)
 			return
 		}
-		g.eng.MarkVerified(pkt.Src.Addr(), cred)
+		g.eng.MarkVerifiedOn(s.id, pkt.Src.Addr(), cred)
 	}
 	atomic.AddUint64(&g.Stats.CookieValid, 1)
 	if !s.rl2.AllowRequest(pkt.Src.Addr(), g.now()) {
@@ -802,13 +824,13 @@ func (s *remoteShard) handleNSCookie(pkt Packet, msg *dnswire.Message, label str
 func (s *remoteShard) handleIPCookie(pkt Packet, msg *dnswire.Message) {
 	g := s.g
 	dst16 := pkt.Dst.Addr().As16()
-	if cred := "ip:" + string(dst16[:]); !g.fastPath(pkt.Src.Addr(), cred) {
+	if cred := "ip:" + string(dst16[:]); !s.fastPath(pkt.Src.Addr(), cred) {
 		g.charge(g.cfg.Costs.CookieCheck)
 		if !s.verifyIP(pkt.Src.Addr(), pkt.Dst.Addr()) {
 			atomic.AddUint64(&g.Stats.CookieInvalid, 1)
 			return
 		}
-		g.eng.MarkVerified(pkt.Src.Addr(), cred)
+		g.eng.MarkVerifiedOn(s.id, pkt.Src.Addr(), cred)
 	}
 	atomic.AddUint64(&g.Stats.CookieValid, 1)
 	if !s.rl2.AllowRequest(pkt.Src.Addr(), g.now()) {
@@ -852,13 +874,13 @@ func (s *remoteShard) handleModified(pkt Packet, msg *dnswire.Message, c cookie.
 		s.reply(pkt.Dst, pkt.Src, resp)
 		return
 	}
-	if cred := "ck:" + string(c[:]); !g.fastPath(pkt.Src.Addr(), cred) {
+	if cred := "ck:" + string(c[:]); !s.fastPath(pkt.Src.Addr(), cred) {
 		g.charge(g.cfg.Costs.CookieCheck)
 		if !s.verifyCookie(pkt.Src.Addr(), c) {
 			atomic.AddUint64(&g.Stats.CookieInvalid, 1)
 			return
 		}
-		g.eng.MarkVerified(pkt.Src.Addr(), cred)
+		g.eng.MarkVerifiedOn(s.id, pkt.Src.Addr(), cred)
 	}
 	atomic.AddUint64(&g.Stats.CookieValid, 1)
 	if !s.rl2.AllowRequest(pkt.Src.Addr(), g.now()) {

@@ -16,6 +16,12 @@ import "net/netip"
 //	Cooperative       false (OS goroutines)        true (coroutines, vclock)    false: OS blocking allowed
 //	Batch             true (recvmmsg on Linux,     true (event-free queue       false: AsBatch still works via the
 //	                  read-loop elsewhere)         drain)                       portable per-datagram loop
+//
+// Flow stability is a per-conn property, not an Env capability: conns from
+// ListenUDPReuse may implement FlowStableConn to advertise kernel per-flow
+// steering (realnet's SO_REUSEPORT sockets report true; its shared-fd
+// fallback and netsim's fan-out shim report false). Callers that need it
+// probe each conn, not the Env.
 type Caps struct {
 	// NewQueue constructs a scheduler-aware bounded Queue. Never nil: when
 	// the Env does not implement QueueEnv this falls back to NewChanQueue,

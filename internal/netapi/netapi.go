@@ -80,7 +80,12 @@ type Queue interface {
 	// is full (tail drop / drop-newest) or closed.
 	Put(v any) bool
 	// PutEvict appends v; when full it evicts the oldest buffered item
-	// instead of dropping v (drop-oldest). Reports the evicted item.
+	// instead of dropping v (drop-oldest). Reports the evicted item. On a
+	// closed queue nothing can be buffered, so v itself is reported as
+	// evicted — ownership returns to the caller, which can distinguish
+	// rejection from a normal eviction by identity (evicted == v). The
+	// pre-close behavior of silently discarding v lost track of pooled
+	// items and let callers double-count accepted work during shutdown.
 	PutEvict(v any) (evicted any, didEvict bool)
 	// Get removes the oldest item, blocking per netapi timeout rules
 	// (NoTimeout blocks; zero polls; ErrTimeout/ErrClosed on failure).
@@ -118,6 +123,19 @@ type CooperativeEnv interface {
 // report the same LocalAddr; closing each handle once releases the binding.
 type UDPReuseEnv interface {
 	ListenUDPReuse(addr netip.AddrPort, n int) ([]UDPConn, error)
+}
+
+// FlowStableConn is an optional UDPConn capability: it reports whether every
+// datagram of one flow is delivered to this same conn for the conn's
+// lifetime. Kernel SO_REUSEPORT steering qualifies — the 4-tuple hash pins a
+// flow to one socket of the group (realnet marks those conns true). A single
+// socket read through several refcounted handles, or a userspace fan-out
+// over one receive queue (netsim's reuse shim), does not: any handle can
+// observe any flow. Shard-affine ingest (engine.IngestAuto) engages only on
+// conns that report true; a conn that does not implement the interface is
+// treated as not flow-stable.
+type FlowStableConn interface {
+	FlowStable() bool
 }
 
 // UDPConn is a datagram endpoint.

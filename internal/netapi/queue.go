@@ -57,7 +57,9 @@ func (q *chanQueue) PutEvict(v any) (evicted any, didEvict bool) {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
-		return nil, false
+		// Closed: bounce v back to the caller as the "evicted" item (see the
+		// netapi.Queue contract) so pooled items are never silently dropped.
+		return v, true
 	}
 	if q.n == len(q.items) {
 		evicted, didEvict = q.items[q.head], true

@@ -31,7 +31,13 @@ type simQueue struct {
 
 func (s *simQueue) Put(v any) bool { return s.q.Put(v) }
 
-func (s *simQueue) PutEvict(v any) (any, bool) { return s.q.PutEvict(v) }
+func (s *simQueue) PutEvict(v any) (any, bool) {
+	if s.q.Closed() {
+		// netapi.Queue contract: a closed queue bounces v back as evicted.
+		return v, true
+	}
+	return s.q.PutEvict(v)
+}
 
 func (s *simQueue) Get(timeout time.Duration) (any, error) {
 	v, err := s.q.Get(timeout)
@@ -77,7 +83,16 @@ type reuseConn struct {
 	closed bool
 }
 
-var _ netapi.UDPConn = (*reuseConn)(nil)
+var (
+	_ netapi.UDPConn        = (*reuseConn)(nil)
+	_ netapi.FlowStableConn = (*reuseConn)(nil)
+)
+
+// FlowStable reports false: the fan-out shim hands each datagram to whichever
+// handle is blocked, so a flow wanders across handles. Affine ingest must not
+// engage here — netsim keeps the source-hash mapping, which is also what
+// makes multi-shard replays deterministic (see engine.IngestMode).
+func (c *reuseConn) FlowStable() bool { return false }
 
 func (c *reuseConn) ReadFrom(timeout time.Duration) ([]byte, netip.AddrPort, error) {
 	if c.closed {

@@ -78,7 +78,24 @@ type udpConn struct {
 	conn *net.UDPConn
 }
 
-var _ netapi.UDPConn = (*udpConn)(nil)
+var (
+	_ netapi.UDPConn        = (*udpConn)(nil)
+	_ netapi.FlowStableConn = (*udpConn)(nil)
+)
+
+// FlowStable reports true: a singly-bound kernel socket receives every
+// datagram of every flow addressed to it, and in an SO_REUSEPORT group
+// (reuseport_linux.go) the kernel's 4-tuple hash pins each flow to one
+// member socket for the socket's lifetime. The non-flow-stable realnet case
+// is the shared-fd fallback, whose handles override this (sharedHandle).
+func (c *udpConn) FlowStable() bool { return true }
+
+// SetReadBuffer sets the socket's kernel receive buffer (SO_RCVBUF).
+// Optional capability probed by interface assertion; load generators raise
+// it so burst absorption is bounded by the harness, not the distro default.
+func (c *udpConn) SetReadBuffer(bytes int) error {
+	return mapErr(c.conn.SetReadBuffer(bytes))
+}
 
 // readBufPool recycles the max-datagram scratch buffers ReadFrom reads into.
 // The caller-owned return slice is still an exact-size copy (the netapi

@@ -71,7 +71,16 @@ type sharedHandle struct {
 	closed bool
 }
 
-var _ netapi.UDPConn = (*sharedHandle)(nil)
+var (
+	_ netapi.UDPConn        = (*sharedHandle)(nil)
+	_ netapi.FlowStableConn = (*sharedHandle)(nil)
+)
+
+// FlowStable reports false: the handles race ReadFrom on one kernel socket,
+// so consecutive datagrams of one flow land on whichever handle wins. The
+// SO_REUSEPORT path (independent sockets, kernel 4-tuple steering) is the
+// flow-stable one; see udpConn.FlowStable.
+func (h *sharedHandle) FlowStable() bool { return false }
 
 func (h *sharedHandle) ReadFrom(timeout time.Duration) ([]byte, netip.AddrPort, error) {
 	if h.isClosed() {
