@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test check vet race api-check fuzz-smoke metrics-smoke bench-smoke crash-restart-smoke campaign-smoke testdata
+.PHONY: all build test check vet race api-check fuzz-smoke metrics-smoke bench-smoke crash-restart-smoke campaign-smoke fleet-smoke testdata
 
 all: build
 
@@ -62,6 +62,15 @@ campaign-smoke:
 	$(GO) test ./internal/workload -run='^TestCampaign' -count=1
 	$(GO) test ./internal/guard -run='^TestMitigator' -count=1
 
+# Boot the 3-guard netsim fleet and run the shipped fleet packs: the
+# catchment-shift acceptance gate (flap moves ≥30% of a 120k-source verified
+# population to a cold site mid-attack; the cold site re-admits via the
+# fleet-shared keyring; zero verified-traffic drops during the scripted
+# drain; bit-identical golden replay) plus site failure and mid-run key
+# rotation. The gate behind DESIGN.md §15.
+fleet-smoke:
+	$(GO) test ./internal/fleet -run='^TestFleet' -count=1
+
 # The public-API freeze: any change to the exported dnsguard surface fails
 # here until testdata/api.txt is deliberately regenerated with
 # `go test -run TestAPI -update`.
@@ -109,7 +118,7 @@ crash-restart-smoke:
 		|| { echo "pre-crash cookie did not verify after restart"; exit 1; }; \
 	echo "crash-restart-smoke: ok"
 
-check: vet race api-check campaign-smoke fuzz-smoke metrics-smoke bench-smoke crash-restart-smoke
+check: vet race api-check campaign-smoke fleet-smoke fuzz-smoke metrics-smoke bench-smoke crash-restart-smoke
 
 # Regenerate the wire-capture fuzz seeds under internal/dnswire/testdata/.
 testdata:

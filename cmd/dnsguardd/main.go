@@ -19,6 +19,11 @@
 // -overload-policy picks fail-open or fail-closed when a shard trips or
 // every upstream is dark.
 //
+// Fleet flags: -keyring-follow opens -state-file as a read-only follower
+// handle on a shared keyring (one owner rotates, every follower verifies
+// the same cookies — the anycast-fleet deployment of DESIGN.md §15);
+// -keyring-reload polls the file and adopts newer epochs.
+//
 // With -shards N > 1 the guard runs N dataplane workers, each fed by its own
 // SO_REUSEPORT socket on the public address (kernel-hashed per flow; falls
 // back to a shared socket where SO_REUSEPORT is unavailable). With -batch
@@ -63,6 +68,8 @@ func run() error {
 	fastPathTTL := flag.Duration("fastpath-ttl", 0, "verified-source fast-path cache TTL (0 = default, negative = off)")
 	stateFile := flag.String("state-file", "", "persist the cookie keyring here; a restart with the same file keeps pre-restart cookies valid")
 	keyRotate := flag.Duration("key-rotate", 0, "cookie key rotation period (0 = never); rotations are persisted to -state-file")
+	keyringFollow := flag.Bool("keyring-follow", false, "open -state-file as a read-only follower handle on a fleet-shared keyring (the owner rotates; this guard only reloads)")
+	keyringReload := flag.Duration("keyring-reload", 0, "poll -state-file at this interval and adopt newer epochs (fleet followers tracking the owner's rotations)")
 	ansFallback := flag.String("ans-fallback", "", "comma-separated secondary ANS addresses, tried in order when the primary's breaker opens")
 	overload := flag.String("overload-policy", "drop", "when a shard trips or every upstream is down: drop (fail-closed) or pass (fail-open)")
 	mitigate := flag.Bool("mitigate", false, "run the layered auto-mitigation selector (overrides -threshold while escalated)")
@@ -124,15 +131,31 @@ func run() error {
 			fallbacks = append(fallbacks, ap)
 		}
 	}
+	if *keyringFollow && *stateFile == "" {
+		return fmt.Errorf("-keyring-follow requires -state-file")
+	}
+	if *keyringFollow && *keyRotate > 0 {
+		return fmt.Errorf("-keyring-follow and -key-rotate are mutually exclusive: the ring's owner rotates, followers reload")
+	}
+	if *keyringReload > 0 && *stateFile == "" {
+		return fmt.Errorf("-keyring-reload requires -state-file")
+	}
 	env := dnsguard.NewEnv()
 	var auth *dnsguard.Authenticator
-	if *stateFile != "" {
+	switch {
+	case *keyringFollow:
+		auth, err = dnsguard.OpenKeyringHandle(*stateFile)
+		if err != nil {
+			return fmt.Errorf("opening -state-file as follower: %w", err)
+		}
+		fmt.Printf("dnsguardd: keyring %s (epoch %d, follower)\n", *stateFile, auth.Epoch())
+	case *stateFile != "":
 		auth, err = dnsguard.OpenKeyring(*stateFile)
 		if err != nil {
 			return fmt.Errorf("opening -state-file: %w", err)
 		}
 		fmt.Printf("dnsguardd: keyring %s (epoch %d)\n", *stateFile, auth.Epoch())
-	} else {
+	default:
 		auth, err = dnsguard.NewAuthenticator()
 		if err != nil {
 			return err
@@ -233,6 +256,25 @@ func run() error {
 	}
 	stop := make(chan struct{})
 	defer close(stop)
+	if *keyringReload > 0 {
+		go func() {
+			for {
+				select {
+				case <-stop:
+					return
+				case <-time.After(*keyringReload):
+				}
+				before := auth.Epoch()
+				if err := auth.Reload(); err != nil {
+					fmt.Fprintf(os.Stderr, "dnsguardd: keyring reload: %v\n", err)
+					continue
+				}
+				if e := auth.Epoch(); e != before {
+					fmt.Printf("dnsguardd: keyring advanced to epoch %d\n", e)
+				}
+			}
+		}()
+	}
 	if *statsEvery > 0 {
 		go func() {
 			for {

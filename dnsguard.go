@@ -40,6 +40,7 @@ import (
 	"dnsguard/internal/cpumodel"
 	"dnsguard/internal/dnswire"
 	"dnsguard/internal/engine"
+	"dnsguard/internal/fleet"
 	"dnsguard/internal/guard"
 	"dnsguard/internal/metrics"
 	"dnsguard/internal/netapi"
@@ -50,6 +51,7 @@ import (
 	"dnsguard/internal/tcpproxy"
 	"dnsguard/internal/tcpsim"
 	"dnsguard/internal/vclock"
+	"dnsguard/internal/workload"
 	"dnsguard/internal/zone"
 )
 
@@ -205,6 +207,23 @@ func NewAuthenticator() (*Authenticator, error) { return cookie.NewAuthenticator
 // before the restart (DESIGN.md §11).
 func OpenKeyring(path string) (*Authenticator, error) { return cookie.OpenKeyring(path) }
 
+// OpenKeyringHandle opens a follower handle on an existing keyring state
+// file: the handle mints and verifies with the shared key material but
+// cannot Rotate (ErrKeyringFollower) — the owner rotates, followers Reload.
+// Fleet deployments give every site a handle on one ring so any guard
+// verifies a cookie minted by any other (DESIGN.md §15).
+func OpenKeyringHandle(path string) (*Authenticator, error) { return cookie.OpenKeyringHandle(path) }
+
+// ErrKeyringFollower is returned by Rotate on a follower handle.
+var ErrKeyringFollower = cookie.ErrFollowHandle
+
+// KeyState is the keyring's serializable state: epoch plus both epoch keys.
+type KeyState = cookie.KeyState
+
+// RestoreAuthenticator rebuilds an authenticator from a captured KeyState
+// (an unbound in-memory handle on the same ring).
+func RestoreAuthenticator(st KeyState) *Authenticator { return cookie.RestoreAuthenticator(st) }
+
 // Scheme selects how the guard bootstraps cookie-less requesters.
 type Scheme = guard.Scheme
 
@@ -325,6 +344,81 @@ type PacketIO = guard.PacketIO
 // TapIO adapts a simulated host's tap to PacketIO.
 type TapIO = guard.TapIO
 
+// The fleet (anycast tier) --------------------------------------------------
+
+// GuardFleetConfig configures a simulated anycast guard fleet: N guard
+// instances behind a deterministic ECMP front, sharing one cookie keyring.
+type GuardFleetConfig = fleet.Config
+
+// GuardFleet is N remote guards behind a catchment-hashed anycast front.
+type GuardFleet = fleet.Fleet
+
+// GuardFleetSite is one fleet site (host, guard, metrics registry).
+type GuardFleetSite = fleet.Site
+
+// NewGuardFleet builds a fleet in a simulated network; call Start to run it.
+func NewGuardFleet(cfg GuardFleetConfig) (*GuardFleet, error) { return fleet.New(cfg) }
+
+// Catchment deterministically maps client sources to fleet sites (weighted
+// rendezvous hashing plus BGP-flap overrides).
+type Catchment = fleet.Catchment
+
+// NewCatchment creates a catchment over len(weights) sites.
+func NewCatchment(seed uint64, weights ...float64) *Catchment {
+	return fleet.NewCatchment(seed, weights...)
+}
+
+// CatchmentEvent is one scripted routing change on the virtual clock.
+type CatchmentEvent = fleet.Event
+
+// CatchmentEventKind selects a scripted catchment event.
+type CatchmentEventKind = fleet.EventKind
+
+// Catchment event kinds.
+const (
+	// CatchmentFlap: a BGP flap routes a hash-selected population fraction
+	// to one site until flaps are cleared.
+	CatchmentFlap = fleet.EventFlap
+	// CatchmentDrain: zero one site's weight (rolling-upgrade drain).
+	CatchmentDrain = fleet.EventDrain
+	// CatchmentRestore: return a site to its configured weight.
+	CatchmentRestore = fleet.EventRestore
+	// CatchmentFail: kill a site; its catchment blackholes until the BGP
+	// withdrawal propagates.
+	CatchmentFail = fleet.EventFail
+	// CatchmentClearFlaps: withdraw every flap override.
+	CatchmentClearFlaps = fleet.EventClearFlaps
+	// CatchmentRotate: rotate the fleet-shared keyring.
+	CatchmentRotate = fleet.EventRotate
+)
+
+// FleetPack is one shipped fleet scenario (population + attack + events).
+type FleetPack = fleet.Pack
+
+// FleetPacks returns the shipped fleet scenarios.
+func FleetPacks() []FleetPack { return fleet.Packs() }
+
+// FleetLabConfig parameterizes one fleet-pack run.
+type FleetLabConfig = fleet.LabConfig
+
+// FleetLabResult is a fleet-pack run reduced to assertable counters.
+type FleetLabResult = fleet.LabResult
+
+// RunFleetLab runs one fleet pack in a fresh simulated world; same config,
+// bit-identical result.
+func RunFleetLab(cfg FleetLabConfig) (FleetLabResult, error) { return fleet.RunLab(cfg) }
+
+// PopulationConfig configures the population-scale client model: Zipf source
+// popularity, Poisson flow arrivals, every source re-presenting a live
+// cookie from the fleet-shared keyring.
+type PopulationConfig = workload.PopulationConfig
+
+// Population is the aggregate population generator.
+type Population = workload.Population
+
+// NewPopulation creates a population generator; call Start to run it.
+func NewPopulation(cfg PopulationConfig) (*Population, error) { return workload.NewPopulation(cfg) }
+
 // TCPProxyConfig configures the guard's TCP proxy.
 type TCPProxyConfig = tcpproxy.Config
 
@@ -376,6 +470,17 @@ func DumpMetricsEvery(r *Metrics, interval time.Duration, w io.Writer, stop <-ch
 // benchmarks use it to report per-run counter movement.
 func MetricsDelta(before, after []MetricSample) []MetricSample {
 	return metrics.Delta(before, after)
+}
+
+// MergedMetrics snapshots several registries as one: same-named counters and
+// gauges sum, histograms merge bucket-wise. The fleet roll-up uses it to
+// aggregate per-guard registries; it works equally for multi-process export.
+func MergedMetrics(regs ...*Metrics) []MetricSample { return metrics.Merged(regs...) }
+
+// MergeMetricsInto registers a live merged view of regs on r, every series
+// prefixed with prefix.
+func MergeMetricsInto(r *Metrics, prefix string, regs ...*Metrics) {
+	metrics.MergedInto(r, prefix, regs...)
 }
 
 // Cost model ------------------------------------------------------------------

@@ -63,10 +63,12 @@ type Cookie [Size]byte
 // cookies within one TTL window. All methods are safe for concurrent use by
 // the guard's shard workers and the rotation proc.
 type Authenticator struct {
-	mu    sync.RWMutex
-	keys  [2][KeySize]byte // keys[epoch&1] is the key for that epoch parity
-	epoch uint64           // current key epoch; epoch-1 is still accepted
-	bound string           // state file auto-written on Rotate ("" = none)
+	mu     sync.RWMutex
+	keys   [2][KeySize]byte // keys[epoch&1] is the key for that epoch parity
+	epoch  uint64           // current key epoch; epoch-1 is still accepted
+	bound  string           // state file auto-written on Rotate ("" = none)
+	source string           // state file re-read on Reload ("" = none)
+	follow bool             // read handle: Rotate refuses, the owner rotates
 }
 
 // NewAuthenticator creates an authenticator with a fresh random key.
@@ -115,6 +117,9 @@ func (a *Authenticator) Rotate() error {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.follow {
+		return ErrFollowHandle
+	}
 	prev := a.keys[(a.epoch+1)&1]
 	a.epoch++
 	a.keys[a.epoch&1] = key

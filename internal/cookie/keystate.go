@@ -20,6 +20,7 @@ package cookie
 
 import (
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -107,6 +108,85 @@ func OpenKeyring(path string) (*Authenticator, error) {
 	if err := a.BindStateFile(path); err != nil {
 		return nil, err
 	}
+	return a, nil
+}
+
+// Fleet-shared keyrings. A guard fleet (anycast sites behind one service
+// address) must verify each other's cookies: a catchment shift hands a
+// verified client to a cold site, and the cold site can only re-admit it
+// without a re-challenge if it holds the same key material and epoch
+// schedule as the site that minted the cookie. One authenticator (or the
+// daemon owning the state file) is the ring's writer; every other guard
+// holds a read handle that adopts the owner's published KeyState.
+
+// ErrFollowHandle is returned by Rotate on a read handle opened with
+// OpenKeyringHandle: the ring has exactly one writer, followers only adopt.
+var ErrFollowHandle = errors.New("cookie: keyring follow handle cannot rotate; the owner rotates")
+
+// Adopt installs a published keyring state, typically pushed by a fleet
+// controller after it rotates the shared ring. Epochs never regress: a stale
+// state (st.Epoch below the current epoch) is ignored and Adopt reports
+// false. Adopting the current epoch re-installs the key material, which is a
+// no-op when the states already agree. When the authenticator is bound to a
+// state file the adopted ring is persisted before Adopt returns; a
+// persistence failure rolls the adoption back (reported as false) so the
+// disk ring never lags the live one.
+func (a *Authenticator) Adopt(st KeyState) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if st.Epoch < a.epoch {
+		return false
+	}
+	prev := a.stateLocked()
+	a.epoch = st.Epoch
+	a.keys = st.Keys
+	if a.bound != "" {
+		if err := writeKeyState(a.bound, a.stateLocked()); err != nil {
+			a.epoch = prev.Epoch
+			a.keys = prev.Keys
+			return false
+		}
+	}
+	return true
+}
+
+// Reload re-reads the state file the authenticator follows (OpenKeyringHandle)
+// or is bound to, and adopts it. The shared-file flavour of fleet key
+// distribution: the owner rotates and rewrites the file, followers poll
+// Reload. A state whose epoch is behind the live one is ignored without
+// error — the owner's write may simply not have landed yet.
+func (a *Authenticator) Reload() error {
+	a.mu.RLock()
+	path := a.source
+	if path == "" {
+		path = a.bound
+	}
+	a.mu.RUnlock()
+	if path == "" {
+		return errors.New("cookie: Reload: authenticator has no state file")
+	}
+	st, err := ReadKeyState(path)
+	if err != nil {
+		return err
+	}
+	a.Adopt(st)
+	return nil
+}
+
+// OpenKeyringHandle opens a read handle on an existing keyring state file:
+// the returned authenticator verifies (and mints) cookies under the file's
+// current ring, Reload picks up rotations written by the owner, and Rotate
+// refuses with ErrFollowHandle. Unlike OpenKeyring it never writes the file
+// and errors if it does not exist — a follower must not race the owner to
+// create the ring.
+func OpenKeyringHandle(path string) (*Authenticator, error) {
+	st, err := ReadKeyState(path)
+	if err != nil {
+		return nil, err
+	}
+	a := RestoreAuthenticator(st)
+	a.source = path
+	a.follow = true
 	return a, nil
 }
 

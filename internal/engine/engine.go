@@ -648,6 +648,17 @@ func (e *Engine) Stats(i int) ShardStats {
 	return metrics.SnapshotUint64(&e.shards[i].stats)
 }
 
+// StatsAll returns an atomically-read copy of every shard's counters,
+// indexed by shard — the per-shard view benchmarks and fleet roll-ups
+// serialize (Stats(i) in one call).
+func (e *Engine) StatsAll() []ShardStats {
+	out := make([]ShardStats, len(e.shards))
+	for i := range e.shards {
+		out[i] = metrics.SnapshotUint64(&e.shards[i].stats)
+	}
+	return out
+}
+
 // FastPath returns the engine-wide verified-source cache counters, summed
 // across the per-shard sinks at call time. The per-shard split keeps the
 // cache's hot-path writes off shared cachelines; this is the scrape-time

@@ -92,10 +92,15 @@ type EngineThroughputResult struct {
 	// Affine reports whether the run used shard-affine ingest (one read loop
 	// per shard) rather than the central hash fan-out.
 	Affine bool `json:"affine"`
-	P50             time.Duration `json:"p50_ns"`
-	P99             time.Duration `json:"p99_ns"`
-	ShedNew         uint64        `json:"shed_new"`
-	ShedOld         uint64        `json:"shed_old"`
+	P50     time.Duration `json:"p50_ns"`
+	P99     time.Duration `json:"p99_ns"`
+	ShedNew uint64        `json:"shed_new"`
+	ShedOld uint64        `json:"shed_old"`
+	// Handoffs totals cross-shard migrations; ShardHandoffs breaks the same
+	// counters out per shard (the shard<i>_handoff series /metrics already
+	// exports), making affine-mode migration cost visible in the JSON rows.
+	Handoffs        uint64        `json:"handoffs"`
+	ShardHandoffs   []uint64      `json:"shard_handoffs,omitempty"`
 	FastPathHits    uint64        `json:"fast_path_hits"`
 	CookieInvalid   uint64        `json:"cookie_invalid"`
 	AllocsPerPacket float64       `json:"allocs_per_packet"`
@@ -104,8 +109,8 @@ type EngineThroughputResult struct {
 
 // WriteEngineBench prints a shard-scaling sweep in benchtab's tabular style.
 func WriteEngineBench(w io.Writer, rows []EngineThroughputResult) {
-	fmt.Fprintf(w, "%6s %5s %6s %6s %11s %11s %9s %9s %9s %9s %9s %10s\n",
-		"shards", "batch", "spoof", "ingest", "processed", "goodput", "p50_ms", "p99_ms", "shed_new", "shed_old", "fastpath", "allocs/pkt")
+	fmt.Fprintf(w, "%6s %5s %6s %6s %11s %11s %9s %9s %9s %9s %9s %9s %10s\n",
+		"shards", "batch", "spoof", "ingest", "processed", "goodput", "p50_ms", "p99_ms", "shed_new", "shed_old", "handoffs", "fastpath", "allocs/pkt")
 	for _, r := range rows {
 		batch := r.Batch
 		if batch == 0 {
@@ -119,10 +124,10 @@ func WriteEngineBench(w io.Writer, rows []EngineThroughputResult) {
 		if goodput == 0 {
 			goodput = r.QPS // rows serialized before the split
 		}
-		fmt.Fprintf(w, "%6d %5d %6.2f %6s %11.0f %11.0f %9.3f %9.3f %9d %9d %9d %10.1f\n",
+		fmt.Fprintf(w, "%6d %5d %6.2f %6s %11.0f %11.0f %9.3f %9.3f %9d %9d %9d %9d %10.1f\n",
 			r.Shards, batch, r.SpoofFraction, ingest, r.ProcessedQPS, goodput,
 			float64(r.P50.Nanoseconds())/1e6, float64(r.P99.Nanoseconds())/1e6,
-			r.ShedNew, r.ShedOld, r.FastPathHits, r.AllocsPerPacket)
+			r.ShedNew, r.ShedOld, r.Handoffs, r.FastPathHits, r.AllocsPerPacket)
 	}
 }
 
@@ -487,10 +492,12 @@ func EngineThroughput(opts EngineThroughputOptions) (EngineThroughputResult, err
 	eng := g.Engine()
 	res.Affine = eng.Affine()
 	var handled uint64
-	for i := 0; i < eng.Shards(); i++ {
-		st := eng.Stats(i)
+	res.ShardHandoffs = make([]uint64, 0, eng.Shards())
+	for _, st := range eng.StatsAll() {
 		res.ShedNew += st.ShedNew
 		res.ShedOld += st.ShedOld
+		res.Handoffs += st.Handoff
+		res.ShardHandoffs = append(res.ShardHandoffs, st.Handoff)
 		handled += st.Handled
 	}
 	if elapsed > 0 {

@@ -1,0 +1,106 @@
+// Fleet acceptance rig: runs every shipped fleet pack (catchment shift,
+// site failure) on the virtual clock and reduces each run to one row for
+// BENCH_engine.json, so the anycast tier's behavior under routing churn is
+// tracked next to the single-instance dataplane numbers.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dnsguard/internal/fleet"
+)
+
+// FleetBenchResult is one fleet pack reduced to its headline counters;
+// benchtab serializes these under the "fleet" key of BENCH_engine.json.
+type FleetBenchResult struct {
+	Pack    string `json:"pack"`
+	Sites   int    `json:"sites"`
+	Sources int    `json:"sources"`
+	// FlowsSent/Answered are the verified population's totals; Goodput is
+	// their ratio — 1.0 means no verified flow was lost to the scripted
+	// routing churn.
+	FlowsSent uint64  `json:"flows_sent"`
+	Answered  uint64  `json:"answered"`
+	Goodput   float64 `json:"goodput"`
+	// AttackSent is the spoofed flood volume the fleet absorbed meanwhile.
+	AttackSent uint64 `json:"attack_sent"`
+	// MovedSources counts population sources the pack's defining shift
+	// re-routed; ColdReverified counts the full cookie verifications the
+	// shift target performed afterwards (fleet-shared keyring re-admission).
+	MovedSources   int    `json:"moved_sources"`
+	ColdReverified uint64 `json:"cold_reverified"`
+	// Blackholed counts packets lost at the front while a dead site's
+	// routes were still advertised.
+	Blackholed uint64 `json:"blackholed"`
+	// Fleet-wide guard counters.
+	CookieValid    uint64 `json:"cookie_valid"`
+	CookieInvalid  uint64 `json:"cookie_invalid"`
+	RL2Dropped     uint64 `json:"rl2_dropped"`
+	NewcomerGrants uint64 `json:"newcomer_grants"`
+	// Elapsed is the real time the simulation took (the virtual horizon is
+	// fixed by the pack).
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// FleetBenchOptions parameterizes a FleetBench sweep.
+type FleetBenchOptions struct {
+	// Seed keys every run (default 42, the golden-snapshot seed).
+	Seed int64
+	// Quick scales the populations down ~10x for a fast smoke pass.
+	Quick bool
+}
+
+// FleetBench runs every shipped fleet pack and returns one row per pack.
+func FleetBench(opts FleetBenchOptions) ([]FleetBenchResult, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 42
+	}
+	var rows []FleetBenchResult
+	for _, p := range fleet.Packs() {
+		cfg := fleet.LabConfig{Pack: p, Seed: opts.Seed}
+		if opts.Quick {
+			cfg.Sources = p.Sources / 10
+			cfg.Rate = p.Rate / 4
+		}
+		start := time.Now()
+		res, err := fleet.RunLab(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fleet pack %q: %w", p.Name, err)
+		}
+		tot := res.Totals()
+		row := FleetBenchResult{
+			Pack:           p.Name,
+			Sites:          p.Sites,
+			Sources:        res.VerifiedSources,
+			FlowsSent:      res.Population.FlowsSent,
+			Answered:       res.Population.Answered,
+			AttackSent:     res.AttackSent,
+			MovedSources:   res.MovedSources,
+			ColdReverified: res.ColdReverified,
+			Blackholed:     res.Front.Blackholed,
+			CookieValid:    tot.CookieValid,
+			CookieInvalid:  tot.CookieInvalid,
+			RL2Dropped:     tot.RL2Dropped,
+			NewcomerGrants: tot.NewcomerGrants,
+			Elapsed:        time.Since(start),
+		}
+		if row.FlowsSent > 0 {
+			row.Goodput = float64(row.Answered) / float64(row.FlowsSent)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteFleetBench prints fleet rows in benchtab's tabular style.
+func WriteFleetBench(w io.Writer, rows []FleetBenchResult) {
+	fmt.Fprintf(w, "%-16s %5s %8s %9s %9s %8s %8s %11s %9s %9s %8s\n",
+		"pack", "sites", "sources", "flows", "answered", "goodput", "moved", "reverified", "blackhole", "attack", "invalid")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %5d %8d %9d %9d %8.4f %8d %11d %9d %9d %8d\n",
+			r.Pack, r.Sites, r.Sources, r.FlowsSent, r.Answered, r.Goodput,
+			r.MovedSources, r.ColdReverified, r.Blackholed, r.AttackSent, r.CookieInvalid)
+	}
+}

@@ -1,0 +1,151 @@
+package fleet
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// testAddrs enumerates n deterministic IPv4 sources.
+func testAddrs(n int) []netip.Addr {
+	out := make([]netip.Addr, n)
+	for i := range out {
+		v := uint32(0x0A800000 + i) // 10.128.0.0 onward, the population pool
+		out[i] = netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+	}
+	return out
+}
+
+func assignments(c *Catchment, addrs []netip.Addr) []int {
+	out := make([]int, len(addrs))
+	for i, a := range addrs {
+		out[i] = c.SiteFor(a)
+	}
+	return out
+}
+
+func counts(assign []int, sites int) []int {
+	out := make([]int, sites+1) // out[sites] counts blackholed (-1)
+	for _, s := range assign {
+		if s < 0 {
+			out[sites]++
+		} else {
+			out[s]++
+		}
+	}
+	return out
+}
+
+func TestCatchmentBalancesByWeight(t *testing.T) {
+	addrs := testAddrs(30_000)
+	even := NewCatchment(1, 1, 1, 1)
+	n := counts(assignments(even, addrs), 3)
+	for s := 0; s < 3; s++ {
+		if frac := float64(n[s]) / float64(len(addrs)); frac < 0.30 || frac > 0.37 {
+			t.Errorf("equal weights: site %d holds %.3f, want ~1/3", s, frac)
+		}
+	}
+	weighted := NewCatchment(1, 2, 1, 1)
+	n = counts(assignments(weighted, addrs), 3)
+	if frac := float64(n[0]) / float64(len(addrs)); frac < 0.45 || frac > 0.55 {
+		t.Errorf("weight 2: site 0 holds %.3f, want ~1/2", frac)
+	}
+}
+
+func TestCatchmentDeterministic(t *testing.T) {
+	addrs := testAddrs(5000)
+	a := assignments(NewCatchment(7, 1, 1, 1), addrs)
+	b := assignments(NewCatchment(7, 1, 1, 1), addrs)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different assignment for %v: %d vs %d", addrs[i], a[i], b[i])
+		}
+	}
+	c := assignments(NewCatchment(8, 1, 1, 1), addrs)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical maps")
+	}
+}
+
+// TestCatchmentMinimalDisruption pins the rendezvous property the drain
+// events rely on: zeroing one site's weight moves exactly that site's
+// sources and nobody else; restoring returns the original map bit for bit.
+func TestCatchmentMinimalDisruption(t *testing.T) {
+	addrs := testAddrs(20_000)
+	c := NewCatchment(3, 1, 1, 1)
+	before := assignments(c, addrs)
+	c.SetWeight(0, 0) // drain site 0
+	during := assignments(c, addrs)
+	for i := range addrs {
+		switch {
+		case during[i] == 0:
+			t.Fatalf("drained site still assigned %v", addrs[i])
+		case before[i] != 0 && during[i] != before[i]:
+			t.Fatalf("source %v moved %d→%d though its site was not drained", addrs[i], before[i], during[i])
+		}
+	}
+	c.Restore(0)
+	after := assignments(c, addrs)
+	for i := range addrs {
+		if after[i] != before[i] {
+			t.Fatalf("restore did not return %v to site %d (got %d)", addrs[i], before[i], after[i])
+		}
+	}
+	if gen := c.Generation(); gen != 2 {
+		t.Errorf("generation = %d, want 2 (drain + restore)", gen)
+	}
+}
+
+func TestCatchmentFlap(t *testing.T) {
+	addrs := testAddrs(20_000)
+	c := NewCatchment(5, 1, 1, 1)
+	before := assignments(c, addrs)
+	c.Flap(0.5, 2)
+	during := assignments(c, addrs)
+	moved, onTarget := 0, 0
+	for i := range addrs {
+		if during[i] == 2 {
+			onTarget++
+		}
+		if during[i] != before[i] {
+			moved++
+			if during[i] != 2 {
+				t.Fatalf("flap moved %v to site %d, not the flap target", addrs[i], during[i])
+			}
+		}
+	}
+	// The flap captures ~50% of all sources; ~1/3 of those were already on
+	// site 2, so ~1/3 of the population actually moves.
+	if frac := float64(onTarget) / float64(len(addrs)); frac < 0.60 || frac > 0.72 {
+		t.Errorf("flap target holds %.3f of sources, want ~2/3 (1/3 native + 1/2 captured)", frac)
+	}
+	if frac := float64(moved) / float64(len(addrs)); frac < 0.30 || frac > 0.37 {
+		t.Errorf("flap moved %.3f of sources, want ~1/3", frac)
+	}
+	c.ClearFlaps()
+	after := assignments(c, addrs)
+	for i := range addrs {
+		if after[i] != before[i] {
+			t.Fatalf("clearing flaps did not restore %v", addrs[i])
+		}
+	}
+}
+
+func TestCatchmentBlackholesWhenAllDown(t *testing.T) {
+	c := NewCatchment(1, 1, 1)
+	c.SetWeight(0, 0)
+	c.SetWeight(1, 0)
+	if s := c.SiteFor(netip.MustParseAddr("10.128.0.1")); s != -1 {
+		t.Fatalf("SiteFor with all weights zero = %d, want -1", s)
+	}
+	// A flap targeting a zero-weight site cannot resurrect it.
+	c.Flap(1.0, 1)
+	if s := c.SiteFor(netip.MustParseAddr("10.128.0.1")); s != -1 {
+		t.Fatalf("flap to drained site routed to %d, want -1", s)
+	}
+}

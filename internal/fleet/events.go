@@ -1,0 +1,97 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+)
+
+// EventKind selects a scripted catchment event.
+type EventKind int
+
+// Catchment event kinds.
+const (
+	// EventFlap is a BGP flap: a hash-selected Frac of all sources routes
+	// to Site until the flaps are cleared (EventClearFlaps) — the
+	// Whac-A-Mole observation that routing churn hands whole populations
+	// to another site mid-attack.
+	EventFlap EventKind = iota + 1
+	// EventDrain zeroes Site's catchment weight (rolling-upgrade drain):
+	// its sources redistribute to the remaining sites, nothing else moves.
+	EventDrain
+	// EventRestore returns Site to its configured weight and marks it
+	// alive again (drain or failure undo).
+	EventRestore
+	// EventFail kills Site: traffic the catchment still routes there
+	// blackholes until the BGP withdrawal propagates (Lag), after which
+	// the site's weight drops to zero and its sources redistribute.
+	EventFail
+	// EventClearFlaps withdraws every flap override.
+	EventClearFlaps
+	// EventRotate rotates the fleet-shared keyring (controller rotates,
+	// every site adopts), exercising cross-site grace-epoch verification.
+	EventRotate
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventFlap:
+		return "flap"
+	case EventDrain:
+		return "drain"
+	case EventRestore:
+		return "restore"
+	case EventFail:
+		return "fail"
+	case EventClearFlaps:
+		return "clear-flaps"
+	case EventRotate:
+		return "rotate"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one scripted routing change on the virtual clock.
+type Event struct {
+	// At is the virtual time of the event, relative to the moment Schedule
+	// is called (campaign scripts call Schedule at t=0, making At absolute).
+	At time.Duration
+	// Kind selects the event.
+	Kind EventKind
+	// Site is the event's subject (Flap: the destination site).
+	Site int
+	// Frac is the population fraction a flap captures.
+	Frac float64
+	// Lag is the failure-to-withdrawal delay for EventFail (how long the
+	// dead site keeps attracting — and blackholing — its catchment).
+	Lag time.Duration
+}
+
+// Schedule registers events on the virtual clock. Call before running the
+// scheduler; each event applies atomically in scheduler context.
+func (f *Fleet) Schedule(events []Event) {
+	for _, ev := range events {
+		ev := ev
+		f.cfg.Net.At(ev.At, func() { f.apply(ev) })
+	}
+}
+
+func (f *Fleet) apply(ev Event) {
+	switch ev.Kind {
+	case EventFlap:
+		f.catch.Flap(ev.Frac, ev.Site)
+	case EventDrain:
+		f.catch.SetWeight(ev.Site, 0)
+	case EventRestore:
+		f.down[ev.Site] = false
+		f.catch.Restore(ev.Site)
+	case EventFail:
+		f.down[ev.Site] = true
+		site := ev.Site
+		f.cfg.Net.At(ev.Lag, func() { f.catch.SetWeight(site, 0) })
+	case EventClearFlaps:
+		f.catch.ClearFlaps()
+	case EventRotate:
+		_ = f.Rotate()
+	}
+}

@@ -1,0 +1,287 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"dnsguard/internal/cookie"
+	"dnsguard/internal/dnswire"
+	"dnsguard/internal/guard"
+	"dnsguard/internal/metrics"
+	"dnsguard/internal/netapi"
+	"dnsguard/internal/netsim"
+)
+
+// Config parameterizes a simulated guard fleet.
+type Config struct {
+	// Net is the simulated network the fleet is built in. Required.
+	Net *netsim.Network
+	// Sites is the number of guard instances. Required (>= 1).
+	Sites int
+	// Weights are the sites' relative catchment capacities; nil means all 1.
+	Weights []float64
+	// Seed keys the catchment hash and the per-guard shard hash.
+	Seed uint64
+	// PublicAddr is the anycast service address every site answers for.
+	// Required.
+	PublicAddr netip.AddrPort
+	// Subnet is the advertised prefix around PublicAddr; the front claims it
+	// so client traffic lands on the ECMP hop. Required.
+	Subnet netip.Prefix
+	// ANSAddr is the protected origin server, shared by every site. Required.
+	ANSAddr netip.AddrPort
+	// Zone is the apex the origin serves.
+	Zone dnswire.Name
+	// Key seeds the fleet-shared keyring deterministically; the zero value
+	// generates a random ring.
+	Key [cookie.KeySize]byte
+	// FastPathTTL enables each guard's verified-source cache.
+	FastPathTTL time.Duration
+	// Guard, when non-nil, adjusts each site's config before the guard is
+	// created (rate limiters, mitigation, costs...).
+	Guard func(site int, cfg *guard.RemoteConfig)
+}
+
+// Site is one guard instance plus its host and private metrics registry.
+type Site struct {
+	// Host is the site's machine; the front injects routed traffic here.
+	Host *netsim.Host
+	// Guard is the site's spoof-detection instance.
+	Guard *guard.Remote
+	// Registry holds the site's guard_* series; the fleet roll-up merges
+	// all of them under fleet_*.
+	Registry *metrics.Registry
+}
+
+// FrontStats counts the ECMP front's routing decisions.
+type FrontStats struct {
+	// Routed counts packets delivered to a site.
+	Routed uint64
+	// Blackholed counts packets dropped because the catchment had no
+	// routable site or the selected site was down (failure before the BGP
+	// withdrawal propagated).
+	Blackholed uint64
+	// Moved counts packets whose source had previously been routed to a
+	// different site — the front-side measure of catchment churn.
+	Moved uint64
+}
+
+// Fleet is N guards behind a deterministic anycast front sharing one cookie
+// keyring. Create with New, then Start.
+type Fleet struct {
+	cfg        Config
+	catch      *Catchment
+	controller *cookie.Authenticator
+	front      *netsim.Host
+	tap        *netsim.Tap
+	sites      []*Site
+	down       []bool
+	lastSite   map[netip.Addr]int
+	stopped    bool
+
+	// Stats is updated by the front proc as the fleet runs.
+	Stats FrontStats
+}
+
+// New builds the fleet world: a front host claiming the anycast prefix, one
+// guard host per site, and a shared keyring — the controller authenticator
+// owns the ring and every guard gets an independent handle on the same key
+// material and epoch schedule, so any site verifies a cookie minted by any
+// other.
+func New(cfg Config) (*Fleet, error) {
+	if cfg.Net == nil || cfg.Sites < 1 {
+		return nil, errors.New("fleet: Config.Net and Sites are required")
+	}
+	if !cfg.PublicAddr.IsValid() || !cfg.Subnet.IsValid() || !cfg.ANSAddr.IsValid() {
+		return nil, errors.New("fleet: PublicAddr, Subnet, ANSAddr are required")
+	}
+	if cfg.Weights == nil {
+		cfg.Weights = make([]float64, cfg.Sites)
+		for i := range cfg.Weights {
+			cfg.Weights[i] = 1
+		}
+	}
+	if len(cfg.Weights) != cfg.Sites {
+		return nil, errors.New("fleet: len(Weights) must equal Sites")
+	}
+	if cfg.Zone == "" {
+		cfg.Zone = dnswire.MustName("foo.com")
+	}
+
+	var controller *cookie.Authenticator
+	if cfg.Key == ([cookie.KeySize]byte{}) {
+		a, err := cookie.NewAuthenticator()
+		if err != nil {
+			return nil, err
+		}
+		controller = a
+	} else {
+		controller = cookie.NewAuthenticatorWithKey(cfg.Key)
+	}
+
+	f := &Fleet{
+		cfg:        cfg,
+		catch:      NewCatchment(splitmix(cfg.Seed^0xFEE7C47C), cfg.Weights...),
+		controller: controller,
+		down:       make([]bool, cfg.Sites),
+		lastSite:   make(map[netip.Addr]int),
+	}
+
+	f.front = cfg.Net.AddHost("front", cfg.PublicAddr.Addr())
+	f.front.ClaimPrefix(cfg.Subnet)
+	f.front.SetQueueCap(1 << 16)
+	tap, err := f.front.OpenTap()
+	if err != nil {
+		return nil, err
+	}
+	f.tap = tap
+
+	for i := 0; i < cfg.Sites; i++ {
+		// Site addresses sit in 10.64/16, outside the population's claimed
+		// 10.128.0.0/9 pool: each guard's upstream socket binds the site
+		// address, and ANS replies to it must route to the site, not into a
+		// client prefix claim.
+		host := cfg.Net.AddHost(fmt.Sprintf("site%d", i), netip.AddrFrom4([4]byte{10, 64, byte(i + 1), 1}))
+		host.SetQueueCap(1 << 16)
+		siteTap, err := host.OpenTap()
+		if err != nil {
+			return nil, err
+		}
+		gcfg := guard.RemoteConfig{
+			Env:    host,
+			IO:     guard.TapIO{Tap: siteTap},
+			Shards: 1, // inline per site: the fleet's parallelism is across sites
+			// Every guard holds an independent handle on the shared ring.
+			Auth:          cookie.RestoreAuthenticator(controller.State()),
+			ShardHashSeed: splitmix(cfg.Seed ^ uint64(i+1)*0x9E3779B97F4A7C15),
+			PublicAddr:    cfg.PublicAddr,
+			ANSAddr:       cfg.ANSAddr,
+			Zone:          cfg.Zone,
+			Subnet:        cfg.Subnet,
+			Fallback:      guard.SchemeDNS,
+			FastPathTTL:   cfg.FastPathTTL,
+		}
+		if cfg.Guard != nil {
+			cfg.Guard(i, &gcfg)
+		}
+		g, err := guard.NewRemote(gcfg)
+		if err != nil {
+			return nil, err
+		}
+		f.sites = append(f.sites, &Site{Host: host, Guard: g, Registry: metrics.NewRegistry()})
+	}
+	return f, nil
+}
+
+// Start boots every guard and the front's routing proc.
+func (f *Fleet) Start() error {
+	for i, s := range f.sites {
+		if err := s.Guard.Start(); err != nil {
+			return fmt.Errorf("fleet: site %d: %w", i, err)
+		}
+		s.Guard.MetricsInto(s.Registry)
+	}
+	f.front.Go("fleet-front", f.route)
+	return nil
+}
+
+// route is the ECMP front: read each packet arriving on the anycast prefix,
+// ask the catchment which site owns the source, and inject it there. Sites
+// that are down (failed, withdrawal not yet propagated) blackhole their
+// catchment, exactly like anycast before the routes converge.
+func (f *Fleet) route() {
+	for !f.stopped {
+		pkt, err := f.tap.Read(netapi.NoTimeout)
+		if err != nil {
+			return // tap closed
+		}
+		src := pkt.Src.Addr()
+		site := f.catch.SiteFor(src)
+		if site < 0 || f.down[site] {
+			f.Stats.Blackholed++
+			continue
+		}
+		if prev, ok := f.lastSite[src]; ok && prev != site {
+			f.Stats.Moved++
+		}
+		f.lastSite[src] = site
+		if f.front.InjectTo(f.sites[site].Host, pkt.Src, pkt.Dst, pkt.Payload) == nil {
+			f.Stats.Routed++
+		}
+	}
+}
+
+// Catchment exposes the routing map for scripted events and assignment
+// queries.
+func (f *Fleet) Catchment() *Catchment { return f.catch }
+
+// Auth returns the controller authenticator owning the fleet-shared keyring.
+// Workload generators mint pre-provisioned client cookies from it; Rotate
+// goes through the Fleet so every site adopts the new ring.
+func (f *Fleet) Auth() *cookie.Authenticator { return f.controller }
+
+// Sites returns the number of guard sites.
+func (f *Fleet) Sites() int { return len(f.sites) }
+
+// Site returns site i.
+func (f *Fleet) Site(i int) *Site { return f.sites[i] }
+
+// SetDown marks a site dead (its catchment blackholes) or alive. Fail
+// events use it for the window between the failure and the BGP withdrawal.
+func (f *Fleet) SetDown(site int, down bool) {
+	f.down[site] = down
+}
+
+// Rotate advances the fleet-shared keyring: the controller rotates once and
+// every guard adopts the published state, so the fleet's epoch schedule
+// stays in lockstep and cross-site verification keeps costing one MD5.
+func (f *Fleet) Rotate() error {
+	if err := f.controller.Rotate(); err != nil {
+		return err
+	}
+	f.push()
+	return nil
+}
+
+// RotateWithKey is Rotate with a caller-supplied key, for deterministic
+// simulations.
+func (f *Fleet) RotateWithKey(key [cookie.KeySize]byte) {
+	f.controller.RotateWithKey(key)
+	f.push()
+}
+
+func (f *Fleet) push() {
+	st := f.controller.State()
+	for _, s := range f.sites {
+		s.Guard.AdoptKeys(st)
+	}
+}
+
+// MetricsInto registers the fleet's series on r: front counters, catchment
+// generation, the fleet_* roll-up merging every site's registry (counters
+// sum, histograms merge bucket-wise), and per-site site<i>_* copies.
+func (f *Fleet) MetricsInto(r *metrics.Registry) {
+	r.FuncUint("fleet_sites", func() uint64 { return uint64(len(f.sites)) })
+	r.FuncUint("fleet_front_routed", func() uint64 { return f.Stats.Routed })
+	r.FuncUint("fleet_front_blackholed", func() uint64 { return f.Stats.Blackholed })
+	r.FuncUint("fleet_front_moved", func() uint64 { return f.Stats.Moved })
+	r.FuncUint("fleet_catchment_generation", f.catch.Generation)
+	r.FuncUint("fleet_key_epoch", f.controller.Epoch)
+	regs := make([]*metrics.Registry, len(f.sites))
+	for i, s := range f.sites {
+		regs[i] = s.Registry
+		metrics.MergedInto(r, fmt.Sprintf("site%d_", i), s.Registry)
+	}
+	metrics.MergedInto(r, "fleet_", regs...)
+}
+
+// Close stops the front and every guard.
+func (f *Fleet) Close() {
+	f.stopped = true
+	f.tap.Close()
+	for _, s := range f.sites {
+		s.Guard.Close()
+	}
+}

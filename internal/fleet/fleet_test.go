@@ -1,0 +1,208 @@
+package fleet
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// The full-scale catchment-shift lab is shared across tests: one run feeds
+// the acceptance assertions and the golden-snapshot comparison.
+var (
+	shiftOnce sync.Once
+	shiftRes  LabResult
+	shiftErr  error
+)
+
+func catchmentShiftResult(t *testing.T) LabResult {
+	t.Helper()
+	shiftOnce.Do(func() {
+		pack, err := PackByName("catchment-shift")
+		if err != nil {
+			shiftErr = err
+			return
+		}
+		shiftRes, shiftErr = RunLab(LabConfig{Pack: pack, Seed: 42})
+	})
+	if shiftErr != nil {
+		t.Fatalf("catchment-shift lab: %v", shiftErr)
+	}
+	return shiftRes
+}
+
+// TestFleetCatchmentShift is the subsystem's acceptance gate: a BGP flap
+// hands >=30% of a >=10^5-source verified population to a cold site
+// mid-attack, the cold site re-admits them through the fleet-shared keyring
+// (full cookie verifications, not referral grants), and the scripted drain
+// of site 0 drops no verified traffic anywhere in the fleet.
+func TestFleetCatchmentShift(t *testing.T) {
+	res := catchmentShiftResult(t)
+
+	if res.VerifiedSources < 100_000 {
+		t.Fatalf("population %d sources, want >= 100000", res.VerifiedSources)
+	}
+	if min := (res.VerifiedSources * 30) / 100; res.MovedSources < min {
+		t.Errorf("flap moved %d sources, want >= %d (30%%)", res.MovedSources, min)
+	}
+
+	// The cold site re-admits the moved population with full verifications
+	// against the shared ring — no site ever rejects a sibling's cookie and
+	// no moved source is pushed back through the newcomer referral dance.
+	if res.ColdReverified == 0 {
+		t.Error("cold site performed no full verifications after the shift")
+	}
+	if res.Population.Granted != 0 {
+		t.Errorf("population saw %d referral grants (re-challenge storm), want 0", res.Population.Granted)
+	}
+
+	// Zero verified-traffic drops, fleet-wide, across flap + drain + restore.
+	tot := res.Totals()
+	if tot.CookieInvalid != 0 {
+		t.Errorf("fleet rejected %d cookies, want 0", tot.CookieInvalid)
+	}
+	if tot.RL2Dropped != 0 {
+		t.Errorf("fleet RL2-dropped %d verified queries, want 0", tot.RL2Dropped)
+	}
+	if res.Population.Refused != 0 {
+		t.Errorf("population refused %d, want 0", res.Population.Refused)
+	}
+	if res.Front.Blackholed != 0 {
+		t.Errorf("front blackholed %d packets with no site down, want 0", res.Front.Blackholed)
+	}
+	if res.Population.Answered != res.Population.FlowsSent {
+		t.Errorf("answered %d of %d population flows, want every one",
+			res.Population.Answered, res.Population.FlowsSent)
+	}
+
+	// The attack was live while all of this held.
+	if res.AttackSent == 0 {
+		t.Error("campaign sent no attack traffic")
+	}
+	if tot.NewcomerGrants == 0 && tot.RL1Dropped == 0 {
+		t.Error("attack left no newcomer-path trace on the fleet")
+	}
+	// The front observed the churn the moved sources produced.
+	if res.Front.Moved == 0 {
+		t.Error("front observed no moved packets across the shift")
+	}
+}
+
+// TestFleetCatchmentShiftGolden pins the full metrics export: same pack,
+// same seed, bit-identical replay.
+func TestFleetCatchmentShiftGolden(t *testing.T) {
+	res := catchmentShiftResult(t)
+	golden := filepath.Join("testdata", "catchment_shift_metrics.txt")
+	if *update {
+		if err := os.WriteFile(golden, []byte(res.MetricsText), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if res.MetricsText != string(want) {
+		t.Errorf("metrics snapshot diverged from golden; rerun with -update if intended\ngot:\n%s", res.MetricsText)
+	}
+}
+
+// TestFleetSiteFailure exercises the fail-then-withdraw timeline: while the
+// dead site's routes are still advertised its catchment blackholes, then the
+// withdrawal redistributes those sources and service recovers.
+func TestFleetSiteFailure(t *testing.T) {
+	pack, err := PackByName("site-failure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunLab(LabConfig{Pack: pack, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Front.Blackholed == 0 {
+		t.Error("no packets blackholed during the failure-to-withdrawal lag")
+	}
+	if res.MovedSources == 0 {
+		t.Error("withdrawal moved no sources off the dead site")
+	}
+	// Losses are bounded by the blackhole: every population flow that reached
+	// a live site was answered.
+	if res.Population.Answered+res.Front.Blackholed < res.Population.FlowsSent {
+		t.Errorf("answered %d + blackholed %d < sent %d: flows lost outside the blackhole window",
+			res.Population.Answered, res.Front.Blackholed, res.Population.FlowsSent)
+	}
+	if res.Population.Refused != 0 || res.Population.Granted != 0 {
+		t.Errorf("population refused=%d granted=%d, want 0/0", res.Population.Refused, res.Population.Granted)
+	}
+	tot := res.Totals()
+	if tot.CookieInvalid != 0 || tot.RL2Dropped != 0 {
+		t.Errorf("verified traffic dropped at a live site: invalid=%d rl2=%d", tot.CookieInvalid, tot.RL2Dropped)
+	}
+}
+
+// TestFleetDeterminism replays a scaled-down shift scenario twice in-process
+// and expects identical metrics text, and checks a different seed diverges.
+func TestFleetDeterminism(t *testing.T) {
+	pack, err := PackByName("catchment-shift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := LabConfig{Pack: pack, Seed: 99, Sources: 20_000, Rate: 1500}
+	a, err := RunLab(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLab(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MetricsText != b.MetricsText {
+		t.Error("same seed, different metrics export")
+	}
+	cfg.Seed = 100
+	c, err := RunLab(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MetricsText == c.MetricsText {
+		t.Error("different seeds produced identical metrics export")
+	}
+}
+
+// TestFleetRotateMidRun rotates the fleet-shared keyring mid-stream: every
+// site adopts the new epoch in lockstep and the verified population rides
+// through on the grace epoch without a single refusal or grant.
+func TestFleetRotateMidRun(t *testing.T) {
+	pack := Pack{
+		Name:        "rotate-mid-run",
+		Sites:       3,
+		Sources:     10_000,
+		Rate:        1500,
+		PopDuration: 2 * time.Second,
+		Events: []Event{
+			{At: time.Second, Kind: EventRotate},
+		},
+		End: 2 * time.Second,
+	}
+	res, err := RunLab(LabConfig{Pack: pack, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rotations uint64
+	for _, s := range res.Sites {
+		rotations += s.KeyRotations
+	}
+	if rotations != uint64(pack.Sites) {
+		t.Errorf("sites recorded %d key rotations, want %d (one each)", rotations, pack.Sites)
+	}
+	if res.Population.Refused != 0 || res.Population.Granted != 0 {
+		t.Errorf("rotation broke the verified path: refused=%d granted=%d", res.Population.Refused, res.Population.Granted)
+	}
+	if res.Population.Answered != res.Population.FlowsSent {
+		t.Errorf("answered %d of %d flows across the rotation", res.Population.Answered, res.Population.FlowsSent)
+	}
+}

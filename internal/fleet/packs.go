@@ -1,0 +1,110 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"dnsguard/internal/workload"
+)
+
+// Pack is a shipped fleet scenario: a population profile, an attack
+// timeline, and a scripted sequence of catchment events. Packs are run by
+// RunLab; `benchtab -run fleet` records one row per pack.
+type Pack struct {
+	// Name identifies the pack (make fleet-smoke, benchtab rows).
+	Name string
+	// Description is the one-line operator summary.
+	Description string
+	// Sites is the fleet width.
+	Sites int
+	// Sources is the verified-population size (Zipf ranks).
+	Sources int
+	// Rate is the population's aggregate flow rate (flows/s).
+	Rate float64
+	// PopDuration bounds population emission (from t=0), leaving the
+	// horizon tail for in-flight replies so end-state accounting is exact.
+	PopDuration time.Duration
+	// AttackStart/AttackDuration/AttackRate script one spoofed flood
+	// (workload.AttackPlain) against the anycast address.
+	AttackStart    time.Duration
+	AttackDuration time.Duration
+	AttackRate     float64
+	// Events is the scripted catchment timeline.
+	Events []Event
+	// ShiftAt/ShiftSite locate the pack's defining catchment shift for
+	// moved-source accounting: the lab snapshots the population assignment
+	// just before and after ShiftAt and reads the cold site's counters.
+	// ShiftSite < 0 means the shift has no single cold site (site failure).
+	ShiftAt   time.Duration
+	ShiftSite int
+	// End is the scenario horizon (before the lab's drain tail).
+	End time.Duration
+}
+
+// Packs returns the shipped fleet scenarios.
+func Packs() []Pack {
+	return []Pack{
+		{
+			Name: "catchment-shift",
+			Description: "BGP flap hands half the verified population to a cold site mid-attack; " +
+				"then a rolling-upgrade drain and restore of site 0",
+			Sites:          3,
+			Sources:        120_000,
+			Rate:           6000,
+			PopDuration:    4500 * time.Millisecond,
+			AttackStart:    1000 * time.Millisecond,
+			AttackDuration: 3500 * time.Millisecond,
+			AttackRate:     6000, // 50% spoof at the fleet's aggregate input
+			Events: []Event{
+				{At: 1500 * time.Millisecond, Kind: EventFlap, Site: 2, Frac: 0.5},
+				{At: 2500 * time.Millisecond, Kind: EventDrain, Site: 0},
+				{At: 3500 * time.Millisecond, Kind: EventRestore, Site: 0},
+			},
+			ShiftAt:   1500 * time.Millisecond,
+			ShiftSite: 2,
+			End:       4500 * time.Millisecond,
+		},
+		{
+			Name: "site-failure",
+			Description: "site 1 dies mid-attack; its catchment blackholes until the BGP withdrawal " +
+				"propagates, then redistributes; the site later recovers",
+			Sites:          3,
+			Sources:        60_000,
+			Rate:           4000,
+			PopDuration:    4000 * time.Millisecond,
+			AttackStart:    1000 * time.Millisecond,
+			AttackDuration: 3000 * time.Millisecond,
+			AttackRate:     4000,
+			Events: []Event{
+				{At: 1500 * time.Millisecond, Kind: EventFail, Site: 1, Lag: 300 * time.Millisecond},
+				{At: 3000 * time.Millisecond, Kind: EventRestore, Site: 1},
+			},
+			ShiftAt:   1800 * time.Millisecond, // the withdrawal, not the failure
+			ShiftSite: -1,
+			End:       4000 * time.Millisecond,
+		},
+	}
+}
+
+// PackByName returns the shipped pack with that name.
+func PackByName(name string) (Pack, error) {
+	for _, p := range Packs() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Pack{}, fmt.Errorf("fleet: unknown pack %q", name)
+}
+
+// phases renders the pack's attack script as a campaign timeline.
+func (p Pack) phases() []workload.Phase {
+	if p.AttackRate <= 0 || p.AttackDuration <= 0 {
+		return nil
+	}
+	return []workload.Phase{{
+		Name:     "flood",
+		Start:    p.AttackStart,
+		Duration: p.AttackDuration,
+		Attacks:  []workload.PhaseAttack{{Kind: workload.AttackPlain, Rate: p.AttackRate}},
+	}}
+}

@@ -580,6 +580,23 @@ func (g *Remote) rotateLoop() {
 	}
 }
 
+// AdoptKeys installs a fleet-published keyring state on this guard's
+// authenticator (see cookie.Adopt): the fleet controller rotates the shared
+// ring once and pushes the result to every site, so any guard verifies a
+// cookie minted by any other. Reports whether the state was adopted (a stale
+// epoch is ignored); an adoption that advances the epoch counts as a key
+// rotation in the guard's stats.
+func (g *Remote) AdoptKeys(st cookie.KeyState) bool {
+	before := g.cfg.Auth.Epoch()
+	if !g.cfg.Auth.Adopt(st) {
+		return false
+	}
+	if g.cfg.Auth.Epoch() != before {
+		atomic.AddUint64(&g.Stats.KeyRotations, 1)
+	}
+	return true
+}
+
 // Close stops the guard.
 func (g *Remote) Close() {
 	if g.closed.Swap(true) {
