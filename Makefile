@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test check vet race api-check fuzz-smoke metrics-smoke bench-smoke crash-restart-smoke campaign-smoke fleet-smoke testdata
+.PHONY: all build test check vet race api-check fuzz-smoke metrics-smoke bench-smoke crash-restart-smoke campaign-smoke fleet-smoke upgrade-smoke testdata
 
 all: build
 
@@ -12,13 +12,13 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # Short deterministic-ish smoke on each fuzz target; regressions in the
 # checked-in corpus (testdata/fuzz/...) fail `make test` already, this adds
@@ -71,6 +71,16 @@ campaign-smoke:
 fleet-smoke:
 	$(GO) test ./internal/fleet -run='^TestFleet' -count=1
 
+# The zero-downtime acceptance gate behind DESIGN.md §16: every site of the
+# rolling-upgrade pack restarted one at a time under live load and a mid-roll
+# spoof flood; a keyring rotation seeded through a controller outage and a
+# site-pair partition converges by gossip anti-entropy within bounded rounds;
+# catchment-moved verified sources re-admit with zero extra cookie exchanges;
+# goodput stays ≥ 0.99; the metrics export replays bit-identically against
+# the checked-in golden — all under the race detector.
+upgrade-smoke:
+	$(GO) test -race ./internal/fleet -run='^(TestRollingUpgrade|TestGossip)' -count=1
+
 # The public-API freeze: any change to the exported dnsguard surface fails
 # here until testdata/api.txt is deliberately regenerated with
 # `go test -run TestAPI -update`.
@@ -118,7 +128,7 @@ crash-restart-smoke:
 		|| { echo "pre-crash cookie did not verify after restart"; exit 1; }; \
 	echo "crash-restart-smoke: ok"
 
-check: vet race api-check campaign-smoke fleet-smoke fuzz-smoke metrics-smoke bench-smoke crash-restart-smoke
+check: vet race api-check campaign-smoke fleet-smoke upgrade-smoke fuzz-smoke metrics-smoke bench-smoke crash-restart-smoke
 
 # Regenerate the wire-capture fuzz seeds under internal/dnswire/testdata/.
 testdata:

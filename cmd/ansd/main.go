@@ -12,11 +12,10 @@ import (
 	"fmt"
 	"net/netip"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 
 	"dnsguard"
+	"dnsguard/internal/daemon"
 	"dnsguard/internal/dnswire"
 )
 
@@ -70,21 +69,24 @@ func run() error {
 	}
 	fmt.Printf("ansd: serving zones %v on %v (tcp=%v)\n", zones.Origins(), srv.Addr(), *enableTCP)
 
+	var hooks daemon.Hooks
 	if *metricsAddr != "" {
 		reg := dnsguard.NewMetrics()
 		srv.Stats.MetricsInto(reg)
-		l, err := dnsguard.ServeMetrics(*metricsAddr, reg)
+		l, err := dnsguard.ServeMetricsHealth(*metricsAddr, reg, nil, nil)
 		if err != nil {
 			return fmt.Errorf("serving metrics: %w", err)
 		}
-		defer l.Close()
-		fmt.Printf("ansd: metrics on http://%v/metrics\n", l.Addr())
+		hooks.Metrics = l
+		fmt.Printf("ansd: metrics on http://%v/metrics (probes /healthz /readyz)\n", l.Addr())
 	}
-
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	srv.Close()
-	fmt.Printf("ansd: served %d UDP / %d TCP queries\n", srv.Stats.UDPQueries, srv.Stats.TCPQueries)
+	hooks.Logf = func(format string, args ...any) {
+		fmt.Printf("ansd: "+format+"\n", args...)
+	}
+	hooks.Shutdown = func() {
+		srv.Close()
+		fmt.Printf("ansd: served %d UDP / %d TCP queries\n", srv.Stats.UDPQueries, srv.Stats.TCPQueries)
+	}
+	daemon.Wait(hooks)
 	return nil
 }

@@ -32,16 +32,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/netip"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 	"time"
 
 	"dnsguard"
+	"dnsguard/internal/daemon"
 	"dnsguard/internal/guard"
 )
 
@@ -74,6 +74,7 @@ func run() error {
 	overload := flag.String("overload-policy", "drop", "when a shard trips or every upstream is down: drop (fail-closed) or pass (fail-open)")
 	mitigate := flag.Bool("mitigate", false, "run the layered auto-mitigation selector (overrides -threshold while escalated)")
 	mitigateInterval := flag.Duration("mitigate-interval", 0, "selector sampling interval (0 = default)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "bound on the graceful drain SIGTERM triggers (0 = exit without draining)")
 	flag.Parse()
 
 	if *zoneName == "" {
@@ -246,13 +247,19 @@ func run() error {
 	if proxy != nil {
 		proxy.MetricsInto(reg)
 	}
+	var hooks daemon.Hooks
 	if *metricsAddr != "" {
-		l, err := dnsguard.ServeMetrics(*metricsAddr, reg)
+		// The metrics listener doubles as the health endpoint: /healthz is
+		// process liveness, /readyz the catchment-readmission gate (guard
+		// lifecycle serving, ingress backlog under threshold).
+		l, err := dnsguard.ServeMetricsHealth(*metricsAddr, reg,
+			g.Healthz,
+			func() error { return g.Ready(0) })
 		if err != nil {
 			return fmt.Errorf("serving metrics: %w", err)
 		}
-		defer l.Close()
-		fmt.Printf("dnsguardd: metrics on http://%v/metrics\n", l.Addr())
+		hooks.Metrics = l
+		fmt.Printf("dnsguardd: metrics on http://%v/metrics (probes /healthz /readyz)\n", l.Addr())
 	}
 	stop := make(chan struct{})
 	defer close(stop)
@@ -292,17 +299,46 @@ func run() error {
 		go dnsguard.DumpMetricsEvery(reg, 6**statsEvery, os.Stderr, stop)
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	g.Close()
-	if proxy != nil {
-		proxy.Close()
+	// SIGHUP reloads the keyring from -state-file (followers adopt the
+	// owner's rotations on demand instead of waiting out -keyring-reload);
+	// SIGTERM/SIGINT drain gracefully — refuse new cookie exchanges, flush
+	// the dataplane, let pending ANS exchanges finish — before closing.
+	if *stateFile != "" {
+		hooks.Reload = func() error {
+			before := auth.Epoch()
+			if err := auth.Reload(); err != nil {
+				return fmt.Errorf("keyring reload: %w", err)
+			}
+			if e := auth.Epoch(); e != before {
+				fmt.Printf("dnsguardd: keyring advanced to epoch %d\n", e)
+			}
+			return nil
+		}
 	}
-	s := g.Stats.Load()
-	sup := g.Engine().Supervision()
-	fmt.Printf("dnsguardd: final stats: recv=%d valid=%d invalid=%d dropped(rl1=%d rl2=%d) spoofed=%d restarts=%d breaker(open=%d close=%d)\n",
-		s.Received, s.CookieValid, s.CookieInvalid, s.RL1Dropped, s.RL2Dropped, s.UpstreamSpoofed,
-		sup.ShardRestarts, s.BreakerOpens, s.BreakerCloses)
+	if *drainTimeout > 0 {
+		hooks.Drain = func() {
+			ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+			defer cancel()
+			if err := g.Drain(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "dnsguardd: drain: %v\n", err)
+			}
+		}
+		hooks.DrainTimeout = *drainTimeout + time.Second
+	}
+	hooks.Logf = func(format string, args ...any) {
+		fmt.Printf("dnsguardd: "+format+"\n", args...)
+	}
+	hooks.Shutdown = func() {
+		g.Close()
+		if proxy != nil {
+			proxy.Close()
+		}
+		s := g.Stats.Load()
+		sup := g.Engine().Supervision()
+		fmt.Printf("dnsguardd: final stats: recv=%d valid=%d invalid=%d dropped(rl1=%d rl2=%d) spoofed=%d restarts=%d breaker(open=%d close=%d)\n",
+			s.Received, s.CookieValid, s.CookieInvalid, s.RL1Dropped, s.RL2Dropped, s.UpstreamSpoofed,
+			sup.ShardRestarts, s.BreakerOpens, s.BreakerCloses)
+	}
+	daemon.Wait(hooks)
 	return nil
 }

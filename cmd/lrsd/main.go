@@ -12,13 +12,14 @@ import (
 	"fmt"
 	"net/netip"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 	"time"
 )
 
-import "dnsguard"
+import (
+	"dnsguard"
+	"dnsguard/internal/daemon"
+)
 
 func main() {
 	if err := run(); err != nil {
@@ -103,25 +104,28 @@ func run() error {
 	reg := dnsguard.NewMetrics()
 	res.MetricsInto(reg)
 	srv.Stats.MetricsInto(reg)
+	var hooks daemon.Hooks
 	if *metricsAddr != "" {
-		l, err := dnsguard.ServeMetrics(*metricsAddr, reg)
+		l, err := dnsguard.ServeMetricsHealth(*metricsAddr, reg, nil, nil)
 		if err != nil {
 			return fmt.Errorf("serving metrics: %w", err)
 		}
-		defer l.Close()
-		fmt.Printf("lrsd: metrics on http://%v/metrics\n", l.Addr())
+		hooks.Metrics = l
+		fmt.Printf("lrsd: metrics on http://%v/metrics (probes /healthz /readyz)\n", l.Addr())
 	}
+	stop := make(chan struct{})
 	if *metricsDump > 0 {
-		stop := make(chan struct{})
-		defer close(stop)
 		go dnsguard.DumpMetricsEvery(reg, *metricsDump, os.Stderr, stop)
 	}
-
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	srv.Close()
-	fmt.Printf("lrsd: answered %d, refused %d, failed %d\n",
-		srv.Stats.Answered, srv.Stats.Refused, srv.Stats.Failed)
+	hooks.Logf = func(format string, args ...any) {
+		fmt.Printf("lrsd: "+format+"\n", args...)
+	}
+	hooks.Shutdown = func() {
+		close(stop)
+		srv.Close()
+		fmt.Printf("lrsd: answered %d, refused %d, failed %d\n",
+			srv.Stats.Answered, srv.Stats.Refused, srv.Stats.Failed)
+	}
+	daemon.Wait(hooks)
 	return nil
 }

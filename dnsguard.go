@@ -390,7 +390,27 @@ const (
 	CatchmentClearFlaps = fleet.EventClearFlaps
 	// CatchmentRotate: rotate the fleet-shared keyring.
 	CatchmentRotate = fleet.EventRotate
+	// CatchmentUpgrade: roll one site through a zero-downtime restart
+	// (catchment drain, guard drain, keyring reopen, health-gated
+	// re-admission). Requires GuardFleetConfig.StateDir.
+	CatchmentUpgrade = fleet.EventUpgrade
+	// CatchmentPartition: sever the Site-Peer link (gossip routes around it).
+	CatchmentPartition = fleet.EventPartition
+	// CatchmentHeal: restore a previously partitioned Site-Peer link.
+	CatchmentHeal = fleet.EventHeal
+	// CatchmentControllerDown: take the keyring controller out; push
+	// rotations fail, gossip-seeded rotations converge without it.
+	CatchmentControllerDown = fleet.EventControllerDown
+	// CatchmentControllerUp: bring the controller back; it anti-entropies
+	// to the fleet's best keyring on return.
+	CatchmentControllerUp = fleet.EventControllerUp
 )
+
+// FleetGossipConfig tunes the fleet's peer-to-peer keyring anti-entropy.
+type FleetGossipConfig = fleet.GossipConfig
+
+// FleetGossipStats aggregates a fleet's gossip counters.
+type FleetGossipStats = fleet.GossipStats
 
 // FleetPack is one shipped fleet scenario (population + attack + events).
 type FleetPack = fleet.Pack
@@ -458,6 +478,14 @@ func NewMetrics() *Metrics { return metrics.NewRegistry() }
 // object. It returns the bound listener (close it to stop serving).
 func ServeMetrics(addr string, r *Metrics) (net.Listener, error) {
 	return metrics.Serve(addr, r)
+}
+
+// ServeMetricsHealth is ServeMetrics with Kubernetes-style /healthz and
+// /readyz probes mounted alongside the metrics endpoints: nil probe results
+// render as 200 "ok", errors as 503 with the error text (so curl explains
+// why a site is out of rotation). Nil funcs always pass.
+func ServeMetricsHealth(addr string, r *Metrics, healthz, readyz func() error) (net.Listener, error) {
+	return metrics.ServeHealth(addr, r, healthz, readyz)
 }
 
 // DumpMetricsEvery writes a framed text snapshot of r to w every interval

@@ -13,15 +13,22 @@ package cookie
 //	epoch <decimal>
 //	key-even <152 hex chars>
 //	key-odd  <152 hex chars>
+//	sum <8 hex chars, CRC-32 of the four lines above>
 //
 // key-even/key-odd are the epoch-parity key slots (keys[epoch&1] is
-// current). The file is written atomically (tmp + rename) with 0600
-// permissions; it holds the guard's only secret.
+// current). The file is written atomically (tmp + fsync + rename) with 0600
+// permissions; it holds the guard's only secret. The trailing sum line
+// detects torn or bit-rotted state (files written before the sum existed —
+// exactly four lines — still parse); every write also refreshes a `.bak`
+// replica so OpenKeyring can recover a corrupt main file from the last
+// durable ring instead of minting fresh keys and orphaning every cookie the
+// population has cached.
 
 import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -30,6 +37,10 @@ import (
 
 // keyStateMagic is the state file's first line.
 const keyStateMagic = "dnsguard-keyring v1"
+
+// keyStateBackup is the suffix of the recovery replica kept beside the
+// state file.
+const keyStateBackup = ".bak"
 
 // KeyState is the serializable form of an Authenticator's keyring.
 type KeyState struct {
@@ -88,11 +99,23 @@ func LoadAuthenticator(path string) (*Authenticator, error) {
 // its keyring is restored (cookies minted before the restart keep
 // verifying); otherwise a fresh authenticator is created and persisted.
 // Either way the authenticator is bound to path so rotations persist.
+//
+// A truncated or corrupt main file is not fatal and never silently replaced
+// with fresh keys: OpenKeyring falls back to the `.bak` replica written
+// alongside every state update. The replica may trail the main file by one
+// rotation, which the verifier's previous-epoch grace window absorbs. Only
+// when both copies are unreadable does OpenKeyring fail — deliberately
+// closed, because minting a new ring would orphan every cookie the
+// population has cached.
 func OpenKeyring(path string) (*Authenticator, error) {
 	if _, err := os.Stat(path); err == nil {
 		a, err := LoadAuthenticator(path)
 		if err != nil {
-			return nil, err
+			bak, bakErr := ReadKeyState(path + keyStateBackup)
+			if bakErr != nil {
+				return nil, fmt.Errorf("%w (backup: %v)", err, bakErr)
+			}
+			a = RestoreAuthenticator(bak)
 		}
 		if err := a.BindStateFile(path); err != nil {
 			return nil, err
@@ -100,6 +123,15 @@ func OpenKeyring(path string) (*Authenticator, error) {
 		return a, nil
 	} else if !os.IsNotExist(err) {
 		return nil, fmt.Errorf("cookie: keyring %s: %w", path, err)
+	}
+	// No main file. A surviving replica means the ring existed and the main
+	// file was lost mid-replace: recover it rather than create fresh keys.
+	if bak, err := ReadKeyState(path + keyStateBackup); err == nil {
+		a := RestoreAuthenticator(bak)
+		if err := a.BindStateFile(path); err != nil {
+			return nil, err
+		}
+		return a, nil
 	}
 	a, err := NewAuthenticator()
 	if err != nil {
@@ -198,8 +230,25 @@ func ReadKeyState(path string) (KeyState, error) {
 	}
 	var st KeyState
 	lines := strings.Split(strings.TrimSpace(string(blob)), "\n")
-	if len(lines) != 4 || strings.TrimSpace(lines[0]) != keyStateMagic {
+	if (len(lines) != 4 && len(lines) != 5) || strings.TrimSpace(lines[0]) != keyStateMagic {
 		return KeyState{}, fmt.Errorf("cookie: keyring %s: not a %q file", path, keyStateMagic)
+	}
+	if len(lines) == 5 {
+		// Current writers append a CRC-32 of the four preceding lines; a
+		// four-line file predates the sum and is accepted as-is.
+		fields := strings.Fields(lines[4])
+		if len(fields) != 2 || fields[0] != "sum" {
+			return KeyState{}, fmt.Errorf("cookie: keyring %s: malformed line %q", path, lines[4])
+		}
+		want, err := strconv.ParseUint(fields[1], 16, 32)
+		if err != nil {
+			return KeyState{}, fmt.Errorf("cookie: keyring %s: sum: %w", path, err)
+		}
+		body := strings.Join(lines[:4], "\n") + "\n"
+		if got := crc32.ChecksumIEEE([]byte(body)); got != uint32(want) {
+			return KeyState{}, fmt.Errorf("cookie: keyring %s: checksum mismatch (want %08x, got %08x): torn or corrupt state", path, uint32(want), got)
+		}
+		lines = lines[:4]
 	}
 	seen := map[string]bool{}
 	for _, line := range lines[1:] {
@@ -234,13 +283,34 @@ func ReadKeyState(path string) (KeyState, error) {
 	return st, nil
 }
 
-// writeKeyState atomically replaces path with st (tmp file + rename, 0600).
-func writeKeyState(path string, st KeyState) error {
+// keyStateBlob renders st in the on-disk format, checksum line included.
+func keyStateBlob(st KeyState) string {
 	var b strings.Builder
 	fmt.Fprintln(&b, keyStateMagic)
 	fmt.Fprintf(&b, "epoch %d\n", st.Epoch)
 	fmt.Fprintf(&b, "key-even %s\n", hex.EncodeToString(st.Keys[0][:]))
 	fmt.Fprintf(&b, "key-odd %s\n", hex.EncodeToString(st.Keys[1][:]))
+	body := b.String()
+	return body + fmt.Sprintf("sum %08x\n", crc32.ChecksumIEEE([]byte(body)))
+}
+
+// writeKeyState atomically replaces path with st and refreshes the `.bak`
+// replica OpenKeyring recovers from. The replica write is best-effort: the
+// main file is the ring's source of truth, and a replica that trails by one
+// epoch still verifies within the grace window.
+func writeKeyState(path string, st KeyState) error {
+	blob := keyStateBlob(st)
+	if err := writeFileAtomic(path, blob); err != nil {
+		return err
+	}
+	_ = writeFileAtomic(path+keyStateBackup, blob)
+	return nil
+}
+
+// writeFileAtomic replaces path with data via tmp file + fsync + rename
+// (mode 0600), so a crash mid-write can never leave a torn main file — the
+// old content survives until the rename commits a fully synced new one.
+func writeFileAtomic(path, data string) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".keyring-*")
 	if err != nil {
@@ -251,12 +321,25 @@ func writeKeyState(path string, st KeyState) error {
 		tmp.Close()
 		return err
 	}
-	if _, err := tmp.WriteString(b.String()); err != nil {
+	if _, err := tmp.WriteString(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		return err
 	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Persist the rename itself; best-effort, some filesystems refuse
+	// directory fsync.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
 }

@@ -127,6 +127,11 @@ func (e *Engine) runReaderBatch(reader int, br BatchReader) {
 					e.recycleEvicted(st, ev)
 				}
 				atomic.AddUint64(&st.Enqueued, m)
+			} else if e.draining.Load() {
+				// Draining: unverified groups are refused whole, same
+				// policy as the single-packet path.
+				atomic.AddUint64(&st.DrainShed, m)
+				putQBatch(b)
 			} else if sh.queue.Put(b) {
 				atomic.AddUint64(&st.Enqueued, m)
 			} else {

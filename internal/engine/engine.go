@@ -36,6 +36,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/maphash"
@@ -207,11 +208,12 @@ func (c *Config) fillDefaults() error {
 // ShardStats counts one shard's dataplane activity. Fields are written
 // atomically (readers and the shard worker race under real clocks).
 type ShardStats struct {
-	Enqueued uint64 // packets accepted onto the shard queue (queued mode)
-	ShedNew  uint64 // unverified packets tail-dropped at a full queue
-	ShedOld  uint64 // stale packets evicted to admit verified traffic
-	Handled  uint64 // packets the shard handler consumed
-	Handoff  uint64 // packets that arrived through the migration ring
+	Enqueued  uint64 // packets accepted onto the shard queue (queued mode)
+	ShedNew   uint64 // unverified packets tail-dropped at a full queue
+	ShedOld   uint64 // stale packets evicted to admit verified traffic
+	Handled   uint64 // packets the shard handler consumed
+	Handoff   uint64 // packets that arrived through the migration ring
+	DrainShed uint64 // unverified packets refused while the engine drains
 }
 
 // handoffDepth bounds each shard's migration ring (affine mode). Handoff is
@@ -272,6 +274,7 @@ type Engine struct {
 	affine   bool
 	coop     bool // Env schedules cooperatively: Close must not OS-join procs
 	closed   atomic.Bool
+	draining atomic.Bool
 	wg       sync.WaitGroup // tracks reader and worker procs for Close
 }
 
@@ -565,9 +568,17 @@ func (e *Engine) runReader(io PacketIO) {
 		shard := e.ShardOf(pkt.Src.Addr())
 		sh := e.shards[shard]
 		st := &sh.stats
+		now := e.cfg.Env.Now()
+		verified := sh.verified.has(pkt.Src.Addr(), now)
+		if !verified && e.draining.Load() {
+			// Draining: no new unverified flows; in-flight verified
+			// traffic keeps its admission path until the queues flush.
+			atomic.AddUint64(&st.DrainShed, 1)
+			continue
+		}
 		qi := qitemPool.Get().(*qitem)
-		qi.pkt, qi.enqueued = pkt, e.cfg.Env.Now()
-		if sh.verified.has(pkt.Src.Addr(), qi.enqueued) {
+		qi.pkt, qi.enqueued = pkt, now
+		if verified {
 			if ev, did := sh.queue.PutEvict(qi); did {
 				if ev == any(qi) {
 					// Closed queue: the item bounced back unbuffered.
@@ -613,6 +624,54 @@ func (e *Engine) runWorker(i int) {
 			putQBatch(it)
 		}
 	}
+}
+
+// drainPollInterval paces Drain's backlog polls. Small against the
+// millisecond-scale event timelines the simulator runs, invisible against a
+// real restart.
+const drainPollInterval = 200 * time.Microsecond
+
+// Draining reports whether the engine is refusing new unverified flows.
+func (e *Engine) Draining() bool { return e.draining.Load() }
+
+// Drain quiesces the dataplane without closing it: new unverified flows are
+// refused at ingest (counted per shard as DrainShed) while verified traffic
+// keeps flowing, then Drain blocks until every shard's ingress queue and
+// handoff ring is empty — the moment the last queued packet has reached its
+// handler. It returns nil once the backlog is flushed (or the engine is
+// closed) and ctx.Err() if the context expires first; either way the engine
+// stays in the draining state until Resume or Close. Call from a proc
+// context: Drain paces itself with Env.Sleep.
+func (e *Engine) Drain(ctx context.Context) error {
+	e.draining.Store(true)
+	for {
+		if e.closed.Load() || e.backlog() == 0 {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		e.cfg.Env.Sleep(drainPollInterval)
+	}
+}
+
+// Resume lifts a drain: unverified flows are admitted again. A restarted
+// engine never needs this — Drain's flag dies with the instance — but an
+// aborted upgrade does.
+func (e *Engine) Resume() { e.draining.Store(false) }
+
+// backlog totals the packets parked in ingress queues and handoff rings.
+func (e *Engine) backlog() int {
+	t := 0
+	for _, sh := range e.shards {
+		if sh.queue != nil {
+			t += sh.queue.Len()
+		}
+		if sh.handoff != nil {
+			t += sh.handoff.Len()
+		}
+	}
+	return t
 }
 
 // Close stops the dataplane: capture interfaces close (readers exit) and
@@ -724,6 +783,13 @@ func (e *Engine) MetricsInto(r *metrics.Registry, prefix string) {
 	r.FuncUint(prefix+"shed_old", sum(func(s *ShardStats) *uint64 { return &s.ShedOld }))
 	r.FuncUint(prefix+"handled", sum(func(s *ShardStats) *uint64 { return &s.Handled }))
 	r.FuncUint(prefix+"handoff", sum(func(s *ShardStats) *uint64 { return &s.Handoff }))
+	r.FuncUint(prefix+"drain_shed", sum(func(s *ShardStats) *uint64 { return &s.DrainShed }))
+	r.FuncUint(prefix+"draining", func() uint64 {
+		if e.draining.Load() {
+			return 1
+		}
+		return 0
+	})
 	r.Func(prefix+"queue_depth", func() float64 {
 		var t int
 		for i := range e.shards {

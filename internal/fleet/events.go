@@ -29,7 +29,24 @@ const (
 	EventClearFlaps
 	// EventRotate rotates the fleet-shared keyring (controller rotates,
 	// every site adopts), exercising cross-site grace-epoch verification.
+	// Under gossip the rotation is seeded at one live site instead.
 	EventRotate
+	// EventUpgrade rolls Site through a zero-downtime restart: catchment
+	// drain, graceful guard drain, restart after Lag of downtime with the
+	// persisted keyring reopened, then health-gated re-admission. Requires
+	// Config.StateDir.
+	EventUpgrade
+	// EventPartition severs the link between Site's and Peer's hosts (gossip
+	// and any other site-to-site traffic drops until EventHeal).
+	EventPartition
+	// EventHeal restores the Site—Peer link.
+	EventHeal
+	// EventControllerDown takes the keyring controller out: push rotations
+	// fail and gossip-seeded rotations converge without it.
+	EventControllerDown
+	// EventControllerUp brings the controller back; it anti-entropies to the
+	// fleet's best keyring on return.
+	EventControllerUp
 )
 
 func (k EventKind) String() string {
@@ -46,6 +63,16 @@ func (k EventKind) String() string {
 		return "clear-flaps"
 	case EventRotate:
 		return "rotate"
+	case EventUpgrade:
+		return "upgrade"
+	case EventPartition:
+		return "partition"
+	case EventHeal:
+		return "heal"
+	case EventControllerDown:
+		return "controller-down"
+	case EventControllerUp:
+		return "controller-up"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -58,12 +85,16 @@ type Event struct {
 	At time.Duration
 	// Kind selects the event.
 	Kind EventKind
-	// Site is the event's subject (Flap: the destination site).
+	// Site is the event's subject (Flap: the destination site; Partition and
+	// Heal: one end of the link).
 	Site int
+	// Peer is the other end of a Partition or Heal link.
+	Peer int
 	// Frac is the population fraction a flap captures.
 	Frac float64
 	// Lag is the failure-to-withdrawal delay for EventFail (how long the
-	// dead site keeps attracting — and blackholing — its catchment).
+	// dead site keeps attracting — and blackholing — its catchment), and the
+	// restart downtime for EventUpgrade (0: 100ms).
 	Lag time.Duration
 }
 
@@ -92,6 +123,26 @@ func (f *Fleet) apply(ev Event) {
 	case EventClearFlaps:
 		f.catch.ClearFlaps()
 	case EventRotate:
-		_ = f.Rotate()
+		if err := f.Rotate(); err != nil {
+			f.fail(err)
+		}
+	case EventUpgrade:
+		// apply runs in scheduler (callback) context and must not block; the
+		// upgrade drains and sleeps, so it gets its own proc.
+		site, lag := ev.Site, ev.Lag
+		f.sites[site].Host.Go(fmt.Sprintf("upgrade-site%d", site), func() {
+			f.upgradeSite(site, lag)
+		})
+	case EventPartition:
+		f.cfg.Net.Partition(f.sites[ev.Site].Host, f.sites[ev.Peer].Host)
+	case EventHeal:
+		f.cfg.Net.Heal(f.sites[ev.Site].Host, f.sites[ev.Peer].Host)
+	case EventControllerDown:
+		f.ctrlDown = true
+	case EventControllerUp:
+		f.ctrlDown = false
+		// The recovered controller anti-entropies from the fleet, so cookie
+		// minting (and the fleet_key_epoch series) catches up.
+		f.controller.Adopt(f.bestState())
 	}
 }

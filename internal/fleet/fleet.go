@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"path/filepath"
+	"reflect"
 	"time"
 
 	"dnsguard/internal/cookie"
@@ -39,6 +41,14 @@ type Config struct {
 	Key [cookie.KeySize]byte
 	// FastPathTTL enables each guard's verified-source cache.
 	FastPathTTL time.Duration
+	// StateDir, when non-empty, gives every site a persisted keyring at
+	// StateDir/site<i>.keyring: rotations and adoptions are written through,
+	// and a rolling upgrade (EventUpgrade) reopens the file so cookies minted
+	// before the restart keep verifying. Required for upgrades.
+	StateDir string
+	// Gossip switches keyring distribution from controller push to
+	// peer-to-peer anti-entropy between the sites (see gossip.go).
+	Gossip GossipConfig
 	// Guard, when non-nil, adjusts each site's config before the guard is
 	// created (rate limiters, mitigation, costs...).
 	Guard func(site int, cfg *guard.RemoteConfig)
@@ -48,11 +58,22 @@ type Config struct {
 type Site struct {
 	// Host is the site's machine; the front injects routed traffic here.
 	Host *netsim.Host
-	// Guard is the site's spoof-detection instance.
+	// Guard is the site's spoof-detection instance. Replaced in place by a
+	// rolling upgrade; read it through the Fleet in scheduler context.
 	Guard *guard.Remote
 	// Registry holds the site's guard_* series; the fleet roll-up merges
-	// all of them under fleet_*.
+	// all of them under fleet_*. Replaced alongside Guard on upgrade.
 	Registry *metrics.Registry
+	// Retired accumulates the counters of instances closed by upgrades, so
+	// per-site totals span restarts.
+	Retired guard.RemoteStats
+
+	// auth is the site's handle on the shared keyring (the Guard's
+	// cfg.Auth); gossip reads full key states from it.
+	auth *cookie.Authenticator
+	// retiredRegs keeps the registries of upgraded-away instances so the
+	// metrics roll-up spans restarts.
+	retiredRegs []*metrics.Registry
 }
 
 // FrontStats counts the ECMP front's routing decisions.
@@ -74,12 +95,21 @@ type Fleet struct {
 	cfg        Config
 	catch      *Catchment
 	controller *cookie.Authenticator
+	ctrlDown   bool // controller outage: rotations cannot be pushed or seeded through it
 	front      *netsim.Host
 	tap        *netsim.Tap
 	sites      []*Site
 	down       []bool
 	lastSite   map[netip.Addr]int
 	stopped    bool
+	upgrades   uint64
+	err        error // first asynchronous orchestration failure
+
+	// gossip anti-entropy state (nil maps when disabled).
+	gossipConns []netapi.UDPConn
+	gstats      GossipStats
+	seededAt    map[uint64]time.Duration
+	convergedAt map[uint64]time.Duration
 
 	// Stats is updated by the front proc as the fleet runs.
 	Stats FrontStats
@@ -122,12 +152,15 @@ func New(cfg Config) (*Fleet, error) {
 	}
 
 	f := &Fleet{
-		cfg:        cfg,
-		catch:      NewCatchment(splitmix(cfg.Seed^0xFEE7C47C), cfg.Weights...),
-		controller: controller,
-		down:       make([]bool, cfg.Sites),
-		lastSite:   make(map[netip.Addr]int),
+		cfg:         cfg,
+		catch:       NewCatchment(splitmix(cfg.Seed^0xFEE7C47C), cfg.Weights...),
+		controller:  controller,
+		down:        make([]bool, cfg.Sites),
+		lastSite:    make(map[netip.Addr]int),
+		seededAt:    make(map[uint64]time.Duration),
+		convergedAt: make(map[uint64]time.Duration),
 	}
+	f.cfg.Gossip.normalize()
 
 	f.front = cfg.Net.AddHost("front", cfg.PublicAddr.Addr())
 	f.front.ClaimPrefix(cfg.Subnet)
@@ -143,45 +176,85 @@ func New(cfg Config) (*Fleet, error) {
 		// 10.128.0.0/9 pool: each guard's upstream socket binds the site
 		// address, and ANS replies to it must route to the site, not into a
 		// client prefix claim.
-		host := cfg.Net.AddHost(fmt.Sprintf("site%d", i), netip.AddrFrom4([4]byte{10, 64, byte(i + 1), 1}))
+		host := cfg.Net.AddHost(fmt.Sprintf("site%d", i), siteAddr(i))
 		host.SetQueueCap(1 << 16)
-		siteTap, err := host.OpenTap()
+		// Every guard holds an independent handle on the shared ring; with a
+		// StateDir that handle is persisted, so a site restart reopens the
+		// same ring instead of orphaning the population's cookies.
+		auth := cookie.RestoreAuthenticator(controller.State())
+		if cfg.StateDir != "" {
+			if err := auth.BindStateFile(f.statePath(i)); err != nil {
+				return nil, fmt.Errorf("fleet: site %d keyring: %w", i, err)
+			}
+		}
+		site := &Site{Host: host, auth: auth}
+		f.sites = append(f.sites, site)
+		g, err := f.newGuard(i, auth)
 		if err != nil {
 			return nil, err
 		}
-		gcfg := guard.RemoteConfig{
-			Env:    host,
-			IO:     guard.TapIO{Tap: siteTap},
-			Shards: 1, // inline per site: the fleet's parallelism is across sites
-			// Every guard holds an independent handle on the shared ring.
-			Auth:          cookie.RestoreAuthenticator(controller.State()),
-			ShardHashSeed: splitmix(cfg.Seed ^ uint64(i+1)*0x9E3779B97F4A7C15),
-			PublicAddr:    cfg.PublicAddr,
-			ANSAddr:       cfg.ANSAddr,
-			Zone:          cfg.Zone,
-			Subnet:        cfg.Subnet,
-			Fallback:      guard.SchemeDNS,
-			FastPathTTL:   cfg.FastPathTTL,
-		}
-		if cfg.Guard != nil {
-			cfg.Guard(i, &gcfg)
-		}
-		g, err := guard.NewRemote(gcfg)
-		if err != nil {
-			return nil, err
-		}
-		f.sites = append(f.sites, &Site{Host: host, Guard: g, Registry: metrics.NewRegistry()})
+		site.Guard = g
+		site.Registry = metrics.NewRegistry()
 	}
 	return f, nil
 }
 
-// Start boots every guard and the front's routing proc.
+// siteAddr is site i's host address.
+func siteAddr(i int) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, 64, byte(i + 1), 1})
+}
+
+// statePath is site i's persisted-keyring path under Config.StateDir.
+func (f *Fleet) statePath(i int) string {
+	return filepath.Join(f.cfg.StateDir, fmt.Sprintf("site%d.keyring", i))
+}
+
+// newGuard constructs site i's guard instance on its existing host — used at
+// fleet build time and again by rolling upgrades, so a replacement instance
+// is configured exactly like the original (including the Config.Guard hook).
+func (f *Fleet) newGuard(i int, auth *cookie.Authenticator) (*guard.Remote, error) {
+	host := f.sites[i].Host
+	siteTap, err := host.OpenTap()
+	if err != nil {
+		return nil, err
+	}
+	gcfg := guard.RemoteConfig{
+		Env:           host,
+		IO:            guard.TapIO{Tap: siteTap},
+		Shards:        1, // inline per site: the fleet's parallelism is across sites
+		Auth:          auth,
+		ShardHashSeed: splitmix(f.cfg.Seed ^ uint64(i+1)*0x9E3779B97F4A7C15),
+		PublicAddr:    f.cfg.PublicAddr,
+		ANSAddr:       f.cfg.ANSAddr,
+		Zone:          f.cfg.Zone,
+		Subnet:        f.cfg.Subnet,
+		Fallback:      guard.SchemeDNS,
+		FastPathTTL:   f.cfg.FastPathTTL,
+	}
+	if f.cfg.Guard != nil {
+		f.cfg.Guard(i, &gcfg)
+	}
+	g, err := guard.NewRemote(gcfg)
+	if err != nil {
+		return nil, err
+	}
+	f.sites[i].auth = auth
+	return g, nil
+}
+
+// Start boots every guard, the front's routing proc, and (when enabled) the
+// per-site gossip anti-entropy procs.
 func (f *Fleet) Start() error {
 	for i, s := range f.sites {
 		if err := s.Guard.Start(); err != nil {
 			return fmt.Errorf("fleet: site %d: %w", i, err)
 		}
 		s.Guard.MetricsInto(s.Registry)
+	}
+	if f.cfg.Gossip.Enabled {
+		if err := f.startGossip(); err != nil {
+			return err
+		}
 	}
 	f.front.Go("fleet-front", f.route)
 	return nil
@@ -234,10 +307,19 @@ func (f *Fleet) SetDown(site int, down bool) {
 	f.down[site] = down
 }
 
-// Rotate advances the fleet-shared keyring: the controller rotates once and
-// every guard adopts the published state, so the fleet's epoch schedule
-// stays in lockstep and cross-site verification keeps costing one MD5.
+// Rotate advances the fleet-shared keyring. Under controller push the
+// controller rotates once and every guard adopts the published state, so the
+// fleet's epoch schedule stays in lockstep and cross-site verification keeps
+// costing one MD5. Under gossip the rotation is instead seeded at one live
+// site and anti-entropy spreads it — the path that keeps working through a
+// controller outage.
 func (f *Fleet) Rotate() error {
+	if f.cfg.Gossip.Enabled {
+		return f.seedRotation()
+	}
+	if f.ctrlDown {
+		return errors.New("fleet: controller down; push rotation unavailable")
+	}
 	if err := f.controller.Rotate(); err != nil {
 		return err
 	}
@@ -246,7 +328,7 @@ func (f *Fleet) Rotate() error {
 }
 
 // RotateWithKey is Rotate with a caller-supplied key, for deterministic
-// simulations.
+// simulations under controller push.
 func (f *Fleet) RotateWithKey(key [cookie.KeySize]byte) {
 	f.controller.RotateWithKey(key)
 	f.push()
@@ -256,6 +338,57 @@ func (f *Fleet) push() {
 	st := f.controller.State()
 	for _, s := range f.sites {
 		s.Guard.AdoptKeys(st)
+	}
+}
+
+// bestState returns the highest-epoch keyring anywhere in the fleet — what a
+// recovering controller anti-entropies from.
+func (f *Fleet) bestState() cookie.KeyState {
+	best := f.controller.State()
+	for _, s := range f.sites {
+		if st := s.auth.State(); st.Epoch > best.Epoch {
+			best = st
+		}
+	}
+	return best
+}
+
+// fleetEpoch is the highest keyring epoch any component holds — the target a
+// rejoining site must reach before it is readmitted to the catchment.
+func (f *Fleet) fleetEpoch() uint64 {
+	e := f.controller.Epoch()
+	for _, s := range f.sites {
+		if se := s.auth.State().Epoch; se > e {
+			e = se
+		}
+	}
+	return e
+}
+
+// Upgrades counts completed zero-downtime site upgrades.
+func (f *Fleet) Upgrades() uint64 { return f.upgrades }
+
+// Err reports the first failure from asynchronous orchestration (a rolling
+// upgrade that could not rebuild its site). Check it after the run.
+func (f *Fleet) Err() error { return f.err }
+
+// SiteStats returns site i's counters, including instances retired by
+// rolling upgrades.
+func (f *Fleet) SiteStats(i int) guard.RemoteStats {
+	st := f.sites[i].Guard.Stats.Load()
+	addStats(&st, f.sites[i].Retired)
+	return st
+}
+
+// addStats accumulates src's counters into dst field-wise. Reflection keeps
+// retirement honest when RemoteStats grows new counters.
+func addStats(dst *guard.RemoteStats, src guard.RemoteStats) {
+	d := reflect.ValueOf(dst).Elem()
+	s := reflect.ValueOf(src)
+	for i := 0; i < d.NumField(); i++ {
+		if d.Field(i).Kind() == reflect.Uint64 {
+			d.Field(i).SetUint(d.Field(i).Uint() + s.Field(i).Uint())
+		}
 	}
 }
 
@@ -269,18 +402,32 @@ func (f *Fleet) MetricsInto(r *metrics.Registry) {
 	r.FuncUint("fleet_front_moved", func() uint64 { return f.Stats.Moved })
 	r.FuncUint("fleet_catchment_generation", f.catch.Generation)
 	r.FuncUint("fleet_key_epoch", f.controller.Epoch)
-	regs := make([]*metrics.Registry, len(f.sites))
-	for i, s := range f.sites {
-		regs[i] = s.Registry
-		metrics.MergedInto(r, fmt.Sprintf("site%d_", i), s.Registry)
+	r.FuncUint("fleet_upgrades", func() uint64 { return f.upgrades })
+	if f.cfg.Gossip.Enabled {
+		f.gossipMetricsInto(r)
 	}
-	metrics.MergedInto(r, "fleet_", regs...)
+	var all []*metrics.Registry
+	for i, s := range f.sites {
+		i := i
+		r.FuncUint(fmt.Sprintf("site%d_key_epoch", i), func() uint64 {
+			return f.sites[i].auth.State().Epoch
+		})
+		// Per-site and fleet-wide roll-ups span upgrades: registries of
+		// retired instances keep contributing their (frozen) counters.
+		regs := append(append([]*metrics.Registry(nil), s.retiredRegs...), s.Registry)
+		metrics.MergedInto(r, fmt.Sprintf("site%d_", i), regs...)
+		all = append(all, regs...)
+	}
+	metrics.MergedInto(r, "fleet_", all...)
 }
 
-// Close stops the front and every guard.
+// Close stops the front, the gossip procs, and every guard.
 func (f *Fleet) Close() {
 	f.stopped = true
 	f.tap.Close()
+	for _, c := range f.gossipConns {
+		_ = c.Close()
+	}
 	for _, s := range f.sites {
 		s.Guard.Close()
 	}

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"net/netip"
+	"os"
 	"strings"
 	"time"
 
@@ -54,6 +55,18 @@ type LabResult struct {
 	ColdValidAtShift uint64
 	ColdFastAtShift  uint64
 	ColdReverified   uint64
+	// Upgrades counts completed zero-downtime site upgrades.
+	Upgrades int
+	// KeyEpochs is each site's final keyring epoch (the upgraded instance's,
+	// where a site was restarted).
+	KeyEpochs []uint64
+	// Gossip aggregates the anti-entropy counters (zero under controller
+	// push).
+	Gossip GossipStats
+	// GossipConvergeRounds is the number of gossip intervals between the
+	// highest seeded epoch and the last site adopting it; -1 when the pack
+	// seeded no gossip rotation.
+	GossipConvergeRounds int
 	// MetricsText is the deterministic text export of every registered
 	// series after the run (golden-snapshot input).
 	MetricsText string
@@ -110,6 +123,15 @@ func RunLab(cfg LabConfig) (LabResult, error) {
 		return res, err
 	}
 
+	var stateDir string
+	if pack.Persist {
+		dir, err := os.MkdirTemp("", "fleet-keyring-")
+		if err != nil {
+			return res, err
+		}
+		defer os.RemoveAll(dir)
+		stateDir = dir
+	}
 	var key [cookie.KeySize]byte
 	key[0] = 0x6D
 	flt, err := New(Config{
@@ -122,6 +144,8 @@ func RunLab(cfg LabConfig) (LabResult, error) {
 		Zone:        dnswire.MustName("foo.com"),
 		Key:         key,
 		FastPathTTL: time.Second,
+		StateDir:    stateDir,
+		Gossip:      GossipConfig{Enabled: pack.Gossip},
 	})
 	if err != nil {
 		return res, err
@@ -186,6 +210,9 @@ func RunLab(cfg LabConfig) (LabResult, error) {
 	horizon := pack.End + cfg.Tail
 	sched.Run(horizon)
 
+	if err := flt.Err(); err != nil {
+		return res, err
+	}
 	for i := range before {
 		if before[i] != after[i] {
 			res.MovedSources++
@@ -206,6 +233,15 @@ func RunLab(cfg LabConfig) (LabResult, error) {
 	}
 	r.FuncUint("lab_moved_sources", func() uint64 { return uint64(res.MovedSources) })
 	r.FuncUint("lab_cold_reverified", func() uint64 { return res.ColdReverified })
+	res.Upgrades = int(flt.Upgrades())
+	res.Gossip = flt.GossipStats()
+	res.GossipConvergeRounds = -1
+	if _, rounds, ok := flt.GossipConvergence(); ok {
+		res.GossipConvergeRounds = rounds
+	}
+	for i := 0; i < flt.Sites(); i++ {
+		res.KeyEpochs = append(res.KeyEpochs, flt.Site(i).Guard.KeyringEpoch())
+	}
 	var sb strings.Builder
 	if err := r.WriteText(&sb); err != nil {
 		return res, err
@@ -214,7 +250,8 @@ func RunLab(cfg LabConfig) (LabResult, error) {
 	res.Front = flt.Stats
 	res.Sites = make([]guard.RemoteStats, flt.Sites())
 	for i := range res.Sites {
-		res.Sites[i] = flt.Site(i).Guard.Stats.Load()
+		// SiteStats spans upgrades: counters of retired instances included.
+		res.Sites[i] = flt.SiteStats(i)
 	}
 	res.Population = pop.Stats
 	if camp != nil {

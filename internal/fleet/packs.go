@@ -31,6 +31,13 @@ type Pack struct {
 	AttackRate     float64
 	// Events is the scripted catchment timeline.
 	Events []Event
+	// Gossip distributes the keyring by peer-to-peer anti-entropy instead of
+	// controller push; EventRotate then seeds one site.
+	Gossip bool
+	// Persist gives every site a persisted keyring in a per-run state
+	// directory. Required by EventUpgrade (the restarted site reopens its
+	// ring from disk).
+	Persist bool
 	// ShiftAt/ShiftSite locate the pack's defining catchment shift for
 	// moved-source accounting: the lab snapshots the population assignment
 	// just before and after ShiftAt and reads the cold site's counters.
@@ -63,6 +70,36 @@ func Packs() []Pack {
 			ShiftAt:   1500 * time.Millisecond,
 			ShiftSite: 2,
 			End:       4500 * time.Millisecond,
+		},
+		{
+			Name: "rolling-upgrade",
+			Description: "all three sites restarted one at a time under live load and a mid-roll " +
+				"spoof flood; gossip anti-entropy converges a rotation seeded through a controller " +
+				"outage and a site-pair partition; re-admission is readiness-gated",
+			Sites:          3,
+			Sources:        90_000,
+			Rate:           5000,
+			PopDuration:    5000 * time.Millisecond,
+			AttackStart:    800 * time.Millisecond,
+			AttackDuration: 3400 * time.Millisecond,
+			AttackRate:     5000,
+			Gossip:         true,
+			Persist:        true,
+			Events: []Event{
+				{At: 1200 * time.Millisecond, Kind: EventUpgrade, Site: 0, Lag: 150 * time.Millisecond},
+				{At: 1600 * time.Millisecond, Kind: EventControllerDown},
+				{At: 1650 * time.Millisecond, Kind: EventPartition, Site: 1, Peer: 2},
+				{At: 1700 * time.Millisecond, Kind: EventRotate},
+				{At: 2050 * time.Millisecond, Kind: EventHeal, Site: 1, Peer: 2},
+				{At: 2200 * time.Millisecond, Kind: EventUpgrade, Site: 1, Lag: 150 * time.Millisecond},
+				{At: 3200 * time.Millisecond, Kind: EventUpgrade, Site: 2, Lag: 150 * time.Millisecond},
+				{At: 4400 * time.Millisecond, Kind: EventControllerUp},
+			},
+			// The defining shift is the first site's catchment drain; its
+			// sources split across both survivors, so no single cold site.
+			ShiftAt:   1200 * time.Millisecond,
+			ShiftSite: -1,
+			End:       5500 * time.Millisecond,
 		},
 		{
 			Name: "site-failure",

@@ -1,0 +1,209 @@
+package guard
+
+// Planned-change lifecycle for a guard site. A crash (PR 4) is survived by
+// the persisted keyring; a *planned* restart — binary upgrade, host
+// maintenance — should not cost the population anything at all. The state
+// machine here gives an orchestrator the handles it needs:
+//
+//	serving → draining → quiesced → restarting   (old instance)
+//	                      warming  → serving     (new instance)
+//
+// Draining refuses new cookie exchanges (newcomers) while continuing to
+// serve cookie-verified traffic, flushes the dataplane queues, and lets
+// in-flight NAT exchanges complete or time out. Quiesced means the instance
+// holds no in-flight client state and can be torn down. The replacement
+// instance starts Warming: it serves traffic (so a catchment front that
+// routes early loses nothing) but advertises not-ready until its keyring
+// epoch is current and its queues are settled; the front restores the
+// site's weight only then (see fleet's readiness gate and the /readyz
+// endpoint in cmd/dnsguardd).
+//
+// States are exported as guard_lifecycle_* series: the state gauge, the
+// transition counter, drains started, and newcomers refused by a drain.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"dnsguard/internal/metrics"
+)
+
+// LifecycleState is one node of the guard's planned-change state machine.
+type LifecycleState int32
+
+const (
+	// LifecycleServing is the steady state: every scheme handled, newcomers
+	// granted cookies. The zero value, so guards that never drain behave
+	// exactly as before the lifecycle existed.
+	LifecycleServing LifecycleState = iota
+	// LifecycleDraining refuses new unverified flows while verified traffic
+	// and in-flight exchanges complete.
+	LifecycleDraining
+	// LifecycleQuiesced holds no in-flight client state; safe to tear down.
+	LifecycleQuiesced
+	// LifecycleRestarting marks the old instance between quiesce and Close.
+	LifecycleRestarting
+	// LifecycleWarming is a fresh instance serving traffic but not yet
+	// advertising readiness (keyring may trail the fleet epoch).
+	LifecycleWarming
+)
+
+func (s LifecycleState) String() string {
+	switch s {
+	case LifecycleServing:
+		return "serving"
+	case LifecycleDraining:
+		return "draining"
+	case LifecycleQuiesced:
+		return "quiesced"
+	case LifecycleRestarting:
+		return "restarting"
+	case LifecycleWarming:
+		return "warming"
+	}
+	return fmt.Sprintf("LifecycleState(%d)", int32(s))
+}
+
+// LifecycleStats counts lifecycle activity (atomic fields, exported as
+// guard_lifecycle_* series).
+type LifecycleStats struct {
+	Transitions  uint64 // state changes since construction
+	Drains       uint64 // Drain calls that entered draining
+	DrainDropped uint64 // newcomer queries refused while draining/quiesced
+}
+
+// lifecyclePoll paces Drain's quiesce polls (virtual time under netsim).
+const lifecyclePoll = 200 * time.Microsecond
+
+// ErrNotReady is the base error readiness probes wrap.
+var ErrNotReady = errors.New("guard: not ready")
+
+// Lifecycle reports the guard's current lifecycle state.
+func (g *Remote) Lifecycle() LifecycleState {
+	return LifecycleState(g.lcState.Load())
+}
+
+// setLifecycle moves the state machine and counts the transition.
+func (g *Remote) setLifecycle(s LifecycleState) {
+	if g.lcState.Swap(int32(s)) != int32(s) {
+		atomic.AddUint64(&g.lc.Transitions, 1)
+	}
+}
+
+// drainGate reports whether newcomer (cookie-less, unverified) queries must
+// be refused: any state past serving means the instance is on its way down
+// or not yet warmed into the catchment, and granting a cookie exchange it
+// may not live to answer would strand the client.
+func (g *Remote) drainGate() bool {
+	return LifecycleState(g.lcState.Load()) != LifecycleServing &&
+		LifecycleState(g.lcState.Load()) != LifecycleWarming
+}
+
+// Drain takes the guard from serving to quiesced: new unverified flows are
+// refused (engine drain + the newcomer gate), the dataplane queues flush,
+// and in-flight NAT exchanges get PendingTimeout to complete before the
+// stragglers are dropped (counted as PendingDropped). Returns nil once
+// quiesced; ctx.Err() if the context expires first, leaving the guard
+// draining so the caller can retry or Resume. Safe to call from a netsim
+// proc — all waiting is via Env.Sleep.
+func (g *Remote) Drain(ctx context.Context) error {
+	g.setLifecycle(LifecycleDraining)
+	atomic.AddUint64(&g.lc.Drains, 1)
+	if err := g.eng.Drain(ctx); err != nil {
+		return err
+	}
+	// Let in-flight exchanges complete or time out: the longest any pending
+	// NAT entry can legitimately live is PendingTimeout.
+	deadline := g.now() + g.cfg.PendingTimeout
+	for g.PendingEntries() > 0 && g.now() < deadline {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		g.cfg.Env.Sleep(lifecyclePoll)
+	}
+	// Stragglers past their window are dropped, same accounting as an
+	// upstream that never answered.
+	for _, s := range g.shards {
+		s.mu.Lock()
+		for id := range s.pending {
+			delete(s.pending, id)
+			s.ids.release(id)
+			atomic.AddUint64(&g.Stats.PendingDropped, 1)
+		}
+		s.mu.Unlock()
+	}
+	g.setLifecycle(LifecycleQuiesced)
+	return nil
+}
+
+// Resume aborts a drain: the engine re-admits unverified flows and the
+// guard returns to serving.
+func (g *Remote) Resume() {
+	g.eng.Resume()
+	g.setLifecycle(LifecycleServing)
+}
+
+// BeginRestart marks the quiesced instance as tearing down (call just
+// before Close). Purely observational — Close works from any state — but
+// it keeps the exported state gauge truthful during the swap.
+func (g *Remote) BeginRestart() { g.setLifecycle(LifecycleRestarting) }
+
+// WarmStart marks a freshly constructed replacement instance as warming:
+// it serves traffic but Ready gates on the keyring epoch and queue depth
+// until MarkServing.
+func (g *Remote) WarmStart() { g.setLifecycle(LifecycleWarming) }
+
+// MarkServing completes a warm-up: the instance advertises full readiness.
+func (g *Remote) MarkServing() { g.setLifecycle(LifecycleServing) }
+
+// Healthz is the liveness probe: nil while the guard can make progress at
+// all (process up, dataplane not closed). Deliberately lax — a draining or
+// warming guard is alive.
+func (g *Remote) Healthz() error {
+	if g.closed.Load() {
+		return errors.New("guard: closed")
+	}
+	return nil
+}
+
+// Ready is the readiness probe behind /readyz and the fleet's re-admission
+// gate: nil only when the guard should receive catchment weight. minEpoch
+// is the keyring epoch the caller requires (the fleet's current epoch; 0
+// accepts any). Conditions: not closed, lifecycle serving or warming (a
+// draining site must shed weight, not attract it), keyring epoch current,
+// and the ingress backlog below half the configured queue depth.
+func (g *Remote) Ready(minEpoch uint64) error {
+	if g.closed.Load() {
+		return fmt.Errorf("%w: closed", ErrNotReady)
+	}
+	switch st := g.Lifecycle(); st {
+	case LifecycleServing, LifecycleWarming:
+	default:
+		return fmt.Errorf("%w: lifecycle %s", ErrNotReady, st)
+	}
+	if epoch := g.cfg.Auth.Epoch(); epoch < minEpoch {
+		return fmt.Errorf("%w: keyring epoch %d behind fleet epoch %d", ErrNotReady, epoch, minEpoch)
+	}
+	backlog := 0
+	for i := 0; i < g.eng.Shards(); i++ {
+		backlog += g.eng.QueueDepth(i)
+	}
+	if max := g.cfg.QueueDepth * g.cfg.Shards / 2; backlog > max {
+		return fmt.Errorf("%w: ingress backlog %d over threshold %d", ErrNotReady, backlog, max)
+	}
+	return nil
+}
+
+// LifecycleStats returns an atomically-read copy of the lifecycle counters.
+func (g *Remote) LifecycleStats() LifecycleStats {
+	return metrics.SnapshotUint64(&g.lc)
+}
+
+// lifecycleMetricsInto registers the guard_lifecycle_* series.
+func (g *Remote) lifecycleMetricsInto(r *metrics.Registry) {
+	r.FuncUint("guard_lifecycle_state", func() uint64 { return uint64(g.lcState.Load()) })
+	metrics.RegisterUint64Fields(r, "guard_lifecycle_", &g.lc)
+}

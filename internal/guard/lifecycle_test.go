@@ -1,0 +1,113 @@
+package guard
+
+// Lifecycle contract: Drain refuses new cookie exchanges while verified
+// traffic completes, quiesces the NAT table, and drives the state machine
+// serving→draining→quiesced; Resume reopens; Ready gates on lifecycle,
+// keyring epoch, and backlog.
+
+import (
+	"context"
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dnsguard/internal/dnswire"
+)
+
+func TestLifecycleDrainQuiesces(t *testing.T) {
+	f := newRootFixture(t, nil)
+	g := f.guard
+	attacker := f.net.AddHost("attacker", mustAddr("203.0.113.66"))
+	f.run(t, func() {
+		if g.Lifecycle() != LifecycleServing {
+			t.Errorf("initial lifecycle = %v, want serving", g.Lifecycle())
+		}
+		// Establish one verified client so the guard has real state.
+		if _, err := f.res.Resolve(dnswire.MustName("www.foo.com"), dnswire.TypeA); err != nil {
+			t.Errorf("pre-drain resolve: %v", err)
+			return
+		}
+		if err := g.Drain(context.Background()); err != nil {
+			t.Errorf("Drain: %v", err)
+			return
+		}
+		if g.Lifecycle() != LifecycleQuiesced {
+			t.Errorf("post-drain lifecycle = %v, want quiesced", g.Lifecycle())
+		}
+		if g.PendingEntries() != 0 {
+			t.Errorf("pending entries after drain = %d, want 0", g.PendingEntries())
+		}
+		// A newcomer arriving mid-drain gets nothing: no grant, no TC.
+		grantsBefore := g.Stats.Load().NewcomerGrants
+		q, _ := dnswire.NewQuery(7, dnswire.MustName("mail.foo.com"), dnswire.TypeA).PackUDP(512)
+		src := netip.AddrPortFrom(mustAddr("172.16.9.9"), 1234)
+		_ = attacker.SendRaw(src, mustAP("198.41.0.4:53"), q)
+		f.sched.Sleep(50 * time.Millisecond)
+		if got := g.Stats.Load().NewcomerGrants; got != grantsBefore {
+			t.Errorf("newcomer granted during quiesce (grants %d -> %d)", grantsBefore, got)
+		}
+		if st := g.LifecycleStats(); st.DrainDropped != 1 || st.Drains != 1 {
+			t.Errorf("lifecycle stats = %+v, want DrainDropped 1, Drains 1", st)
+		}
+
+		// Resume reopens the newcomer path.
+		g.Resume()
+		if g.Lifecycle() != LifecycleServing {
+			t.Errorf("post-resume lifecycle = %v, want serving", g.Lifecycle())
+		}
+		_ = attacker.SendRaw(src, mustAP("198.41.0.4:53"), q)
+		f.sched.Sleep(50 * time.Millisecond)
+		if got := g.Stats.Load().NewcomerGrants; got != grantsBefore+1 {
+			t.Errorf("newcomer not granted after Resume (grants %d -> %d)", grantsBefore, got)
+		}
+	})
+}
+
+func TestLifecycleReadinessGates(t *testing.T) {
+	f := newRootFixture(t, nil)
+	g := f.guard
+	f.run(t, func() {
+		if err := g.Ready(0); err != nil {
+			t.Errorf("serving guard not ready: %v", err)
+		}
+		if err := g.Healthz(); err != nil {
+			t.Errorf("serving guard not healthy: %v", err)
+		}
+		// A keyring epoch requirement ahead of the guard's blocks readiness.
+		if err := g.Ready(g.KeyringEpoch() + 1); !errors.Is(err, ErrNotReady) {
+			t.Errorf("Ready(epoch+1) = %v, want ErrNotReady", err)
+		}
+		if err := g.Drain(context.Background()); err != nil {
+			t.Errorf("Drain: %v", err)
+			return
+		}
+		if err := g.Ready(0); !errors.Is(err, ErrNotReady) {
+			t.Errorf("quiesced guard reports ready (%v)", err)
+		}
+		if err := g.Healthz(); err != nil {
+			t.Errorf("quiesced guard must stay live: %v", err)
+		}
+		g.BeginRestart()
+		if g.Lifecycle() != LifecycleRestarting {
+			t.Errorf("lifecycle = %v, want restarting", g.Lifecycle())
+		}
+		// The replacement instance pattern: warming serves and is ready once
+		// its epoch is current.
+		g.WarmStart()
+		if err := g.Ready(g.KeyringEpoch()); err != nil {
+			t.Errorf("warming guard with a current keyring not ready: %v", err)
+		}
+		g.MarkServing()
+		if g.Lifecycle() != LifecycleServing {
+			t.Errorf("lifecycle = %v, want serving", g.Lifecycle())
+		}
+	})
+	g.Close()
+	if err := g.Healthz(); err == nil {
+		t.Error("closed guard reports healthy")
+	}
+	if err := g.Ready(0); !errors.Is(err, ErrNotReady) {
+		t.Errorf("closed guard Ready = %v, want ErrNotReady", err)
+	}
+}

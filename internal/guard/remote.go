@@ -327,6 +327,12 @@ type Remote struct {
 	active atomic.Bool
 	closed atomic.Bool
 
+	// Planned-change lifecycle (lifecycle.go): the state machine gauge and
+	// its counters. Zero value = serving, so guards that never drain are
+	// untouched.
+	lcState atomic.Int32
+	lc      LifecycleStats
+
 	// Layered auto-mitigation selector state (mitigate.go). mit is always
 	// non-nil; the three control atomics stay at their zero values (mitAuto,
 	// no fallback override, non-strict) whenever the selector is disarmed,
@@ -426,6 +432,7 @@ func (g *Remote) MetricsInto(r *metrics.Registry) {
 		return float64(g.PendingEntries())
 	})
 	g.mitMetricsInto(r)
+	g.lifecycleMetricsInto(r)
 	g.eng.MetricsInto(r, "guard_engine_")
 }
 
@@ -597,6 +604,10 @@ func (g *Remote) AdoptKeys(st cookie.KeyState) bool {
 	return true
 }
 
+// KeyringEpoch reports the cookie keyring's current epoch — the value
+// readiness gates compare against the fleet's target epoch.
+func (g *Remote) KeyringEpoch() uint64 { return g.cfg.Auth.Epoch() }
+
 // Close stops the guard.
 func (g *Remote) Close() {
 	if g.closed.Swap(true) {
@@ -725,6 +736,13 @@ func (s *remoteShard) passthrough(pkt Packet) {
 // handleNewcomer boots a cookie-less requester per the fallback scheme.
 func (s *remoteShard) handleNewcomer(pkt Packet, msg *dnswire.Message) {
 	g := s.g
+	if g.drainGate() {
+		// Draining/quiesced: no new cookie exchanges — this instance may not
+		// live to answer them. The client retries and lands on a serving
+		// site (or this site's replacement).
+		atomic.AddUint64(&g.lc.DrainDropped, 1)
+		return
+	}
 	qname := msg.Question().Name
 	if g.cfg.Mitigation.Enabled {
 		// Feed the selector's name-diversity sketch before the limiter so

@@ -27,15 +27,58 @@ func Handler(r *Registry) http.Handler {
 	return mux
 }
 
+// HealthHandler wraps Handler with the two Kubernetes-style probe
+// endpoints orchestrators and catchment fronts poll:
+//
+//	/healthz  liveness — 200 "ok" while the process can make progress
+//	/readyz   readiness — 200 "ok" only when the component should receive
+//	          traffic (e.g. guard lifecycle serving, keyring epoch current,
+//	          ingress backlog under threshold)
+//
+// healthz/readyz report the probe outcome: nil is healthy/ready, an error
+// is rendered as a 503 with the error text as the body (so an operator's
+// curl explains *why* the site is out of rotation). A nil func means the
+// probe always passes — Handler semantics for daemons with nothing to gate.
+func HealthHandler(r *Registry, healthz, readyz func() error) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", Handler(r))
+	probe := func(check func() error) http.HandlerFunc {
+		return func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if check != nil {
+				if err := check(); err != nil {
+					w.WriteHeader(http.StatusServiceUnavailable)
+					fmt.Fprintln(w, err)
+					return
+				}
+			}
+			fmt.Fprintln(w, "ok")
+		}
+	}
+	mux.HandleFunc("/healthz", probe(healthz))
+	mux.HandleFunc("/readyz", probe(readyz))
+	return mux
+}
+
 // Serve listens on addr and serves the registry until the listener is
 // closed. It returns the bound listener (for its actual address and for
 // shutdown) and never blocks; the serve loop runs in a goroutine.
 func Serve(addr string, r *Registry) (net.Listener, error) {
+	return serveHandler(addr, Handler(r))
+}
+
+// ServeHealth is Serve with the /healthz and /readyz probes mounted (see
+// HealthHandler).
+func ServeHealth(addr string, r *Registry, healthz, readyz func() error) (net.Listener, error) {
+	return serveHandler(addr, HealthHandler(r, healthz, readyz))
+}
+
+func serveHandler(addr string, h http.Handler) (net.Listener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(r)}
+	srv := &http.Server{Handler: h}
 	go func() { _ = srv.Serve(ln) }()
 	return ln, nil
 }
