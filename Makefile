@@ -88,12 +88,19 @@ api-check:
 	$(GO) test -run='^TestAPI$$' .
 
 # One short pass over the real-time engine benchmark (1 shard, clean load,
-# per-packet and batched I/O) and one scaled-down Table III regeneration:
-# catches dataplane or harness rot without the full sweep's runtime.
+# per-packet and batched I/O), one scaled-down Table III regeneration, and
+# the DESIGN §17 allocation/cost gates: the wire-to-wire fast path must stay
+# at 0 allocs per verified packet cycle (TestFastPathWireAllocs), both cookie
+# MAC schemes must verify allocation-free (BenchmarkCookieVerifyMAC), and one
+# verification under either scheme must cost less than the host's measured
+# per-datagram send syscall (TestMACCostBelowSyscall).
 bench-smoke:
 	$(GO) test -run='^$$' -bench='^BenchmarkEngineThroughput$$/shards=1/spoof=0$$/batch=1$$' -benchtime=1x -short .
 	$(GO) test -run='^$$' -bench='^BenchmarkEngineThroughput$$/shards=1/spoof=0$$/batch=32$$' -benchtime=1x -short .
 	$(GO) test -run='^$$' -bench='^BenchmarkTableIII_NSName$$' -benchtime=1x .
+	$(GO) test -run='^$$' -bench='^BenchmarkCookieVerifyMAC$$' -benchtime=1000x .
+	$(GO) test -run='^TestFastPathWireAllocs$$' -count=1 ./internal/guard
+	$(GO) test -run='^TestMACCostBelowSyscall$$' -count=1 -v ./internal/experiments
 	DNSGUARD_SCALING_SMOKE=1 $(GO) test -run='^TestShardScalingSmoke$$' -count=1 -v ./internal/experiments
 
 # Crash-restart smoke: boot a guarded ANS with a persisted keyring, obtain a

@@ -55,19 +55,35 @@ func TestAPI(t *testing.T) {
 	for _, l := range wantLines {
 		wantSet[l] = true
 	}
-	var diff []string
+	var removed, added []string
 	for _, l := range wantLines {
-		if !gotSet[l] {
-			diff = append(diff, "-"+l)
+		if l != "" && !gotSet[l] {
+			removed = append(removed, "-"+l)
 		}
 	}
 	for _, l := range gotLines {
-		if !wantSet[l] {
-			diff = append(diff, "+"+l)
+		if l != "" && !wantSet[l] {
+			added = append(added, "+"+l)
 		}
 	}
-	t.Errorf("public API changed; if intentional, run `go test -run TestAPI -update` and commit testdata/api.txt:\n%s",
-		strings.Join(diff, "\n"))
+	if len(removed) > 0 {
+		// Removals are breaking: additions merely grow the surface, but a
+		// removed symbol strands downstream callers. The bar is higher —
+		// keep the old symbol as a deprecated wrapper over the replacement
+		// where possible (see the cookie constructors funneling into
+		// OpenKeyringWith), and when genuine removal is intended, name the
+		// replacement next to each removed line below in the commit that
+		// regenerates the golden.
+		t.Errorf("public API symbols REMOVED — this breaks downstream code.\n"+
+			"Prefer a deprecated wrapper over removal; if removal is intentional, add a\n"+
+			"migration note (removed symbol -> replacement) to the commit regenerating\n"+
+			"testdata/api.txt via `go test -run TestAPI -update`:\n%s",
+			strings.Join(removed, "\n"))
+	}
+	if len(added) > 0 {
+		t.Errorf("public API symbols added; if intentional, run `go test -run TestAPI -update` and commit testdata/api.txt:\n%s",
+			strings.Join(added, "\n"))
+	}
 }
 
 // renderAPI type-checks the dnsguard package from source and returns its

@@ -293,6 +293,37 @@ func BenchmarkCookieVerify(b *testing.B) {
 	}
 }
 
+// BenchmarkCookieVerifyMAC isolates the pluggable MAC's share of the cookie
+// check, one sub-bench per built-in scheme. Both must report 0 allocs/op;
+// TestMACCostBelowSyscall (internal/experiments) additionally holds each
+// under the host's measured per-datagram syscall floor.
+func BenchmarkCookieVerifyMAC(b *testing.B) {
+	for _, name := range []string{"md5", "siphash"} {
+		b.Run(name, func(b *testing.B) {
+			mac, err := cookie.MACByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var key [cookie.KeySize]byte
+			for i := range key {
+				key[i] = byte(i)
+			}
+			auth, err := cookie.Open(cookie.Options{Key: &key, MAC: mac})
+			if err != nil {
+				b.Fatal(err)
+			}
+			src := netip.MustParseAddr("203.0.113.7")
+			c := auth.Mint(src)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !auth.Verify(src, c) {
+					b.Fatal("verify failed")
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkNSLabelEncodeVerify(b *testing.B) {
 	auth := benchAuth(b)
 	nc := cookie.NSCodec{}

@@ -185,19 +185,27 @@ func run() error {
 		}
 		start := time.Now()
 		var rows []experiments.EngineThroughputResult
-		for _, shards := range shardSweep {
-			for _, spoof := range []float64{0, 0.5} {
-				for _, batch := range batchSweep {
-					res, err := experiments.EngineThroughput(experiments.EngineThroughputOptions{
-						Shards:        shards,
-						Batch:         batch,
-						SpoofFraction: spoof,
-						Packets:       packets,
-					})
-					if err != nil {
-						return fmt.Errorf("engine (shards=%d spoof=%v batch=%d): %w", shards, spoof, batch, err)
+		for _, mac := range []string{"md5", "siphash"} {
+			for _, shards := range shardSweep {
+				// The MAC scheme's cost is per-packet and shard-independent;
+				// one shard isolates it without doubling the whole sweep.
+				if mac != "md5" && shards != 1 {
+					continue
+				}
+				for _, spoof := range []float64{0, 0.5} {
+					for _, batch := range batchSweep {
+						res, err := experiments.EngineThroughput(experiments.EngineThroughputOptions{
+							Shards:        shards,
+							Batch:         batch,
+							SpoofFraction: spoof,
+							Packets:       packets,
+							MAC:           mac,
+						})
+						if err != nil {
+							return fmt.Errorf("engine (shards=%d spoof=%v batch=%d mac=%s): %w", shards, spoof, batch, mac, err)
+						}
+						rows = append(rows, res)
 					}
-					rows = append(rows, res)
 				}
 			}
 		}

@@ -65,8 +65,9 @@ func run() error {
 	batch := flag.Int("batch", 1, "datagrams read/written per syscall batch (1 = per-packet I/O)")
 	queueDepth := flag.Int("queue-depth", 0, "per-shard ingress queue depth (0 = default)")
 	ingest := flag.String("ingest", "auto", "shard ingest mode: auto (affine when each shard has its own flow-stable socket), hash (central fan-out), or affine (require per-shard sockets)")
-	fastPathTTL := flag.Duration("fastpath-ttl", 0, "verified-source fast-path cache TTL (0 = default, negative = off)")
+	fastPathTTL := flag.Duration("fastpath-ttl", 0, "verified-source fast-path cache TTL (0 = default 1m, negative = off)")
 	stateFile := flag.String("state-file", "", "persist the cookie keyring here; a restart with the same file keeps pre-restart cookies valid")
+	cookieMAC := flag.String("cookie-mac", "", "cookie MAC scheme: md5 (paper default) or siphash; applies to new keyrings and to legacy state files with no scheme tag (tagged files keep their scheme)")
 	keyRotate := flag.Duration("key-rotate", 0, "cookie key rotation period (0 = never); rotations are persisted to -state-file")
 	keyringFollow := flag.Bool("keyring-follow", false, "open -state-file as a read-only follower handle on a fleet-shared keyring (the owner rotates; this guard only reloads)")
 	keyringReload := flag.Duration("keyring-reload", 0, "poll -state-file at this interval and adopt newer epochs (fleet followers tracking the owner's rotations)")
@@ -141,26 +142,27 @@ func run() error {
 	if *keyringReload > 0 && *stateFile == "" {
 		return fmt.Errorf("-keyring-reload requires -state-file")
 	}
+	mac, err := dnsguard.MACSchemeByName(*cookieMAC)
+	if err != nil {
+		return fmt.Errorf("parsing -cookie-mac: %w", err)
+	}
 	env := dnsguard.NewEnv()
-	var auth *dnsguard.Authenticator
+	auth, err := dnsguard.OpenKeyringWith(dnsguard.KeyringOptions{
+		StateFile: *stateFile,
+		Follow:    *keyringFollow,
+		MAC:       mac,
+	})
 	switch {
+	case err != nil && *keyringFollow:
+		return fmt.Errorf("opening -state-file as follower: %w", err)
+	case err != nil && *stateFile != "":
+		return fmt.Errorf("opening -state-file: %w", err)
+	case err != nil:
+		return err
 	case *keyringFollow:
-		auth, err = dnsguard.OpenKeyringHandle(*stateFile)
-		if err != nil {
-			return fmt.Errorf("opening -state-file as follower: %w", err)
-		}
-		fmt.Printf("dnsguardd: keyring %s (epoch %d, follower)\n", *stateFile, auth.Epoch())
+		fmt.Printf("dnsguardd: keyring %s (epoch %d, mac %s, follower)\n", *stateFile, auth.Epoch(), auth.MAC().Name())
 	case *stateFile != "":
-		auth, err = dnsguard.OpenKeyring(*stateFile)
-		if err != nil {
-			return fmt.Errorf("opening -state-file: %w", err)
-		}
-		fmt.Printf("dnsguardd: keyring %s (epoch %d)\n", *stateFile, auth.Epoch())
-	default:
-		auth, err = dnsguard.NewAuthenticator()
-		if err != nil {
-			return err
-		}
+		fmt.Printf("dnsguardd: keyring %s (epoch %d, mac %s)\n", *stateFile, auth.Epoch(), auth.MAC().Name())
 	}
 	trip := dnsguard.TripDrop
 	if failOpen {
@@ -177,7 +179,7 @@ func run() error {
 		Batch:               *batch,
 		QueueDepth:          *queueDepth,
 		Ingest:              ingestMode,
-		FastPathTTL:         *fastPathTTL,
+		FastPathTTL:         effectiveFastPathTTL(*fastPathTTL),
 		ANSAddr:             ans,
 		ANSFallbacks:        fallbacks,
 		Health:              dnsguard.GuardHealthConfig{FailOpen: failOpen},
@@ -341,4 +343,18 @@ func run() error {
 	}
 	daemon.Wait(hooks)
 	return nil
+}
+
+// effectiveFastPathTTL maps the -fastpath-ttl flag onto the library's
+// RemoteConfig semantics, where 0 disables the cache (the
+// deterministic-reproduction configuration). The daemon's documented
+// default is the cache ON at one minute; a negative flag turns it off.
+func effectiveFastPathTTL(flagTTL time.Duration) time.Duration {
+	switch {
+	case flagTTL < 0:
+		return 0
+	case flagTTL == 0:
+		return time.Minute
+	}
+	return flagTTL
 }

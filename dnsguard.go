@@ -120,6 +120,26 @@ type Name = dnswire.Name
 // Message is a DNS message; see the dnswire documentation for the codec.
 type Message = dnswire.Message
 
+// Question is one question record of a DNS message.
+type Question = dnswire.Question
+
+// WireView is a zero-copy read of a DNS datagram's header and first question
+// over borrowed bytes — the guard's verified-source fast path parses with it
+// instead of materializing a Message. Neither a WireView nor any slice it
+// returns may outlive the underlying buffer (see the dnswire view
+// invariants).
+type WireView = dnswire.View
+
+// ParseWireView parses b's header and first question in place; ok is false
+// when b cannot be viewed zero-copy (the caller falls back to the
+// materializing codec, which decides between a parse and a malformed
+// verdict).
+func ParseWireView(b []byte) (WireView, bool) { return dnswire.ParseView(b) }
+
+// UnpackQuestion decodes one question record from the start of b — the flat
+// span WireView.QuestionWire returns — reporting how many bytes it consumed.
+func UnpackQuestion(b []byte) (Question, int, error) { return dnswire.UnpackQuestion(b) }
+
 // ParseName validates and canonicalizes a domain name.
 func ParseName(s string) (Name, error) { return dnswire.ParseName(s) }
 
@@ -194,8 +214,39 @@ func NewLRS(cfg LRSConfig) (*LRS, error) { return resolver.NewServer(cfg) }
 // The guard -----------------------------------------------------------------
 
 // Authenticator computes and verifies the guard's cookies
-// (c = MD5(key76 ‖ source IP), §III-E), with generation-bit key rotation.
+// (c = MAC(key76, source IP), §III-E — MD5 by default), with generation-bit
+// key rotation.
 type Authenticator = cookie.Authenticator
+
+// MACScheme is the pluggable keyed-MAC behind cookie minting and
+// verification. The paper-fidelity default is MD5; SipHash-2-4-128 is the
+// cheaper modern alternative. A keyring is created under one scheme and
+// keeps it for life (state files and fleet pushes carry a scheme tag) —
+// switching schemes mid-ring would orphan every cookie the population holds.
+type MACScheme = cookie.MACScheme
+
+// Built-in cookie MAC schemes.
+var (
+	// CookieMD5 computes c = MD5(key76 ‖ source IP) — the paper's formula,
+	// byte-identical to every release before schemes were pluggable.
+	CookieMD5 = cookie.MD5
+	// CookieSipHash computes the cookie with SipHash-2-4-128 keyed from the
+	// ring key — far cheaper per packet than MD5 on modern CPUs.
+	CookieSipHash = cookie.SipHash
+)
+
+// MACSchemeByName resolves a scheme name from configuration: "" and "md5"
+// are CookieMD5, "siphash" is CookieSipHash.
+func MACSchemeByName(name string) (MACScheme, error) { return cookie.MACByName(name) }
+
+// KeyringOptions parameterizes OpenKeyringWith: key material, restored
+// state, persistent state file, follower mode, and MAC scheme in one struct.
+type KeyringOptions = cookie.Options
+
+// OpenKeyringWith is the unified authenticator constructor; every historical
+// entry point (NewAuthenticator, OpenKeyring, OpenKeyringHandle,
+// RestoreAuthenticator) is a special case of it.
+func OpenKeyringWith(opts KeyringOptions) (*Authenticator, error) { return cookie.Open(opts) }
 
 // NewAuthenticator creates an authenticator with a fresh random key.
 func NewAuthenticator() (*Authenticator, error) { return cookie.NewAuthenticator() }

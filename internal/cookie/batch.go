@@ -1,17 +1,16 @@
-// Batch verification. The single-packet entry points (Verify, VerifyLabel,
-// IPCodec.Verify) each take one keyring read-lock and allocate one MD5 state
-// per call; under a line-rate flood those two costs dominate the verifier.
-// BatchVerifier hoists both to batch granularity: one snapshot of the
-// keyring, one reusable digest hashing the batch's sources contiguously.
-// Results are bit-identical to the single-packet paths — both funnel into
-// computeInto.
+// Batch verification. The historical single-packet entry points took one
+// keyring read-lock and allocated one MD5 state per call; the ring is now an
+// atomic snapshot so even single-packet Verify is lock- and allocation-free.
+// BatchVerifier remains the dataplane's way to hold one ring snapshot stable
+// across a whole batch window: Reset pins the snapshot once and every
+// verification in the batch — single-packet or batched, any mix — sees the
+// same ring with zero further synchronization. Results are bit-identical to
+// the single-packet paths — both funnel into ringState.compute.
 package cookie
 
 import (
-	"crypto/md5"
 	"crypto/subtle"
 	"fmt"
-	"hash"
 	"net/netip"
 )
 
@@ -24,43 +23,34 @@ import (
 // a rotation that lands mid-batch takes effect on the next Reset, which is
 // indistinguishable from the rotation having landed a few packets later.
 type BatchVerifier struct {
-	epoch uint64
-	keys  [2][KeySize]byte
-	h     hash.Hash
+	ring *ringState
 }
 
 // NewBatchVerifier returns a verifier with no snapshot; Reset must be
 // called before the first verification (a zero snapshot verifies against
 // the all-zero keyring, which no authenticator ever holds).
 func NewBatchVerifier() *BatchVerifier {
-	return &BatchVerifier{h: md5.New()}
+	return &BatchVerifier{ring: zeroRing}
 }
 
-// Reset snapshots a's keyring (one read-lock) for the coming batch.
+// Reset snapshots a's keyring (one atomic load) for the coming batch.
 func (v *BatchVerifier) Reset(a *Authenticator) {
-	v.epoch, v.keys = a.snapshot()
+	v.ring = a.snapshot()
 }
 
 func (v *BatchVerifier) compute(e uint64, src netip.Addr) Cookie {
-	return computeInto(v.h, v.keys[e&1], e, src)
+	return v.ring.compute(e, src)
 }
 
 // Mint returns the cookie for src under the snapshot's current epoch,
 // matching Authenticator.Mint against the same keyring.
 func (v *BatchVerifier) Mint(src netip.Addr) Cookie {
-	return v.compute(v.epoch, src)
+	return v.compute(v.ring.epoch, src)
 }
 
 // Verify is Authenticator.Verify against the snapshot.
 func (v *BatchVerifier) Verify(src netip.Addr, c Cookie) bool {
-	for _, e := range [2]uint64{v.epoch, v.epoch - 1} {
-		if c[0]>>7 != uint8(e&1) {
-			continue // parity proves this epoch cannot have minted c
-		}
-		want := v.compute(e, src)
-		return subtle.ConstantTimeCompare(want[:], c[:]) == 1
-	}
-	return false
+	return verifyRing(v.ring, src, c)
 }
 
 // VerifyLabel is NSCodec.VerifyLabel against the snapshot.
@@ -69,7 +59,7 @@ func (v *BatchVerifier) VerifyLabel(nc NSCodec, src netip.Addr, label string) bo
 	if err != nil {
 		return false
 	}
-	for _, e := range [2]uint64{v.epoch, v.epoch - 1} {
+	for _, e := range [2]uint64{v.ring.epoch, v.ring.epoch - 1} {
 		if got[0]>>7 != uint8(e&1) {
 			continue
 		}
@@ -85,7 +75,7 @@ func (v *BatchVerifier) VerifyIP(ic IPCodec, src netip.Addr, addr netip.Addr) bo
 		return false
 	}
 	got := addr.As16()
-	for _, e := range [2]uint64{v.epoch, v.epoch - 1} {
+	for _, e := range [2]uint64{v.ring.epoch, v.ring.epoch - 1} {
 		want, err := ic.Encode(v.compute(e, src))
 		if err != nil {
 			continue
@@ -99,16 +89,15 @@ func (v *BatchVerifier) VerifyIP(ic IPCodec, src netip.Addr, addr netip.Addr) bo
 }
 
 // VerifyBatch verifies cookies[i] for srcs[i] into ok[i] under one keyring
-// snapshot with contiguous hashing. The three slices must be equal length.
+// snapshot. The three slices must be equal length.
 func (a *Authenticator) VerifyBatch(srcs []netip.Addr, cookies []Cookie, ok []bool) error {
 	if len(srcs) != len(cookies) || len(srcs) != len(ok) {
 		return fmt.Errorf("cookie: VerifyBatch length mismatch: %d srcs, %d cookies, %d results",
 			len(srcs), len(cookies), len(ok))
 	}
-	v := BatchVerifier{h: md5.New()}
-	v.Reset(a)
+	r := a.snapshot()
 	for i := range srcs {
-		ok[i] = v.Verify(srcs[i], cookies[i])
+		ok[i] = verifyRing(r, srcs[i], cookies[i])
 	}
 	return nil
 }

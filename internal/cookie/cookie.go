@@ -1,11 +1,14 @@
 // Package cookie implements the DNS Guard cookie design from §III-E of the
 // paper: for a request with source address src, the cookie is
 //
-//	c = MD5(key76 ‖ src_ip)
+//	c = MAC(key76, src_ip)
 //
-// where key76 is a 76-byte secret held only by the guard (76 + 4 = 80 bytes,
-// MD5's minimum padded input block in the paper's accounting). The 16-byte
-// value c is used three ways:
+// where key76 is a 76-byte secret held only by the guard and MAC is a
+// pluggable keyed hash (MACScheme). The default — and the paper's — scheme
+// is MD5 over key76 ‖ src_ip (76 + 4 = 80 bytes, MD5's minimum padded input
+// block in the paper's accounting); a SipHash-2-4 scheme is available for
+// deployments that want the verify cost below the per-packet syscall floor.
+// The 16-byte value c is used three ways:
 //
 //   - the full 16 bytes travel in a TXT record for the modified-DNS scheme;
 //   - the first 4 bytes, hex-encoded behind a short prefix, form the label
@@ -16,28 +19,34 @@
 // Key rotation uses the cookie's first bit as a generation indicator: the
 // guard overwrites bit 0 with its current generation parity and accepts
 // cookies from the current and previous generation, so each verification
-// still costs exactly one MD5 (§III-E).
+// still costs exactly one MAC (§III-E).
 //
-// Keys live in an epoch'd keyring (current + previous epoch). Verification
-// tries the current epoch and then the previous one — the parity bit proves
-// at most one of the two can match, so the cost stays one MD5 — and every
-// cookie comparison is constant-time (crypto/subtle), closing the byte-wise
-// early-exit timing side channel. The keyring can be persisted to a state
-// file (see keystate.go) so a guard restart does not silently invalidate
-// every cookie the LRS population has cached.
+// Keys live in an epoch'd keyring (current + previous epoch). The live ring
+// — epoch, both key slots, and the MAC scheme — is one immutable value
+// behind an atomic pointer: readers (Mint/Verify and every codec) take zero
+// locks, writers (Rotate/Adopt) build a new ring, persist it, and publish
+// with a single store. Verification tries the current epoch and then the
+// previous one — the parity bit proves at most one of the two can match, so
+// the cost stays one MAC — and every cookie comparison is constant-time
+// (crypto/subtle), closing the byte-wise early-exit timing side channel.
+// The keyring can be persisted to a state file (see keystate.go) so a guard
+// restart does not silently invalidate every cookie the LRS population has
+// cached.
+//
+// Construction goes through Open (see open.go); the historical constructors
+// remain as deprecated wrappers.
 package cookie
 
 import (
-	"crypto/md5"
 	"crypto/rand"
 	"crypto/subtle"
 	"encoding/hex"
 	"errors"
 	"fmt"
-	"hash"
 	"net/netip"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -57,40 +66,91 @@ const nsHexLen = 8
 // Cookie is the 16-byte spoof-detection credential.
 type Cookie [Size]byte
 
+// ringState is one immutable generation of the keyring. Every read path
+// loads the whole ring with a single atomic pointer load; writers never
+// mutate a published ring.
+type ringState struct {
+	epoch uint64           // current key epoch; epoch-1 is still accepted
+	keys  [2][KeySize]byte // keys[epoch&1] is the key for that epoch parity
+	mac   MACScheme
+}
+
+// zeroRing backs zero-value Authenticators and un-Reset BatchVerifiers: the
+// all-zero keyring under the default scheme, which no constructor ever
+// publishes, so nothing real verifies against it.
+var zeroRing = &ringState{mac: MD5}
+
+// compute mints the cookie for src under epoch e of the ring: the scheme's
+// MAC with the first bit overwritten by the epoch parity (§III-E). The
+// built-in schemes are dispatched concretely so the cookie never escapes to
+// the heap — the hot path runs allocation-free.
+func (r *ringState) compute(e uint64, src netip.Addr) Cookie {
+	var c Cookie
+	key := &r.keys[e&1]
+	switch r.mac.(type) {
+	case md5Scheme:
+		md5MAC(key, src, &c)
+	case sipScheme:
+		sipMAC(key, src, &c)
+	default:
+		var cc Cookie
+		r.mac.MAC(key, src, &cc)
+		c = cc
+	}
+	c[0] = c[0]&0x7F | uint8(e&1)<<7
+	return c
+}
+
+// state renders the ring in its serializable form.
+func (r *ringState) state() KeyState {
+	return KeyState{Epoch: r.epoch, Keys: r.keys, Scheme: schemeTag(r.mac)}
+}
+
 // Authenticator computes and verifies cookies for one guard. It holds an
 // epoch'd keyring — the current and previous epoch's keys — so rotation (or
 // a restart that restores the ring from a state file) never invalidates live
 // cookies within one TTL window. All methods are safe for concurrent use by
-// the guard's shard workers and the rotation proc.
+// the guard's shard workers and the rotation proc; the read paths are
+// lock-free (one atomic pointer load per call, or per batch through
+// BatchVerifier).
 type Authenticator struct {
-	mu     sync.RWMutex
-	keys   [2][KeySize]byte // keys[epoch&1] is the key for that epoch parity
-	epoch  uint64           // current key epoch; epoch-1 is still accepted
-	bound  string           // state file auto-written on Rotate ("" = none)
-	source string           // state file re-read on Reload ("" = none)
-	follow bool             // read handle: Rotate refuses, the owner rotates
+	ring   atomic.Pointer[ringState]
+	mu     sync.Mutex // serializes writers and guards the binding fields
+	bound  string     // state file auto-written on Rotate ("" = none)
+	source string     // state file re-read on Reload ("" = none)
+	follow bool       // read handle: Rotate refuses, the owner rotates
 }
 
 // NewAuthenticator creates an authenticator with a fresh random key.
+//
+// Deprecated: use Open(Options{}).
 func NewAuthenticator() (*Authenticator, error) {
-	a := &Authenticator{}
-	if _, err := rand.Read(a.keys[0][:]); err != nil {
-		return nil, fmt.Errorf("cookie: generating key: %w", err)
-	}
-	// Until the first rotation both slots hold the same key so epoch
-	// parity never rejects a fresh cookie.
-	a.keys[1] = a.keys[0]
-	return a, nil
+	return Open(Options{})
 }
 
 // NewAuthenticatorWithKey creates an authenticator with a fixed key, for
 // tests and deterministic simulations.
+//
+// Deprecated: use Open(Options{Key: &key}).
 func NewAuthenticatorWithKey(key [KeySize]byte) *Authenticator {
-	a := &Authenticator{}
-	a.keys[0] = key
-	a.keys[1] = key
+	a, err := Open(Options{Key: &key})
+	if err != nil {
+		// Unreachable: Open with a caller-supplied key has no failure path.
+		panic(err)
+	}
 	return a
 }
+
+// snapshot returns the live ring (one atomic load, no locks).
+func (a *Authenticator) snapshot() *ringState {
+	if r := a.ring.Load(); r != nil {
+		return r
+	}
+	return zeroRing
+}
+
+// MAC returns the authenticator's cookie MAC scheme.
+func (a *Authenticator) MAC() MACScheme { return a.snapshot().mac }
 
 // Generation returns the current key epoch truncated to its historical
 // uint8 form (the parity bit is what the wire format carries).
@@ -98,18 +158,14 @@ func (a *Authenticator) Generation() uint8 { return uint8(a.Epoch()) }
 
 // Epoch returns the current key epoch. Epochs only grow — across rotations
 // and, when the keyring is persisted, across restarts.
-func (a *Authenticator) Epoch() uint64 {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	return a.epoch
-}
+func (a *Authenticator) Epoch() uint64 { return a.snapshot().epoch }
 
 // Rotate installs a new random key as the next epoch. Cookies minted by the
 // previous epoch remain verifiable until the following rotation,
 // implementing the paper's week-over-week schedule. When the authenticator
 // is bound to a state file (BindStateFile) the new ring is persisted before
-// Rotate returns; a persistence failure rolls the rotation back so the disk
-// ring never lags the live one.
+// it is published; a persistence failure leaves the live ring untouched so
+// the disk ring never lags the live one.
 func (a *Authenticator) Rotate() error {
 	var key [KeySize]byte
 	if _, err := rand.Read(key[:]); err != nil {
@@ -120,16 +176,15 @@ func (a *Authenticator) Rotate() error {
 	if a.follow {
 		return ErrFollowHandle
 	}
-	prev := a.keys[(a.epoch+1)&1]
-	a.epoch++
-	a.keys[a.epoch&1] = key
+	cur := a.snapshot()
+	next := &ringState{epoch: cur.epoch + 1, keys: cur.keys, mac: cur.mac}
+	next.keys[next.epoch&1] = key
 	if a.bound != "" {
-		if err := writeKeyState(a.bound, a.stateLocked()); err != nil {
-			a.epoch--
-			a.keys[(a.epoch+1)&1] = prev
+		if err := writeKeyState(a.bound, next.state()); err != nil {
 			return fmt.Errorf("cookie: persisting rotation: %w", err)
 		}
 	}
+	a.ring.Store(next)
 	return nil
 }
 
@@ -138,59 +193,34 @@ func (a *Authenticator) Rotate() error {
 func (a *Authenticator) RotateWithKey(key [KeySize]byte) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.epoch++
-	a.keys[a.epoch&1] = key
-}
-
-// snapshot returns the current epoch and both keys under one read lock.
-func (a *Authenticator) snapshot() (epoch uint64, keys [2][KeySize]byte) {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	return a.epoch, a.keys
-}
-
-func computeWith(key [KeySize]byte, epoch uint64, src netip.Addr) Cookie {
-	return computeInto(md5.New(), key, epoch, src)
-}
-
-// computeInto is computeWith over a caller-owned digest, so a batch
-// verifier can reuse one MD5 state (Reset + Sum into the cookie's own
-// array, no allocation) across a whole batch.
-func computeInto(h hash.Hash, key [KeySize]byte, epoch uint64, src netip.Addr) Cookie {
-	h.Reset()
-	h.Write(key[:])
-	if src.Is4() || src.Is4In6() {
-		b := src.As4()
-		h.Write(b[:])
-	} else {
-		b := src.As16()
-		h.Write(b[:])
-	}
-	var c Cookie
-	h.Sum(c[:0])
-	// Overwrite the first bit with the epoch parity (§III-E).
-	c[0] = c[0]&0x7F | uint8(epoch&1)<<7
-	return c
+	cur := a.snapshot()
+	next := &ringState{epoch: cur.epoch + 1, keys: cur.keys, mac: cur.mac}
+	next.keys[next.epoch&1] = key
+	a.ring.Store(next)
 }
 
 // Mint returns the cookie for src under the current epoch.
 func (a *Authenticator) Mint(src netip.Addr) Cookie {
-	epoch, keys := a.snapshot()
-	return computeWith(keys[epoch&1], epoch, src)
+	r := a.snapshot()
+	return r.compute(r.epoch, src)
 }
 
 // Verify reports whether c is a valid cookie for src under the current or
 // previous key epoch. Verification tries the current epoch first, then the
 // previous; the parity bit carried in the cookie means at most one of the
-// two can match, so exactly one MD5 is computed. The comparison is
+// two can match, so exactly one MAC is computed. The comparison is
 // constant-time.
 func (a *Authenticator) Verify(src netip.Addr, c Cookie) bool {
-	epoch, keys := a.snapshot()
-	for _, e := range [2]uint64{epoch, epoch - 1} {
+	return verifyRing(a.snapshot(), src, c)
+}
+
+// verifyRing is Verify against an explicit ring snapshot.
+func verifyRing(r *ringState, src netip.Addr, c Cookie) bool {
+	for _, e := range [2]uint64{r.epoch, r.epoch - 1} {
 		if c[0]>>7 != uint8(e&1) {
 			continue // parity proves this epoch cannot have minted c
 		}
-		want := computeWith(keys[e&1], e, src)
+		want := r.compute(e, src)
 		return subtle.ConstantTimeCompare(want[:], c[:]) == 1
 	}
 	return false
@@ -259,12 +289,12 @@ func (nc NSCodec) VerifyLabel(a *Authenticator, src netip.Addr, label string) bo
 	if err != nil {
 		return false
 	}
-	epoch, keys := a.snapshot()
-	for _, e := range [2]uint64{epoch, epoch - 1} {
+	r := a.snapshot()
+	for _, e := range [2]uint64{r.epoch, r.epoch - 1} {
 		if got[0]>>7 != uint8(e&1) {
 			continue // parity proves this epoch cannot have minted the label
 		}
-		want := computeWith(keys[e&1], e, src)
+		want := r.compute(e, src)
 		return subtle.ConstantTimeCompare(want[:4], got[:4]) == 1
 	}
 	return false
@@ -313,10 +343,10 @@ func (ic IPCodec) Verify(a *Authenticator, src netip.Addr, addr netip.Addr) bool
 		return false
 	}
 	got := addr.As16()
-	epoch, keys := a.snapshot()
+	r := a.snapshot()
 	// Try both epochs: the address carries no epoch parity bit.
-	for _, e := range [2]uint64{epoch, epoch - 1} {
-		want, err := ic.Encode(computeWith(keys[e&1], e, src))
+	for _, e := range [2]uint64{r.epoch, r.epoch - 1} {
+		want, err := ic.Encode(r.compute(e, src))
 		if err != nil {
 			continue
 		}

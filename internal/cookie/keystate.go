@@ -13,16 +13,19 @@ package cookie
 //	epoch <decimal>
 //	key-even <152 hex chars>
 //	key-odd  <152 hex chars>
-//	sum <8 hex chars, CRC-32 of the four lines above>
+//	mac <scheme name, present only for non-default schemes>
+//	sum <8 hex chars, CRC-32 of the lines above>
 //
 // key-even/key-odd are the epoch-parity key slots (keys[epoch&1] is
-// current). The file is written atomically (tmp + fsync + rename) with 0600
-// permissions; it holds the guard's only secret. The trailing sum line
-// detects torn or bit-rotted state (files written before the sum existed —
-// exactly four lines — still parse); every write also refreshes a `.bak`
-// replica so OpenKeyring can recover a corrupt main file from the last
-// durable ring instead of minting fresh keys and orphaning every cookie the
-// population has cached.
+// current). The mac line tags the ring's MACScheme; it is omitted for the
+// default MD5 so rings under the paper's scheme stay byte-identical to the
+// historical format and remain readable by older builds. The file is
+// written atomically (tmp + fsync + rename) with 0600 permissions; it holds
+// the guard's only secret. The trailing sum line detects torn or bit-rotted
+// state (files written before the sum existed — exactly four lines — still
+// parse); every write also refreshes a `.bak` replica so OpenKeyring can
+// recover a corrupt main file from the last durable ring instead of minting
+// fresh keys and orphaning every cookie the population has cached.
 
 import (
 	"encoding/hex"
@@ -46,24 +49,29 @@ const keyStateBackup = ".bak"
 type KeyState struct {
 	Epoch uint64
 	Keys  [2][KeySize]byte // indexed by epoch parity
+	// Scheme names the ring's MACScheme; empty means the default (MD5),
+	// keeping states captured by older builds adoptable unchanged.
+	Scheme string
 }
 
 // State returns a copy of the authenticator's current keyring.
 func (a *Authenticator) State() KeyState {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	return a.stateLocked()
-}
-
-// stateLocked is State with a.mu already held.
-func (a *Authenticator) stateLocked() KeyState {
-	return KeyState{Epoch: a.epoch, Keys: a.keys}
+	return a.snapshot().state()
 }
 
 // RestoreAuthenticator builds an authenticator from a previously captured
-// keyring state: cookies minted under st.Epoch and st.Epoch-1 verify.
+// keyring state: cookies minted under st.Epoch and st.Epoch-1 verify. A
+// state naming an unknown scheme falls back to the default MD5.
+//
+// Deprecated: use Open(Options{State: &st}).
 func RestoreAuthenticator(st KeyState) *Authenticator {
-	return &Authenticator{keys: st.Keys, epoch: st.Epoch}
+	a, err := Open(Options{State: &st})
+	if err != nil {
+		fallback := st
+		fallback.Scheme = ""
+		a, _ = Open(Options{State: &fallback})
+	}
+	return a
 }
 
 // BindStateFile makes path the authenticator's persistent home: the current
@@ -76,7 +84,7 @@ func (a *Authenticator) BindStateFile(path string) error {
 	if path == "" {
 		return nil
 	}
-	return writeKeyState(path, a.stateLocked())
+	return writeKeyState(path, a.snapshot().state())
 }
 
 // SaveStateFile writes the current keyring to path (atomic tmp + rename,
@@ -86,13 +94,14 @@ func (a *Authenticator) SaveStateFile(path string) error {
 }
 
 // LoadAuthenticator reads a keyring state file written by SaveStateFile or
-// BindStateFile and restores the authenticator it describes.
+// BindStateFile and restores the authenticator it describes, under the
+// scheme the file's mac tag names.
 func LoadAuthenticator(path string) (*Authenticator, error) {
 	st, err := ReadKeyState(path)
 	if err != nil {
 		return nil, err
 	}
-	return RestoreAuthenticator(st), nil
+	return Open(Options{State: &st})
 }
 
 // OpenKeyring is the load-or-create entry point daemons use: if path exists
@@ -107,40 +116,10 @@ func LoadAuthenticator(path string) (*Authenticator, error) {
 // when both copies are unreadable does OpenKeyring fail — deliberately
 // closed, because minting a new ring would orphan every cookie the
 // population has cached.
+//
+// Deprecated: use Open(Options{StateFile: path}).
 func OpenKeyring(path string) (*Authenticator, error) {
-	if _, err := os.Stat(path); err == nil {
-		a, err := LoadAuthenticator(path)
-		if err != nil {
-			bak, bakErr := ReadKeyState(path + keyStateBackup)
-			if bakErr != nil {
-				return nil, fmt.Errorf("%w (backup: %v)", err, bakErr)
-			}
-			a = RestoreAuthenticator(bak)
-		}
-		if err := a.BindStateFile(path); err != nil {
-			return nil, err
-		}
-		return a, nil
-	} else if !os.IsNotExist(err) {
-		return nil, fmt.Errorf("cookie: keyring %s: %w", path, err)
-	}
-	// No main file. A surviving replica means the ring existed and the main
-	// file was lost mid-replace: recover it rather than create fresh keys.
-	if bak, err := ReadKeyState(path + keyStateBackup); err == nil {
-		a := RestoreAuthenticator(bak)
-		if err := a.BindStateFile(path); err != nil {
-			return nil, err
-		}
-		return a, nil
-	}
-	a, err := NewAuthenticator()
-	if err != nil {
-		return nil, err
-	}
-	if err := a.BindStateFile(path); err != nil {
-		return nil, err
-	}
-	return a, nil
+	return Open(Options{StateFile: path})
 }
 
 // Fleet-shared keyrings. A guard fleet (anycast sites behind one service
@@ -158,27 +137,29 @@ var ErrFollowHandle = errors.New("cookie: keyring follow handle cannot rotate; t
 // Adopt installs a published keyring state, typically pushed by a fleet
 // controller after it rotates the shared ring. Epochs never regress: a stale
 // state (st.Epoch below the current epoch) is ignored and Adopt reports
-// false. Adopting the current epoch re-installs the key material, which is a
-// no-op when the states already agree. When the authenticator is bound to a
-// state file the adopted ring is persisted before Adopt returns; a
-// persistence failure rolls the adoption back (reported as false) so the
-// disk ring never lags the live one.
+// false, as is a state naming a scheme this build does not know. Adopting
+// the current epoch re-installs the key material, which is a no-op when the
+// states already agree. When the authenticator is bound to a state file the
+// adopted ring is persisted before it is published; a persistence failure
+// (reported as false) leaves the live ring untouched so the disk ring never
+// lags the live one.
 func (a *Authenticator) Adopt(st KeyState) bool {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if st.Epoch < a.epoch {
+	mac, err := MACByName(st.Scheme)
+	if err != nil {
 		return false
 	}
-	prev := a.stateLocked()
-	a.epoch = st.Epoch
-	a.keys = st.Keys
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if st.Epoch < a.snapshot().epoch {
+		return false
+	}
+	next := &ringState{epoch: st.Epoch, keys: st.Keys, mac: mac}
 	if a.bound != "" {
-		if err := writeKeyState(a.bound, a.stateLocked()); err != nil {
-			a.epoch = prev.Epoch
-			a.keys = prev.Keys
+		if err := writeKeyState(a.bound, next.state()); err != nil {
 			return false
 		}
 	}
+	a.ring.Store(next)
 	return true
 }
 
@@ -188,12 +169,12 @@ func (a *Authenticator) Adopt(st KeyState) bool {
 // Reload. A state whose epoch is behind the live one is ignored without
 // error — the owner's write may simply not have landed yet.
 func (a *Authenticator) Reload() error {
-	a.mu.RLock()
+	a.mu.Lock()
 	path := a.source
 	if path == "" {
 		path = a.bound
 	}
-	a.mu.RUnlock()
+	a.mu.Unlock()
 	if path == "" {
 		return errors.New("cookie: Reload: authenticator has no state file")
 	}
@@ -211,15 +192,10 @@ func (a *Authenticator) Reload() error {
 // refuses with ErrFollowHandle. Unlike OpenKeyring it never writes the file
 // and errors if it does not exist — a follower must not race the owner to
 // create the ring.
+//
+// Deprecated: use Open(Options{StateFile: path, Follow: true}).
 func OpenKeyringHandle(path string) (*Authenticator, error) {
-	st, err := ReadKeyState(path)
-	if err != nil {
-		return nil, err
-	}
-	a := RestoreAuthenticator(st)
-	a.source = path
-	a.follow = true
-	return a, nil
+	return Open(Options{StateFile: path, Follow: true})
 }
 
 // ReadKeyState parses a keyring state file.
@@ -230,25 +206,24 @@ func ReadKeyState(path string) (KeyState, error) {
 	}
 	var st KeyState
 	lines := strings.Split(strings.TrimSpace(string(blob)), "\n")
-	if (len(lines) != 4 && len(lines) != 5) || strings.TrimSpace(lines[0]) != keyStateMagic {
+	if len(lines) < 4 || len(lines) > 6 || strings.TrimSpace(lines[0]) != keyStateMagic {
 		return KeyState{}, fmt.Errorf("cookie: keyring %s: not a %q file", path, keyStateMagic)
 	}
-	if len(lines) == 5 {
-		// Current writers append a CRC-32 of the four preceding lines; a
-		// four-line file predates the sum and is accepted as-is.
-		fields := strings.Fields(lines[4])
-		if len(fields) != 2 || fields[0] != "sum" {
-			return KeyState{}, fmt.Errorf("cookie: keyring %s: malformed line %q", path, lines[4])
+	if last := strings.Fields(lines[len(lines)-1]); len(last) > 0 && last[0] == "sum" {
+		// Current writers append a CRC-32 of the preceding lines; a file
+		// without the sum predates it and is accepted as-is.
+		if len(last) != 2 {
+			return KeyState{}, fmt.Errorf("cookie: keyring %s: malformed line %q", path, lines[len(lines)-1])
 		}
-		want, err := strconv.ParseUint(fields[1], 16, 32)
+		want, err := strconv.ParseUint(last[1], 16, 32)
 		if err != nil {
 			return KeyState{}, fmt.Errorf("cookie: keyring %s: sum: %w", path, err)
 		}
-		body := strings.Join(lines[:4], "\n") + "\n"
+		body := strings.Join(lines[:len(lines)-1], "\n") + "\n"
 		if got := crc32.ChecksumIEEE([]byte(body)); got != uint32(want) {
 			return KeyState{}, fmt.Errorf("cookie: keyring %s: checksum mismatch (want %08x, got %08x): torn or corrupt state", path, uint32(want), got)
 		}
-		lines = lines[:4]
+		lines = lines[:len(lines)-1]
 	}
 	seen := map[string]bool{}
 	for _, line := range lines[1:] {
@@ -273,6 +248,11 @@ func ReadKeyState(path string) (KeyState, error) {
 				idx = 1
 			}
 			copy(st.Keys[idx][:], raw)
+		case "mac":
+			if _, err := MACByName(fields[1]); err != nil {
+				return KeyState{}, fmt.Errorf("cookie: keyring %s: %w", path, err)
+			}
+			st.Scheme = fields[1]
 		default:
 			return KeyState{}, fmt.Errorf("cookie: keyring %s: unknown field %q", path, fields[0])
 		}
@@ -284,12 +264,17 @@ func ReadKeyState(path string) (KeyState, error) {
 }
 
 // keyStateBlob renders st in the on-disk format, checksum line included.
+// The mac line appears only for non-default schemes, so default-scheme
+// rings keep the exact historical byte layout.
 func keyStateBlob(st KeyState) string {
 	var b strings.Builder
 	fmt.Fprintln(&b, keyStateMagic)
 	fmt.Fprintf(&b, "epoch %d\n", st.Epoch)
 	fmt.Fprintf(&b, "key-even %s\n", hex.EncodeToString(st.Keys[0][:]))
 	fmt.Fprintf(&b, "key-odd %s\n", hex.EncodeToString(st.Keys[1][:]))
+	if st.Scheme != "" && st.Scheme != "md5" {
+		fmt.Fprintf(&b, "mac %s\n", st.Scheme)
+	}
 	body := b.String()
 	return body + fmt.Sprintf("sum %08x\n", crc32.ChecksumIEEE([]byte(body)))
 }

@@ -1,0 +1,206 @@
+package dnswire
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+// TestViewAgreesWithUnpack checks the accept-subset contract: every message
+// ParseView accepts with the fast-path shape (one question, nothing else,
+// End at the datagram edge) must Unpack to the same ID, flags, and
+// question.
+func TestViewAgreesWithUnpack(t *testing.T) {
+	cases := []*Message{
+		NewQuery(0x1234, MustName("www.foo.com"), TypeA),
+		NewQuery(0, MustName("pr0a1b2c3dwww.foo.com"), TypeNS),
+		NewQuery(0xFFFF, Root, TypeANY),
+		NewQuery(7, MustName("a.b.c.d.e.foo.com"), TypeTXT),
+	}
+	for _, m := range cases {
+		wire, err := m.Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, ok := ParseView(wire)
+		if !ok {
+			t.Fatalf("ParseView rejected %v", m.Questions[0])
+		}
+		ref, err := Unpack(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.ID() != ref.ID || v.Flags() != ref.Flags {
+			t.Errorf("view header %d/%+v disagrees with Unpack %d/%+v", v.ID(), v.Flags(), ref.ID, ref.Flags)
+		}
+		if v.QDCount() != 1 || v.ANCount() != 0 || v.NSCount() != 0 || v.ARCount() != 0 {
+			t.Errorf("view counts %d/%d/%d/%d, want 1/0/0/0", v.QDCount(), v.ANCount(), v.NSCount(), v.ARCount())
+		}
+		if v.End() != len(wire) {
+			t.Errorf("End() = %d, want %d", v.End(), len(wire))
+		}
+		q, err := v.Question()
+		if err != nil || q != ref.Questions[0] {
+			t.Errorf("view question %+v (%v) disagrees with Unpack %+v", q, err, ref.Questions[0])
+		}
+		if v.QType() != ref.Questions[0].Type || v.QClass() != ref.Questions[0].Class {
+			t.Errorf("view type/class %v/%v disagree with %+v", v.QType(), v.QClass(), ref.Questions[0])
+		}
+	}
+}
+
+// TestViewCasePreserved: the view hands out raw wire bytes; ASCII-lowercasing
+// them must equal the canonical Name that Unpack produces.
+func TestViewCasePreserved(t *testing.T) {
+	wire, err := NewQuery(9, MustName("www.foo.com"), TypeA).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uppercase the first qname label in place (offset 12 is the length 3,
+	// 13..15 the label "www").
+	copy(wire[13:16], "WWW")
+	v, ok := ParseView(wire)
+	if !ok {
+		t.Fatal("ParseView rejected mixed-case name")
+	}
+	if got := string(v.FirstLabel()); got != "WWW" {
+		t.Errorf("FirstLabel = %q, want raw wire bytes WWW", got)
+	}
+	if got := strings.ToLower(string(v.FirstLabel())); got != "www" {
+		t.Errorf("folded first label = %q", got)
+	}
+	ref, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Questions[0].Name != MustName("www.foo.com") {
+		t.Errorf("Unpack canonicalized to %v", ref.Questions[0].Name)
+	}
+}
+
+// TestViewRejects pins the not-viewable cases: each must fall back to the
+// materializing path rather than mis-parse.
+func TestViewRejects(t *testing.T) {
+	base, err := NewQuery(1, MustName("www.foo.com"), TypeA).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(b []byte) []byte) []byte {
+		b := append([]byte(nil), base...)
+		return f(b)
+	}
+	cases := map[string][]byte{
+		"short header":  base[:11],
+		"qdcount zero":  mutate(func(b []byte) []byte { b[4], b[5] = 0, 0; return b }),
+		"truncated name": base[:14],
+		"truncated type": base[:len(base)-3],
+		"compressed name": mutate(func(b []byte) []byte {
+			// Replace the qname with a pointer to itself-ish; compression
+			// is never viewable regardless of target.
+			return append(b[:12], 0xC0, 0x0C, 0, 1, 0, 1)
+		}),
+		"non-ascii label": mutate(func(b []byte) []byte { b[13] = 0x80; return b }),
+		"dotted label":    mutate(func(b []byte) []byte { b[13] = '.'; return b }),
+	}
+	for name, wire := range cases {
+		if _, ok := ParseView(wire); ok {
+			t.Errorf("%s: ParseView accepted", name)
+		}
+	}
+	// A response with RRs is viewable (header + first question parse fine):
+	// the caller's count checks are what gate the fast path.
+	resp := NewQuery(2, MustName("www.foo.com"), TypeA).Response()
+	resp.Answers = []RR{NewRR(MustName("www.foo.com"), 60, &AData{Addr: netip.MustParseAddr("10.0.0.1")})}
+	wire, err := resp.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := ParseView(wire)
+	if !ok {
+		t.Fatal("ParseView rejected a response with answers")
+	}
+	if v.ANCount() != 1 || v.End() >= len(wire) {
+		t.Errorf("ANCount=%d End=%d len=%d", v.ANCount(), v.End(), len(wire))
+	}
+}
+
+// TestViewZeroAlloc pins the whole view path — parse plus every accessor —
+// at zero allocations.
+func TestViewZeroAlloc(t *testing.T) {
+	wire, err := NewQuery(3, MustName("pr00aabbccwww.foo.com"), TypeNS).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink uint64
+	if n := testing.AllocsPerRun(200, func() {
+		v, ok := ParseView(wire)
+		if !ok {
+			t.Fatal("rejected")
+		}
+		sink += uint64(v.ID()) + uint64(v.RawFlags()) + uint64(v.QDCount()) +
+			uint64(v.QType()) + uint64(v.QClass()) + uint64(v.End()) +
+			uint64(len(v.FirstLabel())) + uint64(len(v.QNameWire())) + uint64(len(v.QuestionWire()))
+	}); n != 0 {
+		t.Errorf("ParseView+accessors allocate %.1f/op, want 0", n)
+	}
+	_ = sink
+}
+
+// TestUnpackQuestion round-trips a question span through the flat decoder.
+func TestUnpackQuestion(t *testing.T) {
+	m := NewQuery(4, MustName("sub.example.org"), TypeTXT)
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := ParseView(wire)
+	if !ok {
+		t.Fatal("rejected")
+	}
+	span := append([]byte(nil), v.QuestionWire()...)
+	span = append(span, 0xDE, 0xAD) // trailing bytes must be left alone
+	q, n, err := UnpackQuestion(span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != m.Questions[0] {
+		t.Errorf("UnpackQuestion = %+v, want %+v", q, m.Questions[0])
+	}
+	if n != len(span)-2 || !bytes.Equal(span[n:], []byte{0xDE, 0xAD}) {
+		t.Errorf("consumed %d of %d bytes", n, len(span))
+	}
+	if _, _, err := UnpackQuestion(span[:3]); err == nil {
+		t.Error("truncated question did not error")
+	}
+}
+
+// FuzzViewAgreement cross-checks ParseView against Unpack on arbitrary
+// bytes: whenever the view accepts a single-question message whose End is
+// the buffer edge, Unpack must accept it too and agree on every field the
+// view exposes.
+func FuzzViewAgreement(f *testing.F) {
+	seed, _ := NewQuery(0x55AA, MustName("www.foo.com"), TypeA).Pack()
+	f.Add(seed)
+	f.Add([]byte{0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 1, 'a', 0, 0, 1, 0, 1})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		v, ok := ParseView(b)
+		if !ok {
+			return
+		}
+		if v.QDCount() != 1 || v.ANCount() != 0 || v.NSCount() != 0 || v.ARCount() != 0 || v.End() != len(b) {
+			return
+		}
+		m, err := Unpack(b)
+		if err != nil {
+			t.Fatalf("view accepted fast-path shape but Unpack rejects: %v", err)
+		}
+		if v.ID() != m.ID || v.Flags() != m.Flags {
+			t.Fatalf("header disagreement: view %d/%+v unpack %d/%+v", v.ID(), v.Flags(), m.ID, m.Flags)
+		}
+		q, err := v.Question()
+		if err != nil || q != m.Questions[0] {
+			t.Fatalf("question disagreement: view %+v (%v) unpack %+v", q, err, m.Questions[0])
+		}
+	})
+}

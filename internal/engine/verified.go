@@ -131,6 +131,51 @@ func (e *Engine) VerifiedCred(src netip.Addr) (string, bool) {
 	return e.VerifiedCredOn(e.ShardOf(src), src)
 }
 
+// FastPathEnabled reports whether the verified-source cache is live at all
+// (FastPathTTL > 0). Handlers consult it before committing to the zero-copy
+// wire path: with the cache off, every probe would miss and the historical
+// materializing path is the only one that runs.
+func (e *Engine) FastPathEnabled() bool { return e.cfg.FastPathTTL > 0 }
+
+// VerifiedCredMatchOn reports whether src holds a live entry on shard's
+// cache slice whose credential equals cred, compared constant-time without
+// materializing either side. This is the zero-allocation flavour of
+// VerifiedCredOn for handlers that already hold the presented credential as
+// wire bytes: a match counts one Hit (the handler commits to the fast
+// path); a miss, an expired entry, or a credential mismatch counts nothing
+// and the handler falls back to the materializing path, whose own
+// VerifiedCredOn probe does the Miss/Hit accounting exactly as before —
+// counters stay bit-identical between the two shapes.
+func (e *Engine) VerifiedCredMatchOn(shard int, src netip.Addr, cred []byte) bool {
+	if e.cfg.FastPathTTL <= 0 {
+		return false
+	}
+	now := e.cfg.Env.Now()
+	sh := e.shards[shard]
+	v := &sh.verified
+	v.mu.Lock()
+	ent, ok := v.m[src]
+	if ok && ent.expires <= now {
+		delete(v.m, src)
+		ok = false
+	}
+	v.mu.Unlock()
+	if !ok || len(ent.cred) != len(cred) {
+		return false
+	}
+	// Constant-time string-vs-bytes compare; subtle.ConstantTimeCompare
+	// would force a []byte(ent.cred) allocation.
+	var diff byte
+	for i := 0; i < len(cred); i++ {
+		diff |= ent.cred[i] ^ cred[i]
+	}
+	if diff != 0 {
+		return false
+	}
+	atomic.AddUint64(&sh.fast.Hits, 1)
+	return true
+}
+
 // has is the queue-admission classification: does src currently hold a live
 // verified entry? Called by readers; does not touch hit/miss counters.
 func (v *verifiedShard) has(src netip.Addr, now time.Duration) bool {

@@ -44,6 +44,9 @@ type EngineThroughputOptions struct {
 	// FastPathTTL enables the verified-source cache (default 1 minute;
 	// negative disables).
 	FastPathTTL time.Duration
+	// MAC selects the cookie MAC scheme ("", "md5", "siphash"); empty means
+	// the paper-default MD5.
+	MAC string
 	// Debug, when non-nil, receives rig diagnostics.
 	Debug func(format string, args ...any)
 }
@@ -92,6 +95,8 @@ type EngineThroughputResult struct {
 	// Affine reports whether the run used shard-affine ingest (one read loop
 	// per shard) rather than the central hash fan-out.
 	Affine bool `json:"affine"`
+	// MACScheme is the cookie MAC the run verified under ("md5"/"siphash").
+	MACScheme string `json:"mac_scheme"`
 	P50     time.Duration `json:"p50_ns"`
 	P99     time.Duration `json:"p99_ns"`
 	ShedNew uint64        `json:"shed_new"`
@@ -109,8 +114,8 @@ type EngineThroughputResult struct {
 
 // WriteEngineBench prints a shard-scaling sweep in benchtab's tabular style.
 func WriteEngineBench(w io.Writer, rows []EngineThroughputResult) {
-	fmt.Fprintf(w, "%6s %5s %6s %6s %11s %11s %9s %9s %9s %9s %9s %9s %10s\n",
-		"shards", "batch", "spoof", "ingest", "processed", "goodput", "p50_ms", "p99_ms", "shed_new", "shed_old", "handoffs", "fastpath", "allocs/pkt")
+	fmt.Fprintf(w, "%6s %5s %6s %6s %8s %11s %11s %9s %9s %9s %9s %9s %9s %10s\n",
+		"shards", "batch", "spoof", "ingest", "mac", "processed", "goodput", "p50_ms", "p99_ms", "shed_new", "shed_old", "handoffs", "fastpath", "allocs/pkt")
 	for _, r := range rows {
 		batch := r.Batch
 		if batch == 0 {
@@ -120,12 +125,16 @@ func WriteEngineBench(w io.Writer, rows []EngineThroughputResult) {
 		if r.Affine {
 			ingest = "affine"
 		}
+		mac := r.MACScheme
+		if mac == "" {
+			mac = "md5" // rows serialized before the scheme dimension
+		}
 		goodput := r.GoodputQPS
 		if goodput == 0 {
 			goodput = r.QPS // rows serialized before the split
 		}
-		fmt.Fprintf(w, "%6d %5d %6.2f %6s %11.0f %11.0f %9.3f %9.3f %9d %9d %9d %9d %10.1f\n",
-			r.Shards, batch, r.SpoofFraction, ingest, r.ProcessedQPS, goodput,
+		fmt.Fprintf(w, "%6d %5d %6.2f %6s %8s %11.0f %11.0f %9.3f %9.3f %9d %9d %9d %9d %10.1f\n",
+			r.Shards, batch, r.SpoofFraction, ingest, mac, r.ProcessedQPS, goodput,
 			float64(r.P50.Nanoseconds())/1e6, float64(r.P99.Nanoseconds())/1e6,
 			r.ShedNew, r.ShedOld, r.Handoffs, r.FastPathHits, r.AllocsPerPacket)
 	}
@@ -372,7 +381,14 @@ func EngineThroughput(opts EngineThroughputOptions) (EngineThroughputResult, err
 	for i := range key {
 		key[i] = byte(i * 7)
 	}
-	auth := cookie.NewAuthenticatorWithKey(key)
+	mac, err := cookie.MACByName(opts.MAC)
+	if err != nil {
+		return EngineThroughputResult{}, err
+	}
+	auth, err := cookie.Open(cookie.Options{Key: &key, MAC: mac})
+	if err != nil {
+		return EngineThroughputResult{}, err
+	}
 	nc := cookie.NSCodec{}
 	public := netip.MustParseAddrPort("192.0.2.1:53")
 	child := dnswire.MustName("www.foo.com")
@@ -482,6 +498,7 @@ func EngineThroughput(opts EngineThroughputOptions) (EngineThroughputResult, err
 	res := EngineThroughputResult{
 		Shards:        opts.Shards,
 		Batch:         opts.Batch,
+		MACScheme:     mac.Name(),
 		SpoofFraction: opts.SpoofFraction,
 		Packets:       opts.Packets,
 		Completed:     rig.completed.Load(),

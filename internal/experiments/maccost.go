@@ -1,0 +1,80 @@
+// MAC cost vs the syscall floor. The guard's deployability case (PAPER §IV,
+// DESIGN §17) is that one cookie verification costs less than the send
+// syscall the packet pays anyway — verification is then never the dataplane
+// bottleneck. This rig measures both sides on the host: per-verification
+// wall-clock for a MAC scheme against per-datagram sendto cost on loopback
+// UDP. bench-smoke asserts verify < syscall for every built-in scheme.
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"dnsguard/internal/cookie"
+	"dnsguard/internal/realnet"
+)
+
+// MACCostResult is one scheme's measured verify cost next to the host's
+// per-datagram send-syscall floor.
+type MACCostResult struct {
+	Scheme    string  `json:"scheme"`
+	VerifyNs  float64 `json:"verify_ns"`
+	SyscallNs float64 `json:"syscall_ns"`
+}
+
+// MACCost measures scheme's per-verification cost and the host's loopback
+// UDP per-send cost. Both loops are long enough to amortize timer overhead;
+// the sink socket is never read — UDP drops on a full receive buffer without
+// slowing the sender, so the send loop measures the syscall, not the peer.
+func MACCost(scheme string) (MACCostResult, error) {
+	mac, err := cookie.MACByName(scheme)
+	if err != nil {
+		return MACCostResult{}, err
+	}
+	var key [cookie.KeySize]byte
+	for i := range key {
+		key[i] = byte(i * 3)
+	}
+	auth, err := cookie.Open(cookie.Options{Key: &key, MAC: mac})
+	if err != nil {
+		return MACCostResult{}, err
+	}
+	src := netip.MustParseAddr("203.0.113.7")
+	c := auth.Mint(src)
+	if !auth.Verify(src, c) { // warm + sanity
+		return MACCostResult{}, fmt.Errorf("maccost: %s cookie does not verify", mac.Name())
+	}
+	const verifyIters = 200_000
+	start := time.Now()
+	for i := 0; i < verifyIters; i++ {
+		if !auth.Verify(src, c) {
+			return MACCostResult{}, fmt.Errorf("maccost: %s verify failed mid-loop", mac.Name())
+		}
+	}
+	verifyNs := float64(time.Since(start).Nanoseconds()) / verifyIters
+
+	env := realnet.New()
+	sender, err := env.ListenUDP(netip.MustParseAddrPort("127.0.0.1:0"))
+	if err != nil {
+		return MACCostResult{}, err
+	}
+	defer sender.Close()
+	sink, err := env.ListenUDP(netip.MustParseAddrPort("127.0.0.1:0"))
+	if err != nil {
+		return MACCostResult{}, err
+	}
+	defer sink.Close()
+	payload := make([]byte, 64) // a small DNS query's worth
+	dst := sink.LocalAddr()
+	const sendIters = 20_000
+	start = time.Now()
+	for i := 0; i < sendIters; i++ {
+		if err := sender.WriteTo(payload, dst); err != nil {
+			return MACCostResult{}, fmt.Errorf("maccost: send %d: %w", i, err)
+		}
+	}
+	syscallNs := float64(time.Since(start).Nanoseconds()) / sendIters
+
+	return MACCostResult{Scheme: mac.Name(), VerifyNs: verifyNs, SyscallNs: syscallNs}, nil
+}

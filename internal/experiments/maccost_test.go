@@ -1,0 +1,24 @@
+package experiments
+
+import "testing"
+
+// TestMACCostBelowSyscall is the DESIGN §17 deployability gate: one cookie
+// verification — under either built-in scheme — must cost less than the
+// per-datagram send syscall the packet pays anyway. Run by `make bench-smoke`.
+func TestMACCostBelowSyscall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing measurement; skipped under -short")
+	}
+	for _, scheme := range []string{"md5", "siphash"} {
+		res, err := MACCost(scheme)
+		if err != nil {
+			t.Fatalf("MACCost(%s): %v", scheme, err)
+		}
+		t.Logf("%-8s verify %7.1f ns/op   sendto %7.1f ns/op   (x%.1f headroom)",
+			res.Scheme, res.VerifyNs, res.SyscallNs, res.SyscallNs/res.VerifyNs)
+		if res.VerifyNs >= res.SyscallNs {
+			t.Errorf("%s: verify %.1f ns/op >= per-packet syscall %.1f ns/op — verification has become the bottleneck",
+				res.Scheme, res.VerifyNs, res.SyscallNs)
+		}
+	}
+}

@@ -15,7 +15,12 @@ package fleet
 //
 //	digest  0x01 | epoch:8          periodic advertisement
 //	pull    0x02                    "you are ahead of me; send your ring"
-//	state   0x03 | epoch:8 | key-even:76 | key-odd:76
+//	state   0x03 | epoch:8 | key-even:76 | key-odd:76 [| scheme:1]
+//
+// The trailing scheme octet tags the ring's MAC scheme (0 = md5, 1 =
+// siphash). Senders always append it; receivers accept the legacy untagged
+// length too, treating it as md5 — the same compatibility rule as the
+// keyring state file's optional "mac" line.
 //
 // A received state goes through guard.AdoptKeys → cookie.Adopt, which both
 // enforces monotonicity and persists to the site's bound state file before
@@ -73,8 +78,37 @@ const (
 	gossipState  = 0x03
 )
 
-// gossipStateLen is the wire size of a state message.
+// gossipStateLen is the wire size of a legacy (untagged) state message;
+// tagged messages carry one more scheme octet.
 const gossipStateLen = 1 + 8 + 2*cookie.KeySize
+
+// Scheme octet values for tagged state messages.
+const (
+	gossipSchemeMD5     = 0
+	gossipSchemeSipHash = 1
+)
+
+// gossipSchemeName maps a state message's scheme octet to the cookie
+// package's scheme name; ok is false for octets this build does not know
+// (the message is dropped — adopting a ring we cannot verify with would
+// break every cookie at this site).
+func gossipSchemeName(b byte) (string, bool) {
+	switch b {
+	case gossipSchemeMD5:
+		return "", true
+	case gossipSchemeSipHash:
+		return "siphash", true
+	}
+	return "", false
+}
+
+// gossipSchemeByte is the inverse, for senders.
+func gossipSchemeByte(name string) byte {
+	if name == "siphash" {
+		return gossipSchemeSipHash
+	}
+	return gossipSchemeMD5
+}
 
 // startGossip binds each site's gossip endpoint and spawns its sender and
 // receiver procs.
@@ -159,13 +193,20 @@ func (f *Fleet) gossipHandle(i int, src netip.AddrPort, b []byte) {
 	case gossipPull:
 		f.gossipSendState(i, src)
 	case gossipState:
-		if len(b) != gossipStateLen {
+		if len(b) != gossipStateLen && len(b) != gossipStateLen+1 {
 			return
 		}
 		var st cookie.KeyState
+		if len(b) == gossipStateLen+1 {
+			name, known := gossipSchemeName(b[gossipStateLen])
+			if !known {
+				return
+			}
+			st.Scheme = name
+		}
 		st.Epoch = binary.BigEndian.Uint64(b[1:9])
 		copy(st.Keys[0][:], b[9:9+cookie.KeySize])
-		copy(st.Keys[1][:], b[9+cookie.KeySize:])
+		copy(st.Keys[1][:], b[9+cookie.KeySize:gossipStateLen])
 		g := f.sites[i].Guard
 		before := f.sites[i].auth.State().Epoch
 		if g.AdoptKeys(st) && st.Epoch > before {
@@ -178,11 +219,12 @@ func (f *Fleet) gossipHandle(i int, src netip.AddrPort, b []byte) {
 // gossipSendState ships site i's full keyring to a peer endpoint.
 func (f *Fleet) gossipSendState(i int, to netip.AddrPort) {
 	st := f.sites[i].auth.State()
-	b := make([]byte, gossipStateLen)
+	b := make([]byte, gossipStateLen+1)
 	b[0] = gossipState
 	binary.BigEndian.PutUint64(b[1:9], st.Epoch)
 	copy(b[9:], st.Keys[0][:])
 	copy(b[9+cookie.KeySize:], st.Keys[1][:])
+	b[gossipStateLen] = gossipSchemeByte(st.Scheme)
 	f.gstats.Pushes++
 	_ = f.gossipConns[i].WriteTo(b, to)
 }

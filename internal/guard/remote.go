@@ -308,6 +308,14 @@ type pendEntry struct {
 	fwdQ      dnswire.Question // question actually sent upstream; responses must echo it
 	upstream  netip.AddrPort   // where the query went; the response must come from here
 	expires   time.Duration
+
+	// Fast-path entries (fastpath.go) carry the forwarded and client question
+	// spans as reused wire bytes instead of decoded structures; the decoded
+	// fields above stay zero until materializeFastLocked fills them for the
+	// materializing upstream path. fast entries return to the shard pool.
+	fast    bool
+	qwire   []byte // client question span, name folded to canonical case (pendChild)
+	fwdWire []byte // forwarded question span; upstream responses must echo it
 }
 
 // Remote is the ANS-side DNS guard. Its packet pipeline runs on an
@@ -320,6 +328,12 @@ type Remote struct {
 	cfg    RemoteConfig
 	nsc    cookie.NSCodec
 	ipc    cookie.IPCodec
+
+	// nsPrefix/nsPrefixLen cache the NS codec's label geometry for the wire
+	// fast path: the effective (lowercase) label prefix and the full cookie
+	// label length it implies.
+	nsPrefix    string
+	nsPrefixLen int
 	eng    *engine.Engine
 	shards []*remoteShard
 	rate   *ratelimit.RateEstimator
@@ -378,6 +392,15 @@ type remoteShard struct {
 	bv      *cookie.BatchVerifier
 	inBatch bool
 	outbuf  []Packet
+
+	// Fast-path scratch (fastpath.go). entryPool is the pendEntry free list
+	// (under mu); credBuf and wireBuf are worker-context scratch for the
+	// credential and the forwarded wire; upBuf is upstream-loop-context
+	// scratch for fabricated replies. The two contexts never share a buffer.
+	entryPool []*pendEntry
+	credBuf   []byte
+	wireBuf   []byte
+	upBuf     []byte
 }
 
 // limiters returns the shard's current rate limiters; ResetShard may swap
@@ -450,6 +473,12 @@ func NewRemote(cfg RemoteConfig) (*Remote, error) {
 		answers: resolver.NewCache(4096),
 		mit:     newMitigator(cfg.Mitigation),
 	}
+	prefix := cfg.NSPrefix
+	if prefix == "" {
+		prefix = cookie.DefaultNSPrefix
+	}
+	g.nsPrefix = prefix
+	g.nsPrefixLen = len(g.nsc.EncodeLabel(cookie.Cookie{}))
 	if cfg.Mitigation.Enabled {
 		// Derive the initial control flags from the ladder bottom
 		// (passthrough) so the armed guard starts fully open and works its
@@ -483,6 +512,9 @@ func NewRemote(cfg RemoteConfig) (*Remote, error) {
 				rl1:     ratelimit.NewLimiter1(cfg.RL1, now),
 				rl2:     ratelimit.NewLimiter2(cfg.RL2, now),
 				pending: make(map[uint16]*pendEntry),
+				credBuf: append(make([]byte, 0, 3+g.nsPrefixLen), "ns:"...)[:3+g.nsPrefixLen],
+				wireBuf: make([]byte, 0, dnswire.MaxUDPSize),
+				upBuf:   make([]byte, 0, dnswire.MaxUDPSize),
 			}
 			if cfg.Health.Enabled {
 				s.health = newShardHealth(g)
@@ -693,6 +725,9 @@ func (s *remoteShard) handle(pkt Packet) {
 		s.passthrough(pkt)
 		return
 	}
+	if s.tryFastNS(pkt) {
+		return
+	}
 	msg, err := dnswire.Unpack(pkt.Payload)
 	if err != nil || msg.Flags.QR || len(msg.Questions) == 0 {
 		atomic.AddUint64(&g.Stats.Malformed, 1)
@@ -719,6 +754,9 @@ func (s *remoteShard) handle(pkt Packet) {
 // passthrough relays traffic unmodified while spoof detection is inactive.
 func (s *remoteShard) passthrough(pkt Packet) {
 	g := s.g
+	if s.tryFastPassthrough(pkt) {
+		return
+	}
 	msg, err := dnswire.Unpack(pkt.Payload)
 	if err != nil || msg.Flags.QR {
 		atomic.AddUint64(&g.Stats.Malformed, 1)
@@ -1001,6 +1039,7 @@ func (s *remoteShard) allocID() (uint16, bool) {
 			if now >= e.expires {
 				delete(s.pending, id)
 				s.ids.release(id)
+				s.putEntryLocked(e)
 				atomic.AddUint64(&s.g.Stats.PendingDropped, 1)
 			}
 		}
@@ -1022,30 +1061,24 @@ const maxPending = 4096
 // off-path attacker who learns the upstream port.
 func (s *remoteShard) upstreamLoop() {
 	g := s.g
-	if g.cfg.Batch > 1 {
-		// Batched upstream ingest: one slab reused every read, so the
-		// per-datagram buffer copy of the single-read path disappears and
-		// on Linux the reads collapse into recvmmsg. handleUpstream only
-		// borrows the payload (Unpack copies everything it keeps), which
-		// is what makes slab reuse safe.
-		bc := netapi.AsBatch(s.upstream)
-		slab := netapi.NewSlab(g.cfg.Batch, dnswire.MaxMessageSize)
-		for {
-			n, err := bc.ReadBatch(slab, netapi.NoTimeout)
-			if err != nil {
-				return
-			}
-			for i := 0; i < n; i++ {
-				s.handleUpstream(slab[i].Payload(), slab[i].Addr)
-			}
-		}
-	}
+	// One slab reused for every read: the per-datagram buffer churn of a
+	// ReadFrom loop disappears and on Linux the reads collapse into
+	// recvmmsg. With Batch == 1 the slab has a single slot, and a full slab
+	// makes ReadBatch exactly one blocking read per call (the zero-timeout
+	// drain never runs), so the historical per-packet event sequence is
+	// preserved. handleUpstream only borrows the payload — slab slots are
+	// the loop's to overwrite on the next read — and may patch it in place
+	// (the fast relay rewrites the transaction ID before writing out).
+	bc := netapi.AsBatch(s.upstream)
+	slab := netapi.NewSlab(g.cfg.Batch, dnswire.MaxMessageSize)
 	for {
-		payload, src, err := s.upstream.ReadFrom(netapi.NoTimeout)
+		n, err := bc.ReadBatch(slab, netapi.NoTimeout)
 		if err != nil {
 			return
 		}
-		s.handleUpstream(payload, src)
+		for i := 0; i < n; i++ {
+			s.handleUpstream(slab[i].Payload(), slab[i].Addr)
+		}
 	}
 }
 
@@ -1057,6 +1090,9 @@ func (s *remoteShard) handleUpstream(payload []byte, src netip.AddrPort) {
 	if !g.isUpstreamAddr(src) {
 		// Off-path datagram: only configured upstreams send here.
 		atomic.AddUint64(&g.Stats.UpstreamSpoofed, 1)
+		return
+	}
+	if s.tryFastUpstream(payload, src) {
 		return
 	}
 	resp, err := dnswire.Unpack(payload)
@@ -1071,6 +1107,12 @@ func (s *remoteShard) handleUpstream(payload []byte, src netip.AddrPort) {
 		// already consumed — the network, not the ANS, misbehaving.
 		atomic.AddUint64(&g.Stats.UpstreamStrays, 1)
 		return
+	}
+	if entry.fast && entry.fwdQ == (dnswire.Question{}) {
+		// A fast entry whose response bailed to this path (answers,
+		// referral, case deviation): decode its wire spans once so the
+		// question-echo check and answerChild see the historical fields.
+		s.materializeFastLocked(entry)
 	}
 	if len(resp.Questions) == 0 || resp.Questions[0] != entry.fwdQ || src != entry.upstream {
 		// Right ID but wrong question — or right everything from the
@@ -1092,6 +1134,7 @@ func (s *remoteShard) handleUpstream(payload []byte, src netip.AddrPort) {
 	}
 	if expired {
 		atomic.AddUint64(&g.Stats.PendingDropped, 1)
+		s.recycleEntry(entry)
 		return
 	}
 	switch entry.kind {
@@ -1104,6 +1147,7 @@ func (s *remoteShard) handleUpstream(payload []byte, src netip.AddrPort) {
 		// Half-open probe answered: the noteSuccess above already
 		// closed the breaker. Nothing to relay.
 	}
+	s.recycleEntry(entry)
 }
 
 // answerChild turns the ANS's answer for the restored child query (message
